@@ -1,0 +1,120 @@
+// Command ringbench regenerates every table and figure of the paper's
+// evaluation section — Tables 1–4, Figures 3–6 — plus the
+// model-validation table and the design-choice ablations, printing the
+// rows and series the paper reports.
+//
+// Usage:
+//
+//	ringbench                 # everything (several minutes)
+//	ringbench -only table1    # one experiment
+//	ringbench -refs 4000      # longer calibration simulations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		refs = flag.Int("refs", 2000, "data references per CPU in calibration simulations")
+		seed = flag.Uint64("seed", 1993, "random seed for the whole suite")
+		only = flag.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations")
+		plot = flag.Bool("plot", false, "render figures as ASCII line charts instead of data tables")
+	)
+	flag.Parse()
+
+	s := repro.NewSuite(repro.SuiteOptions{DataRefsPerCPU: *refs, Seed: *seed})
+
+	experiments := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", s.Table1},
+		{"table2", s.Table2},
+		{"table3", s.Table3},
+		{"table4", s.Table4},
+		{"figure3", func() string {
+			var b strings.Builder
+			for _, bench := range []string{"MP3D", "WATER", "CHOLESKY"} {
+				if *plot {
+					b.WriteString(s.Figure3Plot(bench))
+				} else {
+					b.WriteString(s.Figure3(bench))
+				}
+				b.WriteByte('\n')
+			}
+			return b.String()
+		}},
+		{"figure4", func() string {
+			if *plot {
+				return s.Figure4Plot()
+			}
+			return s.Figure4()
+		}},
+		{"figure5", s.Figure5},
+		{"figure6", func() string {
+			var b strings.Builder
+			for _, bench := range []string{"MP3D", "WATER"} {
+				for _, cpus := range []int{8, 16, 32} {
+					if *plot {
+						b.WriteString(s.Figure6Plot(bench, cpus))
+					} else {
+						b.WriteString(s.Figure6(bench, cpus))
+					}
+					b.WriteByte('\n')
+				}
+			}
+			return b.String()
+		}},
+		{"validation", func() string {
+			return s.Validation("MP3D", 8) + "\n" + s.Validation("WATER", 16)
+		}},
+		{"hierarchy", func() string {
+			out := s.ExtensionHierarchy("FFT", 64, 8) + "\n" + s.ExtensionHierarchy("MP3D", 32, 4)
+			if *plot {
+				out += "\n" + s.ExtensionHierarchyFigure("FFT", 64, 8)
+			}
+			return out
+		}},
+		{"ablations", func() string {
+			var b strings.Builder
+			b.WriteString(s.AblationSlotMix("MP3D", 16))
+			b.WriteByte('\n')
+			b.WriteString(s.AblationStarvationRule("MP3D", 16))
+			b.WriteByte('\n')
+			b.WriteString(s.AblationWideRing("MP3D", 16))
+			b.WriteByte('\n')
+			b.WriteString(s.AblationMultitasking("WATER", 16))
+			b.WriteByte('\n')
+			b.WriteString(s.AblationBlockSize("MP3D", 16))
+			b.WriteByte('\n')
+			b.WriteString(s.AblationLatencyTolerance("MP3D", 16))
+			b.WriteByte('\n')
+			b.WriteString(s.LatencyDecomposition("MP3D", 16, 2))
+			b.WriteByte('\n')
+			b.WriteString(s.AblationAccessControl(8))
+			return b.String()
+		}},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		out := e.run()
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "ringbench: unknown experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

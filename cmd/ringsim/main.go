@@ -1,0 +1,81 @@
+// Command ringsim simulates one cache-coherent multiprocessor
+// configuration — protocol, interconnect, benchmark, processor speed —
+// and prints its measured performance, the quantities the paper plots:
+// processor utilization, network utilization, and miss latency.
+//
+// Usage:
+//
+//	ringsim -protocol snoop-ring -bench MP3D -cpus 16 -cycle 5
+//	ringsim -protocol snoop-bus  -bench WATER -cpus 32 -busmhz 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "snoop-ring", "protocol: snoop-ring | directory-ring | sci-ring | snoop-bus")
+		bench    = flag.String("bench", "MP3D", "benchmark: MP3D | WATER | CHOLESKY | FFT | WEATHER | SIMPLE")
+		cpus     = flag.Int("cpus", 16, "processor count (must match a Table 2 profile)")
+		cycle    = flag.Float64("cycle", 20, "processor cycle time in ns (paper sweeps 1-20)")
+		ringMHz  = flag.Int("ringmhz", 500, "ring link clock in MHz (paper: 250 or 500)")
+		ringBits = flag.Int("ringbits", 32, "ring data path width in bits")
+		busMHz   = flag.Int("busmhz", 50, "bus clock in MHz for snoop-bus (paper: 50 or 100)")
+		refs     = flag.Int("refs", 5000, "data references per processor (simulation length)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available benchmark profiles and exit")
+		traceIn  = flag.String("trace", "", "replay a recorded trace file (from tracegen) instead of a synthetic workload")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmark profiles (Table 2):")
+		for _, b := range repro.Benchmarks() {
+			fmt.Printf("  %-9s %d CPUs\n", b.Name, b.CPUs)
+		}
+		return
+	}
+
+	cfg := repro.Config{
+		Protocol:       repro.Protocol(*protocol),
+		Benchmark:      *bench,
+		CPUs:           *cpus,
+		ProcCycleNS:    *cycle,
+		RingMHz:        *ringMHz,
+		RingWidthBits:  *ringBits,
+		BusMHz:         *busMHz,
+		DataRefsPerCPU: *refs,
+		Seed:           *seed,
+	}
+	var res *repro.Result
+	var err error
+	if *traceIn != "" {
+		res, err = repro.RunTrace(cfg, *traceIn)
+	} else {
+		res, err = repro.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ringsim:", err)
+		os.Exit(1)
+	}
+
+	workloadDesc := fmt.Sprintf("%s/%d CPUs", *bench, *cpus)
+	if *traceIn != "" {
+		workloadDesc = "trace " + *traceIn
+	}
+	fmt.Printf("configuration: %s, %s, %.1f ns processor cycle\n",
+		*protocol, workloadDesc, *cycle)
+	fmt.Printf("  processor utilization : %6.1f %%\n", 100*res.ProcUtil)
+	fmt.Printf("  network utilization   : %6.1f %%\n", 100*res.NetworkUtil)
+	fmt.Printf("  avg miss latency      : %6.0f ns\n", res.MissLatencyNS)
+	fmt.Printf("  avg inv latency       : %6.0f ns\n", res.InvLatencyNS)
+	fmt.Printf("  execution time        : %6.1f us\n", res.ExecTimeUS)
+	fmt.Printf("  shared miss rate      : %6.2f %%\n", 100*res.SharedMissRate)
+	fmt.Printf("  total miss rate       : %6.2f %%\n", 100*res.TotalMissRate)
+	fmt.Printf("  misses / upgrades     : %d / %d\n", res.Misses, res.Upgrades)
+}

@@ -1,0 +1,90 @@
+// Command ringsweep sweeps one design parameter of a simulated machine
+// and prints the resulting metric series — the quickest way to explore
+// the design space the paper maps out.
+//
+// Usage:
+//
+//	ringsweep -param cycle -from 1 -to 20 -step 1 -bench MP3D -cpus 16
+//	ringsweep -param ringmhz -from 125 -to 1000 -step 125
+//	ringsweep -param cpus -protocol snoop-bus -bench MP3D
+//
+// Sweepable parameters: cycle (processor cycle ns), ringmhz, busmhz,
+// cpus (restricted to the benchmark's profiled sizes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "snoop-ring", "protocol: snoop-ring | directory-ring | sci-ring | snoop-bus | hier-ring")
+		bench    = flag.String("bench", "MP3D", "benchmark name")
+		cpus     = flag.Int("cpus", 16, "processor count (fixed unless sweeping cpus)")
+		cycle    = flag.Float64("cycle", 5, "processor cycle ns (fixed unless sweeping cycle)")
+		param    = flag.String("param", "cycle", "parameter to sweep: cycle | ringmhz | busmhz | cpus")
+		from     = flag.Float64("from", 1, "sweep start")
+		to       = flag.Float64("to", 20, "sweep end")
+		step     = flag.Float64("step", 1, "sweep step")
+		refs     = flag.Int("refs", 2000, "data references per processor")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-10s %10s %10s %12s %10s\n", *param, "Uproc(%)", "Unet(%)", "missLat(ns)", "exec(us)")
+	run := func(label string, cfg repro.Config) {
+		res, err := repro.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ringsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %10.1f %10.1f %12.0f %10.1f\n",
+			label, 100*res.ProcUtil, 100*res.NetworkUtil, res.MissLatencyNS, res.ExecTimeUS)
+	}
+
+	base := repro.Config{
+		Protocol:       repro.Protocol(*protocol),
+		Benchmark:      *bench,
+		CPUs:           *cpus,
+		ProcCycleNS:    *cycle,
+		DataRefsPerCPU: *refs,
+		Seed:           *seed,
+	}
+
+	switch *param {
+	case "cycle":
+		for v := *from; v <= *to; v += *step {
+			cfg := base
+			cfg.ProcCycleNS = v
+			run(fmt.Sprintf("%.1fns", v), cfg)
+		}
+	case "ringmhz":
+		for v := *from; v <= *to; v += *step {
+			cfg := base
+			cfg.RingMHz = int(v)
+			run(fmt.Sprintf("%.0fMHz", v), cfg)
+		}
+	case "busmhz":
+		for v := *from; v <= *to; v += *step {
+			cfg := base
+			cfg.BusMHz = int(v)
+			run(fmt.Sprintf("%.0fMHz", v), cfg)
+		}
+	case "cpus":
+		for _, b := range repro.Benchmarks() {
+			if b.Name != *bench {
+				continue
+			}
+			cfg := base
+			cfg.CPUs = b.CPUs
+			run(fmt.Sprintf("%dcpu", b.CPUs), cfg)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ringsweep: unknown parameter %q\n", *param)
+		os.Exit(1)
+	}
+}

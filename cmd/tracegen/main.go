@@ -1,0 +1,62 @@
+// Command tracegen materializes one synthetic benchmark workload as a
+// binary multiprocessor reference trace, and prints its Table 2-style
+// characteristics. The traces stand in for the paper's CacheMire/MIT
+// inputs (see DESIGN.md, substitutions); files written here can be
+// replayed through the simulators via the trace reader.
+//
+// Usage:
+//
+//	tracegen -bench MP3D -cpus 16 -refs 10000 -o mp3d16.trc.gz   # .gz compresses transparently
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "MP3D", "benchmark: MP3D | WATER | CHOLESKY | FFT | WEATHER | SIMPLE")
+		cpus  = flag.Int("cpus", 16, "processor count (must match a Table 2 profile)")
+		refs  = flag.Int("refs", 10000, "data references per processor")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("o", "", "output file (omit to only print statistics)")
+	)
+	flag.Parse()
+
+	prof, ok := workload.ProfileFor(*bench, *cpus)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: no profile %s/%d\n", *bench, *cpus)
+		os.Exit(1)
+	}
+	gen := workload.NewGenerator(workload.Config{
+		Profile:        prof,
+		DataRefsPerCPU: *refs,
+		Seed:           *seed,
+	})
+	tr := workload.Materialize(prof.Name, gen)
+	st := trace.Measure(tr)
+
+	fmt.Printf("%s/%d: %d refs total\n", prof.Name, prof.CPUs, tr.TotalRefs())
+	fmt.Printf("  data refs        : %d\n", st.DataRefs)
+	fmt.Printf("  instr refs       : %d\n", st.InstrRefs)
+	fmt.Printf("  private refs     : %d (%.0f%% writes; paper %.0f%%)\n",
+		st.PrivateRefs, 100*st.PrivateWriteFrac(), 100*prof.PrivateWriteFrac)
+	fmt.Printf("  shared refs      : %d (%.0f%% writes; paper %.0f%%)\n",
+		st.SharedRefs, 100*st.SharedWriteFrac(), 100*prof.SharedWriteFrac)
+
+	if *out == "" {
+		return
+	}
+	if err := trace.WriteFile(*out, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if info, err := os.Stat(*out); err == nil {
+		fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+	}
+}

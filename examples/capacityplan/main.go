@@ -1,0 +1,31 @@
+// capacityplan answers the paper's Table 4 question for one design
+// point using the full evaluation suite: how fast would a 64-bit
+// split-transaction bus have to be clocked to match the processor
+// utilization a 32-bit slotted ring delivers? It also prints the
+// snooping-rate constraint (Table 3) that bounds how fast a snooping
+// ring interface must be.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	suite := repro.NewSuite(repro.SuiteOptions{DataRefsPerCPU: 1500, Seed: 7})
+
+	fmt.Println("How fast must a 64-bit bus be to match a 32-bit slotted ring?")
+	fmt.Println("(Table 4; rows are benchmark/size, columns ring clock x CPU speed)")
+	fmt.Println()
+	fmt.Println(suite.Table4())
+
+	fmt.Println("Snooper cost constraint: minimum probe inter-arrival per")
+	fmt.Println("dual-directory bank (Table 3):")
+	fmt.Println()
+	fmt.Println(suite.Table3())
+
+	fmt.Println("For context, today's (1993) high-speed buses run a 10-30 ns cycle:")
+	fmt.Println("matching even an 8-CPU 500 MHz ring already demands 6-10 ns buses,")
+	fmt.Println("and 32-CPU configurations are out of reach — the paper's conclusion.")
+}

@@ -1,0 +1,321 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// calibrate runs one detailed simulation and extracts the model inputs.
+// warm is the per-processor cold-start window excluded from metrics in
+// these tests (see core.Config.WarmupDataRefs).
+const warm = 600
+
+func calibrate(t *testing.T, proto core.Protocol, bench string, cpus int, refs int, cyc sim.Time) (Calibration, *core.Metrics) {
+	t.Helper()
+	m := simulate(proto, bench, cpus, refs, cyc)
+	return FromMetrics(m, cpus), m
+}
+
+func simulate(proto core.Protocol, bench string, cpus, refs int, cyc sim.Time) *core.Metrics {
+	prof := workload.MustProfile(bench, cpus)
+	gen := workload.NewGenerator(workload.Config{Profile: prof, DataRefsPerCPU: refs + warm, Seed: 1234})
+	return core.NewSystem(core.Config{Protocol: proto, ProcCycle: cyc, Seed: 99, WarmupDataRefs: warm}, gen).Run()
+}
+
+func TestFromMetricsConservation(t *testing.T) {
+	cal, m := calibrate(t, core.DirectoryRing, "MP3D", 8, 1500, 20*sim.Nanosecond)
+	if cal.CPUs != 8 {
+		t.Fatalf("CPUs = %d, want 8", cal.CPUs)
+	}
+	// Remote misses must equal the sum of the directory classes.
+	sum := cal.Clean1 + cal.Dirty1 + cal.Dirty2 + cal.Mcast2
+	if math.Abs(sum-cal.RemoteMiss)/cal.RemoteMiss > 1e-9 {
+		t.Fatalf("class split %v does not sum to remote misses %v", sum, cal.RemoteMiss)
+	}
+	// Per-proc counts scale back up to the metrics totals.
+	if got := (cal.LocalMiss + cal.RemoteMiss) * 8; math.Abs(got-float64(m.SharedMisses+m.PrivateMisses)) > 1e-6 {
+		t.Fatalf("misses round trip: %v vs %d", got, m.SharedMisses+m.PrivateMisses)
+	}
+}
+
+func TestRingModelValidatesAgainstSimulationSamepoint(t *testing.T) {
+	// Model evaluated at the calibration point must reproduce the
+	// simulation it was calibrated from — the paper holds 5 % on
+	// utilizations and 15 % on latencies.
+	for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+		cal, m := calibrate(t, proto, "MP3D", 8, 2500, 20*sim.Nanosecond)
+		model := NewRingModel(ring.Config{}, cal, proto == core.SnoopRing)
+		ev := model.Evaluate(20 * sim.Nanosecond)
+		if !ev.Converged {
+			t.Fatalf("%v: model did not converge", proto)
+		}
+		if d := math.Abs(ev.ProcUtil - m.ProcUtil()); d > 0.05 {
+			t.Errorf("%v: proc util model %v vs sim %v (Δ %v > 0.05)",
+				proto, ev.ProcUtil, m.ProcUtil(), d)
+		}
+		if d := math.Abs(ev.NetworkUtil - m.NetworkUtil); d > 0.05 {
+			t.Errorf("%v: net util model %v vs sim %v (Δ %v > 0.05)",
+				proto, ev.NetworkUtil, m.NetworkUtil, d)
+		}
+		if r := math.Abs(ev.MissLatencyNS-m.MissLatency.Value()) / m.MissLatency.Value(); r > 0.15 {
+			t.Errorf("%v: miss latency model %v vs sim %v (rel %v > 0.15)",
+				proto, ev.MissLatencyNS, m.MissLatency.Value(), r)
+		}
+	}
+}
+
+func TestRingModelValidatesAcrossProcessorSpeeds(t *testing.T) {
+	// Calibrate at 50 MIPS (20 ns), predict at 5 ns, compare to a
+	// fresh simulation at 5 ns — the hybrid methodology's core claim.
+	cal, _ := calibrate(t, core.SnoopRing, "MP3D", 8, 2500, 20*sim.Nanosecond)
+	model := NewRingModel(ring.Config{}, cal, true)
+	ev := model.Evaluate(5 * sim.Nanosecond)
+	m := simulate(core.SnoopRing, "MP3D", 8, 2500, 5*sim.Nanosecond)
+	if d := math.Abs(ev.ProcUtil - m.ProcUtil()); d > 0.07 {
+		t.Errorf("proc util model %v vs sim %v (Δ %v)", ev.ProcUtil, m.ProcUtil(), d)
+	}
+	if d := math.Abs(ev.NetworkUtil - m.NetworkUtil); d > 0.07 {
+		t.Errorf("net util model %v vs sim %v (Δ %v)", ev.NetworkUtil, m.NetworkUtil, d)
+	}
+	if r := math.Abs(ev.MissLatencyNS-m.MissLatency.Value()) / m.MissLatency.Value(); r > 0.20 {
+		t.Errorf("miss latency model %v vs sim %v (rel %v)",
+			ev.MissLatencyNS, m.MissLatency.Value(), r)
+	}
+}
+
+func TestBusModelValidatesAgainstSimulation(t *testing.T) {
+	cal, m := calibrate(t, core.SnoopBus, "WATER", 8, 2500, 20*sim.Nanosecond)
+	model := NewBusModel(bus.Config{}, cal)
+	ev := model.Evaluate(20 * sim.Nanosecond)
+	if !ev.Converged {
+		t.Fatal("bus model did not converge")
+	}
+	if d := math.Abs(ev.ProcUtil - m.ProcUtil()); d > 0.05 {
+		t.Errorf("proc util model %v vs sim %v", ev.ProcUtil, m.ProcUtil())
+	}
+	if d := math.Abs(ev.NetworkUtil - m.NetworkUtil); d > 0.07 {
+		t.Errorf("net util model %v vs sim %v", ev.NetworkUtil, m.NetworkUtil)
+	}
+	if r := math.Abs(ev.MissLatencyNS-m.MissLatency.Value()) / m.MissLatency.Value(); r > 0.20 {
+		t.Errorf("miss latency model %v vs sim %v", ev.MissLatencyNS, m.MissLatency.Value())
+	}
+}
+
+func TestProcessorUtilizationFallsWithFasterProcessors(t *testing.T) {
+	cal, _ := calibrate(t, core.SnoopRing, "MP3D", 8, 1200, 20*sim.Nanosecond)
+	model := NewRingModel(ring.Config{}, cal, true)
+	prev := -1.0
+	for cyc := sim.Time(1); cyc <= 20; cyc += 1 {
+		ev := model.Evaluate(cyc * sim.Nanosecond)
+		if prev >= 0 && ev.ProcUtil < prev-1e-9 {
+			t.Fatalf("ProcUtil not monotone in processor cycle at %d ns: %v < %v",
+				cyc, ev.ProcUtil, prev)
+		}
+		prev = ev.ProcUtil
+	}
+}
+
+func TestNetworkUtilizationRisesWithFasterProcessors(t *testing.T) {
+	cal, _ := calibrate(t, core.SnoopRing, "MP3D", 16, 1200, 20*sim.Nanosecond)
+	model := NewRingModel(ring.Config{}, cal, true)
+	fast := model.Evaluate(2 * sim.Nanosecond)
+	slow := model.Evaluate(20 * sim.Nanosecond)
+	if fast.NetworkUtil <= slow.NetworkUtil {
+		t.Fatalf("ring util should rise with processor speed: fast=%v slow=%v",
+			fast.NetworkUtil, slow.NetworkUtil)
+	}
+}
+
+func TestBusSaturatesBeforeRing(t *testing.T) {
+	// MP3D-32-style load: the 50 MHz bus saturates where the ring does
+	// not (Figure 6's headline result).
+	calRing, _ := calibrate(t, core.SnoopRing, "MP3D", 32, 800, 20*sim.Nanosecond)
+	calBus, _ := calibrate(t, core.SnoopBus, "MP3D", 32, 800, 20*sim.Nanosecond)
+	ringEv := NewRingModel(ring.Config{}, calRing, true).Evaluate(5 * sim.Nanosecond)
+	busEv := NewBusModel(bus.Config{}, calBus).Evaluate(5 * sim.Nanosecond)
+	if busEv.NetworkUtil < 0.9 {
+		t.Errorf("bus utilization = %v, expected saturation (>0.9)", busEv.NetworkUtil)
+	}
+	if ringEv.NetworkUtil > 0.8 {
+		t.Errorf("ring utilization = %v, expected under 0.8", ringEv.NetworkUtil)
+	}
+	if busEv.ProcUtil >= ringEv.ProcUtil {
+		t.Errorf("bus proc util %v should trail ring %v under saturation",
+			busEv.ProcUtil, ringEv.ProcUtil)
+	}
+}
+
+func TestFasterRingShortensLatency(t *testing.T) {
+	cal, _ := calibrate(t, core.SnoopRing, "MP3D", 8, 1000, 20*sim.Nanosecond)
+	m500 := NewRingModel(ring.Config{ClockPS: 2 * sim.Nanosecond}, cal, true)
+	m250 := NewRingModel(ring.Config{ClockPS: 4 * sim.Nanosecond}, cal, true)
+	e500 := m500.Evaluate(10 * sim.Nanosecond)
+	e250 := m250.Evaluate(10 * sim.Nanosecond)
+	if e500.MissLatencyNS >= e250.MissLatencyNS {
+		t.Fatalf("500 MHz ring latency %v should beat 250 MHz %v",
+			e500.MissLatencyNS, e250.MissLatencyNS)
+	}
+	if e500.ProcUtil <= e250.ProcUtil {
+		t.Fatalf("500 MHz proc util %v should beat 250 MHz %v",
+			e500.ProcUtil, e250.ProcUtil)
+	}
+}
+
+func TestMatchBusClockBisection(t *testing.T) {
+	calRing, _ := calibrate(t, core.SnoopRing, "MP3D", 8, 1000, 20*sim.Nanosecond)
+	calBus, _ := calibrate(t, core.SnoopBus, "MP3D", 8, 1000, 20*sim.Nanosecond)
+	procCycle := 10 * sim.Nanosecond // 100 MIPS
+	target := NewRingModel(ring.Config{}, calRing, true).Evaluate(procCycle).ProcUtil
+	ns, ok := MatchBusClock(bus.Config{}, calBus, procCycle, target)
+	if !ok {
+		t.Fatalf("no bus clock matches ring util %v", target)
+	}
+	// The matching bus must actually hit the target.
+	cfg := bus.Config{ClockPS: sim.Time(ns * 1000)}
+	got := NewBusModel(cfg, calBus).Evaluate(procCycle).ProcUtil
+	if math.Abs(got-target) > 0.01 {
+		t.Fatalf("matched bus util %v vs ring target %v", got, target)
+	}
+	if ns <= 0.5 || ns >= 100 {
+		t.Fatalf("matched clock %v ns implausible", ns)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	if w := weighted(10, 1, 20, 3); math.Abs(w-17.5) > 1e-12 {
+		t.Fatalf("weighted = %v, want 17.5", w)
+	}
+	if w := weighted(); w != 0 {
+		t.Fatalf("weighted() = %v, want 0", w)
+	}
+}
+
+func TestFixedPointConverges(t *testing.T) {
+	// The solver handles monotone-decreasing maps (the models' shape):
+	// t = 100/t has the fixed point 10.
+	t0, ok, _ := fixedPoint(1, func(t float64) float64 { return 100 / t })
+	if !ok || math.Abs(t0-10) > 1e-6 {
+		t.Fatalf("fixed point = %v (ok=%v), want 10", t0, ok)
+	}
+	// A map already below its lower bound returns the stall-free time.
+	t1, ok1, _ := fixedPoint(50, func(t float64) float64 { return 30 })
+	if !ok1 || t1 != 30 {
+		t.Fatalf("degenerate fixed point = %v (ok=%v), want 30", t1, ok1)
+	}
+}
+
+func TestCrossoverRingVsBus(t *testing.T) {
+	// WATER-8: the paper says the buses "could outperform the slotted
+	// ring for slower processors even if only by a narrow margin" —
+	// i.e. there is a crossover in the 1–20 ns band where the ring
+	// takes over as processors speed up.
+	calRing, _ := calibrate(t, core.SnoopRing, "WATER", 8, 2500, 20*sim.Nanosecond)
+	calBus, _ := calibrate(t, core.SnoopBus, "WATER", 8, 2500, 20*sim.Nanosecond)
+	ringM := NewRingModel(ring.Config{}, calRing, true)
+	busM := NewBusModel(bus.Config{ClockPS: 10 * sim.Nanosecond}, calBus) // 100 MHz
+	ns, ok := Crossover(ringM.Evaluate, busM.Evaluate, 1, 20)
+	if !ok {
+		rl := ringM.Evaluate(20 * sim.Nanosecond).ProcUtil
+		bl := busM.Evaluate(20 * sim.Nanosecond).ProcUtil
+		t.Skipf("no crossover in band (ring %.3f vs bus %.3f at 20ns); acceptable if ring dominates everywhere", rl, bl)
+	}
+	if ns <= 1 || ns >= 20 {
+		t.Fatalf("crossover at %.1f ns outside the band", ns)
+	}
+	// On either side of the crossover the winner flips.
+	fast := sim.Time(ns*0.5) * sim.Nanosecond
+	slow := sim.Time(ns*1.5) * sim.Nanosecond
+	fastDiff := ringM.Evaluate(fast).ProcUtil - busM.Evaluate(fast).ProcUtil
+	slowDiff := ringM.Evaluate(slow).ProcUtil - busM.Evaluate(slow).ProcUtil
+	if (fastDiff > 0) == (slowDiff > 0) {
+		t.Fatalf("winner did not flip around %.1f ns (%.4f vs %.4f)", ns, fastDiff, slowDiff)
+	}
+}
+
+func TestCrossoverNoneWhenOneDominates(t *testing.T) {
+	// MP3D-32: the ring dominates the 50 MHz bus across the whole band.
+	calRing, _ := calibrate(t, core.SnoopRing, "MP3D", 32, 800, 20*sim.Nanosecond)
+	calBus, _ := calibrate(t, core.SnoopBus, "MP3D", 32, 800, 20*sim.Nanosecond)
+	ringM := NewRingModel(ring.Config{}, calRing, true)
+	busM := NewBusModel(bus.Config{}, calBus)
+	if _, ok := Crossover(ringM.Evaluate, busM.Evaluate, 1, 20); ok {
+		t.Fatal("found a crossover where the ring should dominate everywhere")
+	}
+}
+
+func hierSimulate(bench string, cpus, clusters, refs int, cyc sim.Time) *core.Metrics {
+	prof := workload.MustProfile(bench, cpus)
+	gen := workload.NewGenerator(workload.Config{
+		Profile: prof, DataRefsPerCPU: refs + warm, Seed: 1234,
+		Clusters: clusters, ClusterAffinity: 0.5,
+	})
+	return core.NewSystem(core.Config{
+		Protocol: core.HierRing, Clusters: clusters,
+		ProcCycle: cyc, Seed: 99, WarmupDataRefs: warm,
+	}, gen).Run()
+}
+
+func TestHierModelValidatesAgainstSimulation(t *testing.T) {
+	// The extension's model is held to looser bars than the paper's
+	// (it is ours, not theirs): 10 points on utilizations, 30 % on
+	// latency, at the calibration point and at 4x faster processors.
+	m20 := hierSimulate("MP3D", 16, 4, 2500, 20*sim.Nanosecond)
+	cal := FromMetrics(m20, 16)
+	model := NewHierModel(ring.Config{}, cal, 4)
+
+	for _, tc := range []struct {
+		cyc sim.Time
+		sim *core.Metrics
+	}{
+		{20 * sim.Nanosecond, m20},
+		{5 * sim.Nanosecond, hierSimulate("MP3D", 16, 4, 2500, 5*sim.Nanosecond)},
+	} {
+		ev := model.Evaluate(tc.cyc)
+		if !ev.Converged {
+			t.Fatalf("hier model did not converge at %v", tc.cyc)
+		}
+		if d := math.Abs(ev.ProcUtil - tc.sim.ProcUtil()); d > 0.10 {
+			t.Errorf("@%v: proc util model %.3f vs sim %.3f", tc.cyc, ev.ProcUtil, tc.sim.ProcUtil())
+		}
+		if d := math.Abs(ev.NetworkUtil - tc.sim.NetworkUtil); d > 0.10 {
+			t.Errorf("@%v: net util model %.3f vs sim %.3f", tc.cyc, ev.NetworkUtil, tc.sim.NetworkUtil)
+		}
+		if r := math.Abs(ev.MissLatencyNS-tc.sim.MissLatency.Value()) / tc.sim.MissLatency.Value(); r > 0.30 {
+			t.Errorf("@%v: miss latency model %.0f vs sim %.0f (rel %.2f)",
+				tc.cyc, ev.MissLatencyNS, tc.sim.MissLatency.Value(), r)
+		}
+	}
+}
+
+func TestHierModelMonotonic(t *testing.T) {
+	m20 := hierSimulate("MP3D", 16, 4, 1200, 20*sim.Nanosecond)
+	model := NewHierModel(ring.Config{}, FromMetrics(m20, 16), 4)
+	prev := -1.0
+	for cyc := sim.Time(1); cyc <= 20; cyc++ {
+		ev := model.Evaluate(cyc * sim.Nanosecond)
+		if prev >= 0 && ev.ProcUtil < prev-1e-9 {
+			t.Fatalf("ProcUtil not monotone at %d ns", cyc)
+		}
+		prev = ev.ProcUtil
+	}
+}
+
+func TestHierModelValidatesClusterCount(t *testing.T) {
+	cal := Calibration{CPUs: 16}
+	for _, bad := range []int{0, 1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("clusters=%d did not panic", bad)
+				}
+			}()
+			NewHierModel(ring.Config{}, cal, bad)
+		}()
+	}
+}

@@ -1,0 +1,108 @@
+package analytic
+
+import (
+	"repro/internal/bus"
+	"repro/internal/memory"
+	"repro/internal/sim"
+)
+
+// BusModel is the analytical model of the split-transaction bus system
+// of Section 4.3. The bus is a single server visited by request,
+// response and write-back tenures; arbitration waits follow an
+// M/M/1-style growth in the bus utilization, which captures the rapid
+// saturation the paper reports for fast processors.
+type BusModel struct {
+	// Geo is the bus geometry (clock, tenure lengths).
+	Geo bus.Geometry
+	// Cal carries the simulation-derived event counts.
+	Cal Calibration
+}
+
+// NewBusModel builds a model for a bus configuration; cfg.Nodes is
+// overridden by the calibration's CPU count.
+func NewBusModel(cfg bus.Config, cal Calibration) *BusModel {
+	cfg.Nodes = cal.CPUs
+	return &BusModel{Geo: bus.NewGeometry(cfg), Cal: cal}
+}
+
+// Evaluate computes steady-state metrics at one processor cycle time.
+func (m *BusModel) Evaluate(procCycle sim.Time) Eval {
+	g := &m.Geo
+	c := &m.Cal
+	tau := procCycle.Nanoseconds()
+	bank := memory.BankTime.Nanoseconds()
+	req := g.TenureTime(bus.Request).Nanoseconds()
+	resp := g.TenureTime(bus.Response).Nanoseconds()
+	wbT := g.TenureTime(bus.WriteBack).Nanoseconds()
+	n := float64(c.CPUs)
+	remoteWB := c.WriteBacks * (1 - 1/n)
+
+	busy := c.BusyCycles * tau
+	ups := c.Inv1 + c.Inv2 // bus calibrations put all non-local upgrades here
+
+	// Total bus service time demanded per processor is load-independent.
+	tenures := 2*c.RemoteMiss + ups + remoteWB
+	service := c.RemoteMiss*(req+resp) + ups*req + remoteWB*wbT
+	mean := 0.0
+	if tenures > 0 {
+		mean = service / tenures
+	}
+
+	var rho, missLat, invLat float64
+	step := func(t float64) float64 {
+		rho = clampRho(n * service / t)
+		// Pollaczek–Khinchine wait for deterministic service (bus
+		// tenures have fixed lengths): half the M/M/1 wait.
+		w := rho / (1 - rho) * mean / 2
+
+		lRemote := (w + req) + bank + (w + resp)
+		lLocal := bank
+		lUp := w + req
+		stall := c.RemoteMiss*lRemote + c.LocalMiss*lLocal + ups*lUp
+		missLat = weighted(lRemote, c.RemoteMiss, lLocal, c.LocalMiss)
+		invLat = lUp
+
+		return busy + stall
+	}
+
+	t, ok, iters := fixedPoint(busy, step)
+	return Eval{
+		ExecTimeNS:    t,
+		ProcUtil:      busy / t,
+		NetworkUtil:   rho,
+		MissLatencyNS: missLat,
+		InvLatencyNS:  invLat,
+		Converged:     ok,
+		Iterations:    iters,
+	}
+}
+
+// MatchBusClock finds the bus cycle time (ns) at which this
+// calibration's bus system reaches the target processor utilization —
+// Table 4's question. It bisects on the bus clock; utilization grows
+// monotonically as the bus gets faster. The returned cycle is clamped
+// to [0.5, 1000] ns; ok is false when even the fastest bus in that
+// band cannot reach the target.
+func MatchBusClock(cfg bus.Config, cal Calibration, procCycle sim.Time, targetUtil float64) (ns float64, ok bool) {
+	util := func(cycleNS float64) float64 {
+		c := cfg
+		c.ClockPS = sim.Time(cycleNS * 1000)
+		return NewBusModel(c, cal).Evaluate(procCycle).ProcUtil
+	}
+	lo, hi := 0.5, 1000.0
+	if util(lo) < targetUtil {
+		return lo, false
+	}
+	if util(hi) >= targetUtil {
+		return hi, true
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if util(mid) >= targetUtil {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}

@@ -1,0 +1,129 @@
+package analytic
+
+import (
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// HierModel is the analytical model of the hierarchical two-level ring
+// extension: C clusters of M processors on local slotted rings, joined
+// by inter-ring interfaces on a global ring.
+//
+// A cluster-local transaction behaves like flat snooping on the small
+// local ring (its point-to-point legs close one local loop); a global
+// transaction adds two extra local legs (requester ring and responder
+// ring each carry an IRI leg in both directions) and one global loop.
+// Slot waits follow the same geometric-retry approximation as the flat
+// ring model, evaluated per ring level.
+type HierModel struct {
+	// Local is the local rings' geometry (M+1 interfaces); Global the
+	// inter-cluster ring's (C interfaces).
+	Local, Global ring.Geometry
+	// Cal carries the simulation-derived event counts; Miss1/Inv1 are
+	// the cluster-local transactions, Miss2/Inv2 the global ones.
+	Cal Calibration
+	// Clusters is the cluster count.
+	Clusters int
+}
+
+// NewHierModel builds a model for cal.CPUs processors in the given
+// number of clusters, sharing cfg's physical ring parameters.
+func NewHierModel(cfg ring.Config, cal Calibration, clusters int) *HierModel {
+	if clusters <= 1 || cal.CPUs%clusters != 0 {
+		panic("analytic: invalid cluster count")
+	}
+	lc := cfg
+	lc.Nodes = cal.CPUs/clusters + 1
+	gc := cfg
+	gc.Nodes = clusters
+	return &HierModel{
+		Local:    ring.NewGeometry(lc),
+		Global:   ring.NewGeometry(gc),
+		Cal:      cal,
+		Clusters: clusters,
+	}
+}
+
+// Evaluate computes steady-state metrics at one processor cycle time.
+func (m *HierModel) Evaluate(procCycle sim.Time) Eval {
+	c := &m.Cal
+	tau := procCycle.Nanoseconds()
+	bank := memory.BankTime.Nanoseconds()
+	Sl := m.Local.RoundTrip().Nanoseconds()
+	Sg := m.Global.RoundTrip().Nanoseconds()
+
+	probeIntL := m.Local.FrameTime().Nanoseconds() / float64(m.Local.ProbePairsPerBlockSlot)
+	blockIntL := m.Local.FrameTime().Nanoseconds()
+	probeIntG := m.Global.FrameTime().Nanoseconds() / float64(m.Global.ProbePairsPerBlockSlot)
+	blockIntG := m.Global.FrameTime().Nanoseconds()
+
+	nProbeL := float64(m.Local.SlotsOfClass(ring.ProbeEven) + m.Local.SlotsOfClass(ring.ProbeOdd))
+	nBlockL := float64(m.Local.SlotsOfClass(ring.BlockSlot))
+	nProbeG := float64(m.Global.SlotsOfClass(ring.ProbeEven) + m.Global.SlotsOfClass(ring.ProbeOdd))
+	nBlockG := float64(m.Global.SlotsOfClass(ring.BlockSlot))
+
+	perClus := float64(c.CPUs / m.Clusters)
+	busy := c.BusyCycles * tau
+	remoteWB := c.WriteBacks * (1 - 1/float64(c.CPUs))
+
+	// Per-processor slot-time demands on its local ring and the global
+	// ring, independent of load. A local transaction's probe legs close
+	// one local loop; a global transaction's legs put one local loop's
+	// worth on each of two local rings (attribute both to the source's
+	// ring: symmetry makes that exact in aggregate) and half a global
+	// loop per message on the global ring.
+	localTx := c.Miss1 + c.Inv1
+	globalTx := c.Miss2 + c.Inv2
+	probeOccL := localTx*Sl + globalTx*2*Sl
+	blockOccL := (c.Miss1+remoteWB)*Sl/2 + (c.Miss2)*2*(Sl/2)
+	probeOccG := globalTx * (Sg / 2)
+	blockOccG := (c.Miss2 + remoteWB/float64(m.Clusters)) * (Sg / 2)
+
+	var rhoPL, rhoBL, rhoPG, rhoBG float64
+	var missLat, invLat float64
+
+	step := func(t float64) float64 {
+		rhoPL = clampRho(perClus * probeOccL / (t * nProbeL))
+		rhoBL = clampRho(perClus * blockOccL / (t * nBlockL))
+		rhoPG = clampRho(float64(c.CPUs) * probeOccG / (t * nProbeG))
+		rhoBG = clampRho(float64(c.CPUs) * blockOccG / (t * nBlockG))
+
+		wpl := probeIntL * (1/(1-rhoPL) - 0.5)
+		wbl := blockIntL * (1/(1-rhoBL) - 0.5)
+		wpg := probeIntG * (1/(1-rhoPG) - 0.5)
+		wbg := blockIntG * (1/(1-rhoBG) - 0.5)
+
+		lLocalMiss := bank
+		lMiss1 := wpl + Sl + bank + wbl
+		lMiss2 := 2*wpl + wpg + 2*Sl + Sg + bank + 2*wbl + wbg
+		lInv1 := wpl + Sl
+		lInv2 := wpl + wpg + 2*Sl + Sg
+		lInvLocal := bank
+
+		stall := c.LocalMiss*lLocalMiss + c.Miss1*lMiss1 + c.Miss2*lMiss2 +
+			c.Inv1*lInv1 + c.Inv2*lInv2 + c.InvLocal*lInvLocal
+		missLat = weighted(lLocalMiss, c.LocalMiss, lMiss1, c.Miss1, lMiss2, c.Miss2)
+		invLat = weighted(lInv1, c.Inv1, lInv2, c.Inv2, lInvLocal, c.InvLocal)
+		return busy + stall
+	}
+
+	t, ok, iters := fixedPoint(busy, step)
+	// Aggregate network utilization weighted by slot counts across the
+	// C local rings plus the global ring, matching the engine's figure.
+	slotsL := float64(m.Local.NumSlots())
+	slotsG := float64(m.Global.NumSlots())
+	utilL := (rhoPL*nProbeL + rhoBL*nBlockL) / (nProbeL + nBlockL)
+	utilG := (rhoPG*nProbeG + rhoBG*nBlockG) / (nProbeG + nBlockG)
+	netUtil := (utilL*slotsL*float64(m.Clusters) + utilG*slotsG) /
+		(slotsL*float64(m.Clusters) + slotsG)
+	return Eval{
+		ExecTimeNS:    t,
+		ProcUtil:      busy / t,
+		NetworkUtil:   netUtil,
+		MissLatencyNS: missLat,
+		InvLatencyNS:  invLat,
+		Converged:     ok,
+		Iterations:    iters,
+	}
+}

@@ -1,0 +1,139 @@
+package analytic
+
+import (
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// RingModel is the analytical model of a slotted-ring system under
+// either the snooping or the full-map directory protocol.
+//
+// Slot acquisition is modeled as geometric retries on a periodic empty
+// slot: slots of the wanted class pass a node every interval I, so an
+// unloaded sender waits I/2 on average and a loaded one waits an extra
+// I per busy pass, giving W = I·(1/(1-ρ) - 1/2). Message latencies then
+// compose exactly as in the protocol engines: point-to-point hops of a
+// transaction always sum to whole ring traversals, so the propagation
+// terms are multiples of the round-trip time regardless of node
+// placement.
+type RingModel struct {
+	// Geo is the ring geometry (clock, widths, slot mix).
+	Geo ring.Geometry
+	// Cal carries the simulation-derived event counts.
+	Cal Calibration
+	// Snooping selects the snooping model; otherwise directory.
+	Snooping bool
+}
+
+// NewRingModel builds a model for a ring configuration; cfg.Nodes is
+// overridden by the calibration's CPU count.
+func NewRingModel(cfg ring.Config, cal Calibration, snooping bool) *RingModel {
+	cfg.Nodes = cal.CPUs
+	return &RingModel{Geo: ring.NewGeometry(cfg), Cal: cal, Snooping: snooping}
+}
+
+// Evaluate computes the steady-state metrics at one processor cycle
+// time (the x-axis of Figures 3, 4 and 6).
+func (m *RingModel) Evaluate(procCycle sim.Time) Eval {
+	g := &m.Geo
+	c := &m.Cal
+	tau := procCycle.Nanoseconds()
+	S := g.RoundTrip().Nanoseconds()
+	bank := memory.BankTime.Nanoseconds()
+	// Intervals between usable slots of a class at one node: a probe of
+	// a given address parity can use one slot per pair per frame, a
+	// block message the frame's block slot.
+	probeInt := g.FrameTime().Nanoseconds() / float64(g.ProbePairsPerBlockSlot)
+	blockInt := g.FrameTime().Nanoseconds()
+	nProbeSlots := float64(g.SlotsOfClass(ring.ProbeEven) + g.SlotsOfClass(ring.ProbeOdd))
+	nBlockSlots := float64(g.SlotsOfClass(ring.BlockSlot))
+	n := float64(c.CPUs)
+	remoteWB := c.WriteBacks * (1 - 1/n)
+
+	busy := c.BusyCycles * tau
+
+	// Slot-time occupancies per processor are load-independent: they
+	// depend only on the event counts and the geometry, so the slot
+	// utilizations follow directly from the execution time.
+	var probeOcc, blockOcc float64
+	if m.Snooping {
+		probes := c.RemoteMiss + c.Inv1 + c.Inv2 + c.InvLocal
+		probeOcc = probes * S // broadcasts occupy their slot a full loop
+		blockOcc = (c.RemoteMiss + remoteWB) * (S / 2)
+	} else {
+		// Point-to-point probes average half a loop; multicasts a full
+		// loop. Dirty forwards and remote invalidations use two
+		// point-to-point probes.
+		p2p := c.Clean1 + 2*(c.Dirty1+c.Dirty2) + c.Mcast2 + 2*c.Inv1 + 2*c.Inv2
+		mcast := c.Mcast2 + c.Inv2
+		probeOcc = p2p*(S/2) + mcast*S
+		blockOcc = (c.Clean1 + c.Dirty1 + c.Dirty2 + c.Mcast2 + remoteWB) * (S / 2)
+	}
+
+	var rhoP, rhoB float64
+	var missLat, invLat float64
+
+	step := func(t float64) float64 {
+		rhoP = clampRho(n * probeOcc / (t * nProbeSlots))
+		rhoB = clampRho(n * blockOcc / (t * nBlockSlots))
+		wp := probeInt * (1/(1-rhoP) - 0.5)
+		wb := blockInt * (1/(1-rhoB) - 0.5)
+
+		var stall float64
+		if m.Snooping {
+			// Every remote transaction is a single full traversal:
+			// probe out and back (S), owner fetch, block return whose
+			// two propagation legs also sum to S with the probe's.
+			lRemote := wp + S + bank + wb
+			lUp := wp + S
+			lLocal := bank
+			stall = c.RemoteMiss*lRemote + c.LocalMiss*lLocal +
+				(c.Inv1+c.Inv2+c.InvLocal)*lUp
+			missLat = weighted(lRemote, c.RemoteMiss, lLocal, c.LocalMiss)
+			invLat = lUp
+		} else {
+			lLocal := bank
+			lClean1 := wp + wb + S + bank
+			lDirty1 := 2*wp + wb + S + 2*bank
+			lDirty2 := 2*wp + wb + 2*S + 2*bank
+			lMcast2 := 2*wp + wb + 2*S + bank
+			lInv1 := 2*wp + S + bank
+			lInv2 := 3*wp + 2*S + bank
+			lInvLocal := bank
+			stall = c.LocalMiss*lLocal + c.Clean1*lClean1 + c.Dirty1*lDirty1 +
+				c.Dirty2*lDirty2 + c.Mcast2*lMcast2 +
+				c.Inv1*lInv1 + c.Inv2*lInv2 + c.InvLocal*lInvLocal
+			missLat = weighted(
+				lLocal, c.LocalMiss, lClean1, c.Clean1, lDirty1, c.Dirty1,
+				lDirty2, c.Dirty2, lMcast2, c.Mcast2)
+			invLat = weighted(lInv1, c.Inv1, lInv2, c.Inv2, lInvLocal, c.InvLocal)
+		}
+
+		return busy + stall
+	}
+
+	t, ok, iters := fixedPoint(busy, step)
+	return Eval{
+		ExecTimeNS:    t,
+		ProcUtil:      busy / t,
+		NetworkUtil:   (rhoP*nProbeSlots + rhoB*nBlockSlots) / (nProbeSlots + nBlockSlots),
+		MissLatencyNS: missLat,
+		InvLatencyNS:  invLat,
+		Converged:     ok,
+		Iterations:    iters,
+	}
+}
+
+// weighted returns the weighted mean of (value, weight) pairs.
+func weighted(pairs ...float64) float64 {
+	var num, den float64
+	for i := 0; i+1 < len(pairs); i += 2 {
+		num += pairs[i] * pairs[i+1]
+		den += pairs[i+1]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

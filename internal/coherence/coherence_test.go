@@ -1,0 +1,72 @@
+package coherence
+
+import "testing"
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		Invalid:        "INV",
+		ReadShared:     "RS",
+		WriteExclusive: "WE",
+		State(9):       "State(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		Load: "load", Store: "store", Ifetch: "ifetch", Op(7): "Op(7)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Op %d String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestTxnStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumTxn; i++ {
+		s := Txn(i).String()
+		if seen[s] {
+			t.Fatalf("duplicate Txn name %q", s)
+		}
+		seen[s] = true
+	}
+	if Txn(200).String() != "Txn(200)" {
+		t.Errorf("unknown Txn string = %q", Txn(200).String())
+	}
+}
+
+func TestTxnIsMiss(t *testing.T) {
+	for i := 0; i < NumTxn; i++ {
+		tx := Txn(i)
+		want := tx != WriteBack
+		if tx.IsMiss() != want {
+			t.Errorf("%v.IsMiss() = %v, want %v", tx, tx.IsMiss(), want)
+		}
+	}
+}
+
+func TestMissClassStrings(t *testing.T) {
+	cases := map[MissClass]string{
+		LocalOrHit:    "local",
+		OneCycleClean: "1-cycle-clean",
+		OneCycleDirty: "1-cycle-dirty",
+		TwoCycle:      "2-cycle",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("MissClass %d = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	if Probe.String() != "probe" || Block.String() != "block" {
+		t.Errorf("MsgKind strings = %q/%q", Probe.String(), Block.String())
+	}
+}

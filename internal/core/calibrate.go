@@ -1,0 +1,51 @@
+package core
+
+import (
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CalibrateWorkload tunes a generator configuration until the measured
+// shared miss rate matches the profile's Table 2 target, mirroring the
+// paper's methodology of deriving model inputs from detailed
+// simulation. Because the shared miss rate is, to first order,
+// inversely proportional to the re-reference burst length, a
+// multiplicative update converges in one or two short simulation runs.
+//
+// The returned configuration carries the fitted SharedBurstScale; the
+// final relative error is also returned.
+func CalibrateWorkload(sysCfg Config, wcfg workload.Config, maxIters int) (workload.Config, float64) {
+	if maxIters <= 0 {
+		maxIters = 2
+	}
+	target := wcfg.Profile.SharedMissRate
+	if target <= 0 {
+		return wcfg, 0
+	}
+	relErr := 0.0
+	for i := 0; i < maxIters; i++ {
+		gen := workload.NewGenerator(wcfg)
+		m := NewSystem(sysCfg, gen).Run()
+		measured := m.SharedMissRate()
+		relErr = stats.RelErr(measured, target)
+		if relErr < 0.05 || measured <= 0 {
+			break
+		}
+		scale := wcfg.SharedBurstScale
+		if scale == 0 {
+			scale = 1
+		}
+		scale *= measured / target
+		// Keep the fit inside a sane band: bursts can't drop below a
+		// single reference or grow beyond what the stream length can
+		// express.
+		if scale < 0.05 {
+			scale = 0.05
+		}
+		if scale > 50 {
+			scale = 50
+		}
+		wcfg.SharedBurstScale = scale
+	}
+	return wcfg, relErr
+}

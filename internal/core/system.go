@@ -1,0 +1,599 @@
+// Package core assembles complete simulated multiprocessors: N
+// single-issue processors (one instruction per cycle on hits, blocking
+// on misses and invalidations, instruction fetches never missing — the
+// paper's Section 4.1 processor model) driving one of the four
+// coherence engines over a slotted ring or a split-transaction bus.
+// Running a system produces the Metrics the paper reports — processor
+// utilization, network utilization, miss latency — plus the event
+// mixes its analytical models consume.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/bussnoop"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/directory"
+	"repro/internal/hier"
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/scilist"
+	"repro/internal/sim"
+	"repro/internal/snoop"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Engine is the coherence-engine interface satisfied by all four
+// protocol implementations.
+type Engine interface {
+	Access(node int, addr uint64, write bool, done func(at sim.Time, res coherence.Result))
+	// HasBlock reports whether node caches the block containing addr in
+	// a readable state; the write-buffer model uses it for load
+	// bypassing.
+	HasBlock(node int, addr uint64) bool
+}
+
+// Compile-time checks that every engine satisfies the interface.
+var (
+	_ Engine = (*snoop.Engine)(nil)
+	_ Engine = (*directory.Engine)(nil)
+	_ Engine = (*scilist.Engine)(nil)
+	_ Engine = (*bussnoop.Engine)(nil)
+	_ Engine = (*hier.Engine)(nil)
+)
+
+// Protocol selects a coherence engine + interconnect combination.
+type Protocol int
+
+const (
+	// SnoopRing is the paper's snooping protocol on the slotted ring.
+	SnoopRing Protocol = iota
+	// DirectoryRing is the full-map directory protocol on the ring.
+	DirectoryRing
+	// SCIRing is the linked-list directory protocol on the ring.
+	SCIRing
+	// SnoopBus is the split-transaction bus baseline.
+	SnoopBus
+	// HierRing is the hierarchical two-level slotted ring extension
+	// (Hector/KSR1 direction, Section 5 of the paper): clusters of
+	// processors on local rings joined by a global ring, with
+	// hierarchical snooping.
+	HierRing
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case SnoopRing:
+		return "snoop-ring"
+	case DirectoryRing:
+		return "directory-ring"
+	case SCIRing:
+		return "sci-ring"
+	case SnoopBus:
+		return "snoop-bus"
+	case HierRing:
+		return "hier-ring"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// DefaultProcCycle is 20 ns: the 50 MIPS processors used for the
+// calibration simulations (Section 4.0).
+const DefaultProcCycle = 20 * sim.Nanosecond
+
+// Config describes a complete system.
+type Config struct {
+	// Protocol selects the engine + interconnect.
+	Protocol Protocol
+	// ProcCycle is the processor cycle time (default 20 ns = 50 MIPS).
+	ProcCycle sim.Time
+	// Ring configures the slotted ring for ring protocols; Nodes is
+	// overridden by the workload's CPU count.
+	Ring ring.Config
+	// Bus configures the bus for SnoopBus; Nodes is overridden too.
+	Bus bus.Config
+	// Cache is the per-node cache geometry (zero: 128 KB / 16 B).
+	Cache cache.Config
+	// PageBytes is the home-placement granularity; default 4096.
+	PageBytes int
+	// Seed drives home placement.
+	Seed uint64
+	// WarmupDataRefs excludes each processor's first references from
+	// the metrics: caches warm up, sharing patterns reach steady state,
+	// and the interconnect statistics restart once every processor has
+	// crossed the threshold. The paper's multi-million-reference traces
+	// made cold-start negligible; short calibration runs need this
+	// window. Zero measures everything.
+	WarmupDataRefs int
+	// Clusters is the cluster count for the HierRing protocol
+	// (default 4); the node count must divide evenly.
+	Clusters int
+	// NonBlockingStores enables the weak-ordering latency-tolerance
+	// model of the paper's conclusion (Section 6): stores retire into a
+	// write buffer and the processor keeps executing; only loads and
+	// buffer-full conditions block. The paper argues the slotted ring
+	// can absorb the extra overlap-induced load while a near-saturated
+	// bus cannot — the latency-tolerance ablation tests exactly that.
+	NonBlockingStores bool
+	// WriteBufferDepth bounds outstanding non-blocking stores
+	// (default 8).
+	WriteBufferDepth int
+}
+
+// Metrics aggregates one run's results.
+type Metrics struct {
+	// ExecTime is when the last processor finished its stream.
+	ExecTime sim.Time
+	// BusyTime sums processor compute time across CPUs.
+	BusyTime sim.Time
+	// StallTime sums processor blocked time across CPUs.
+	StallTime sim.Time
+
+	// Reference counts.
+	InstrRefs, DataRefs, SharedRefs uint64
+	Hits                            uint64
+	SharedMisses, PrivateMisses     uint64
+	Upgrades                        uint64
+	// LocalMisses / LocalInvs are transactions satisfied without the
+	// interconnect; WriteBacks are dirty-eviction block transfers.
+	LocalMisses, LocalInvs uint64
+	WriteBacks             uint64
+	// TwoCycleMulticast is the subset of TwoCycle remote misses caused
+	// by a write miss multicasting invalidations (as opposed to a
+	// badly-placed dirty owner); the analytical model prices the two
+	// differently.
+	TwoCycleMulticast uint64
+
+	// TxnCount tallies transactions by class.
+	TxnCount [coherence.NumTxn]uint64
+
+	// MissLatency aggregates the blocking latency of read/write misses
+	// (nanoseconds); InvLatency the latency of invalidations.
+	MissLatency stats.Mean
+	InvLatency  stats.Mean
+
+	// BufferedStores counts store transactions that retired through
+	// the write buffer without stalling (NonBlockingStores mode);
+	// BufferedLatency tracks their completion latencies.
+	BufferedStores  uint64
+	BufferedLatency stats.Mean
+
+	// ClassCount tallies remote misses by directory latency class
+	// (Figure 5).
+	ClassCount map[coherence.MissClass]uint64
+
+	// MissTraversals / InvTraversals are the Table 1 distributions over
+	// transactions that used the ring.
+	MissTraversals *stats.Distribution
+	InvTraversals  *stats.Distribution
+
+	// NetworkUtil is the ring slot (or bus) utilization at completion.
+	NetworkUtil float64
+}
+
+// ProcUtil returns the average processor utilization: busy over
+// busy+stalled (the paper's "fraction of time the processor is busy").
+func (m *Metrics) ProcUtil() float64 {
+	total := m.BusyTime + m.StallTime
+	if total == 0 {
+		return 0
+	}
+	return float64(m.BusyTime) / float64(total)
+}
+
+// SharedMissRate returns measured shared misses per shared reference
+// (upgrades excluded, as in Table 2).
+func (m *Metrics) SharedMissRate() float64 {
+	if m.SharedRefs == 0 {
+		return 0
+	}
+	return float64(m.SharedMisses) / float64(m.SharedRefs)
+}
+
+// TotalMissRate returns measured misses per data reference.
+func (m *Metrics) TotalMissRate() float64 {
+	if m.DataRefs == 0 {
+		return 0
+	}
+	return float64(m.SharedMisses+m.PrivateMisses) / float64(m.DataRefs)
+}
+
+// System is a runnable simulated multiprocessor.
+type System struct {
+	cfg    Config
+	k      *sim.Kernel
+	src    workload.Source
+	engine Engine
+	ring   *ring.Ring
+	bus    *bus.Bus
+	procs  []*proc
+	m      Metrics
+
+	running    int
+	finished   int
+	warmed     int
+	wbBase     uint64
+	blockBytes int
+}
+
+// proc is one blocking processor.
+type proc struct {
+	id         int
+	busy       sim.Time
+	stall      sim.Time
+	done       bool
+	finish     sim.Time
+	dataIssued int
+	warm       bool
+	// Write-buffer state for the non-blocking-stores model. The buffer
+	// coalesces stores to a block already being acquired, as real write
+	// buffers and MSHRs do.
+	pendingStores int
+	pendingBlocks map[uint64]bool
+	// waiters holds accesses merged into an outstanding buffered store
+	// (MSHR semantics): they resume when it completes.
+	waiters  map[uint64][]func()
+	draining bool
+}
+
+// NewSystem builds a system running src under cfg. The node count comes
+// from the workload.
+func NewSystem(cfg Config, src workload.Source) *System {
+	if cfg.ProcCycle == 0 {
+		cfg.ProcCycle = DefaultProcCycle
+	}
+	if cfg.WriteBufferDepth == 0 {
+		cfg.WriteBufferDepth = 8
+	}
+	n := src.NumCPUs()
+	k := sim.NewKernel()
+	s := &System{cfg: cfg, k: k, src: src}
+	s.m.ClassCount = make(map[coherence.MissClass]uint64)
+	s.m.MissTraversals = stats.NewDistribution()
+	s.m.InvTraversals = stats.NewDistribution()
+
+	// Shared pages are placed randomly across homes (the paper's OS
+	// model); private data and code are homed at the issuing node.
+	pageBytes := cfg.PageBytes
+	if pageBytes == 0 {
+		pageBytes = 4096
+	}
+	home := memory.NewHomeMap(n, pageBytes, sim.NewRand(cfg.Seed))
+	home.SetHint(workload.HomeHint)
+
+	switch cfg.Protocol {
+	case SnoopRing, DirectoryRing, SCIRing:
+		rc := cfg.Ring
+		rc.Nodes = n
+		r := ring.New(k, rc)
+		s.ring = r
+		switch cfg.Protocol {
+		case SnoopRing:
+			s.engine = snoop.New(r, snoop.Options{Cache: cfg.Cache, Home: home})
+		case DirectoryRing:
+			s.engine = directory.New(r, directory.Options{Cache: cfg.Cache, Home: home})
+		case SCIRing:
+			s.engine = scilist.New(r, scilist.Options{Cache: cfg.Cache, Home: home})
+		}
+	case SnoopBus:
+		bc := cfg.Bus
+		bc.Nodes = n
+		b := bus.New(k, bc)
+		s.bus = b
+		s.engine = bussnoop.New(b, bussnoop.Options{Cache: cfg.Cache, Home: home})
+	case HierRing:
+		clusters := cfg.Clusters
+		if clusters == 0 {
+			clusters = 4
+		}
+		s.engine = hier.New(k, n, hier.Options{
+			Clusters: clusters,
+			Ring:     cfg.Ring,
+			Cache:    cfg.Cache,
+			Home:     home,
+		})
+	default:
+		panic(fmt.Sprintf("core: unknown protocol %v", cfg.Protocol))
+	}
+
+	s.blockBytes = cfg.Cache.BlockBytes
+	if s.blockBytes == 0 {
+		s.blockBytes = cache.DefaultConfig.BlockBytes
+	}
+	s.procs = make([]*proc, n)
+	for i := range s.procs {
+		s.procs[i] = &proc{
+			id:            i,
+			warm:          cfg.WarmupDataRefs == 0,
+			pendingBlocks: make(map[uint64]bool),
+			waiters:       make(map[uint64][]func()),
+		}
+		if s.procs[i].warm {
+			s.warmed++
+		}
+	}
+	return s
+}
+
+// crossWarmup marks p as measured; when the last processor warms up,
+// the interconnect statistics restart so that utilization figures
+// cover only the steady-state window.
+func (s *System) crossWarmup(p *proc) {
+	p.warm = true
+	p.busy = 0
+	p.stall = 0
+	s.warmed++
+	if s.warmed == len(s.procs) {
+		if s.ring != nil {
+			s.ring.ResetStats()
+		}
+		if s.bus != nil {
+			s.bus.ResetStats()
+		}
+		if rs, ok := s.engine.(interface{ ResetNetStats() }); ok {
+			rs.ResetNetStats()
+		}
+		s.wbBase = s.scrapeWriteBacks()
+	}
+}
+
+// scrapeWriteBacks reads the engine's write-back counter.
+func (s *System) scrapeWriteBacks() uint64 {
+	switch e := s.engine.(type) {
+	case *snoop.Engine:
+		return e.WriteBacks
+	case *directory.Engine:
+		return e.WriteBacks
+	case *scilist.Engine:
+		return e.WriteBacks
+	case *bussnoop.Engine:
+		return e.WriteBacks
+	case *hier.Engine:
+		return e.WriteBacks
+	}
+	return 0
+}
+
+// Kernel returns the simulation kernel (tests and tools).
+func (s *System) Kernel() *sim.Kernel { return s.k }
+
+// EngineImpl returns the protocol engine (tests and tools).
+func (s *System) EngineImpl() Engine { return s.engine }
+
+// Ring returns the slotted ring, or nil for bus systems.
+func (s *System) Ring() *ring.Ring { return s.ring }
+
+// Bus returns the bus, or nil for ring systems.
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// Run executes every processor's stream to completion and returns the
+// metrics.
+func (s *System) Run() *Metrics {
+	s.running = len(s.procs)
+	for _, p := range s.procs {
+		s.advance(p)
+	}
+	s.k.Run()
+	if s.finished != len(s.procs) {
+		panic(fmt.Sprintf("core: %d of %d processors did not finish (deadlock?)",
+			len(s.procs)-s.finished, len(s.procs)))
+	}
+	switch {
+	case s.ring != nil:
+		s.m.NetworkUtil = s.ring.OverallUtilization()
+	case s.bus != nil:
+		s.m.NetworkUtil = s.bus.Utilization()
+	default:
+		if rep, ok := s.engine.(interface{ NetworkUtilization() float64 }); ok {
+			s.m.NetworkUtil = rep.NetworkUtilization()
+		}
+	}
+	s.m.WriteBacks = s.scrapeWriteBacks() - s.wbBase
+	return &s.m
+}
+
+// Metrics returns the metrics collected so far.
+func (s *System) Metrics() *Metrics { return &s.m }
+
+// advance consumes references for p until its next data reference (or
+// stream end), charging one processor cycle per reference, then issues
+// the data access after those compute cycles elapse.
+func (s *System) advance(p *proc) {
+	cyc := s.cfg.ProcCycle
+	var cycles sim.Time
+	for {
+		ref, ok := s.src.Next(p.id)
+		if !ok {
+			p.busy += cycles * cyc
+			s.k.After(cycles*cyc, func() {
+				// The write buffer must drain before the processor can
+				// retire; finishProc fires now or at the last store's
+				// completion.
+				p.draining = true
+				if p.pendingStores == 0 {
+					s.finishProc(p)
+				}
+			})
+			return
+		}
+		cycles++
+		if ref.Op == coherence.Ifetch {
+			if p.warm {
+				s.m.InstrRefs++
+			}
+			continue
+		}
+		// A data reference: the access issues after the accumulated
+		// compute cycles.
+		p.busy += cycles * cyc
+		p.dataIssued++
+		if p.warm {
+			s.m.DataRefs++
+			if ref.Shared {
+				s.m.SharedRefs++
+			}
+		}
+		write := ref.Op == coherence.Store
+		r := ref
+		s.k.After(cycles*cyc, func() {
+			start := s.k.Now()
+			if s.cfg.NonBlockingStores {
+				block := r.Addr &^ uint64(s.blockBytes-1)
+				if p.pendingBlocks[block] && !write && !s.engine.HasBlock(p.id, r.Addr) {
+					// The block's data is absent and already being
+					// acquired by a buffered store: merge into it
+					// (MSHR semantics) rather than duplicating the
+					// miss. A load during an in-flight *upgrade*
+					// bypasses instead — the RS copy is readable under
+					// weak ordering — and falls through to the normal
+					// path, where it simply hits.
+					p.waiters[block] = append(p.waiters[block], func() {
+						if p.warm {
+							s.m.Hits++
+							p.stall += s.k.Now() - start
+						}
+						s.advance(p)
+					})
+					return
+				}
+			}
+			if write && s.cfg.NonBlockingStores && p.pendingStores < s.cfg.WriteBufferDepth {
+				// Weak ordering: the store retires into the write
+				// buffer and the processor continues immediately. A
+				// store to a block already being acquired coalesces
+				// into the pending entry at no cost.
+				block := r.Addr &^ uint64(s.blockBytes-1)
+				if !p.pendingBlocks[block] {
+					p.pendingStores++
+					p.pendingBlocks[block] = true
+					s.engine.Access(p.id, r.Addr, true, func(at sim.Time, res coherence.Result) {
+						s.recordNonBlocking(p, r, at-start, res)
+						p.pendingStores--
+						delete(p.pendingBlocks, block)
+						if ws := p.waiters[block]; len(ws) > 0 {
+							delete(p.waiters, block)
+							for _, w := range ws {
+								w()
+							}
+						}
+						if p.draining && p.pendingStores == 0 {
+							s.finishProc(p)
+						}
+					})
+				}
+				if !p.warm && p.dataIssued >= s.cfg.WarmupDataRefs {
+					s.crossWarmup(p)
+				}
+				s.advance(p)
+				return
+			}
+			s.engine.Access(p.id, r.Addr, write, func(at sim.Time, res coherence.Result) {
+				s.record(p, r, at-start, res)
+				if !p.warm && p.dataIssued >= s.cfg.WarmupDataRefs {
+					s.crossWarmup(p)
+				}
+				s.advance(p)
+			})
+		})
+		return
+	}
+}
+
+// finishProc retires one processor and folds its times into the run
+// totals.
+func (s *System) finishProc(p *proc) {
+	p.done = true
+	p.finish = s.k.Now()
+	s.finished++
+	if p.finish > s.m.ExecTime {
+		s.m.ExecTime = p.finish
+	}
+	s.m.BusyTime += p.busy
+	s.m.StallTime += p.stall
+}
+
+// recordNonBlocking folds a completed buffered store into the metrics:
+// it counts as a transaction but stalls nobody.
+func (s *System) recordNonBlocking(p *proc, r trace.Ref, lat sim.Time, res coherence.Result) {
+	if !p.warm {
+		return
+	}
+	if res.Hit {
+		s.m.Hits++
+		return
+	}
+	s.m.TxnCount[res.Txn]++
+	s.m.BufferedStores++
+	s.m.BufferedLatency.Observe(lat.Nanoseconds())
+	switch res.Txn {
+	case coherence.Invalidation:
+		s.m.Upgrades++
+		if res.Local {
+			s.m.LocalInvs++
+		}
+	default:
+		if r.Shared {
+			s.m.SharedMisses++
+		} else {
+			s.m.PrivateMisses++
+		}
+		if res.Local {
+			s.m.LocalMisses++
+		}
+		if res.Class != coherence.LocalOrHit {
+			s.m.ClassCount[res.Class]++
+		}
+	}
+}
+
+// record folds one completed access into the metrics. Accesses inside
+// a processor's warmup window still stall it (p.stall is zeroed when it
+// crosses the boundary) but are excluded from the aggregates.
+func (s *System) record(p *proc, r trace.Ref, lat sim.Time, res coherence.Result) {
+	if !p.warm {
+		p.stall += lat
+		return
+	}
+	if res.Hit {
+		s.m.Hits++
+		return
+	}
+	p.stall += lat
+	s.m.TxnCount[res.Txn]++
+	switch res.Txn {
+	case coherence.Invalidation:
+		s.m.Upgrades++
+		if res.Local {
+			s.m.LocalInvs++
+		}
+		s.m.InvLatency.Observe(lat.Nanoseconds())
+		if res.Traversals > 0 {
+			s.m.InvTraversals.Observe(res.Traversals)
+		}
+	default:
+		if res.Local {
+			s.m.LocalMisses++
+		}
+		if res.Class == coherence.TwoCycle && res.Txn == coherence.WriteMissClean {
+			s.m.TwoCycleMulticast++
+		}
+		if r.Shared {
+			s.m.SharedMisses++
+		} else {
+			s.m.PrivateMisses++
+		}
+		s.m.MissLatency.Observe(lat.Nanoseconds())
+		if res.Traversals > 0 {
+			s.m.MissTraversals.Observe(res.Traversals)
+		}
+		if res.Class != coherence.LocalOrHit {
+			s.m.ClassCount[res.Class]++
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package directory implements the paper's full-map directory-based
+// protocol for the slotted ring (Section 3.2). Coherence requests are
+// point-to-point probes sent to the block's home node, which holds one
+// presence bit per node and a dirty bit per block. Clean remote misses
+// take exactly one ring traversal (requester → home → requester); when
+// the home is not the owner the request is forwarded to the dirty node,
+// which costs a second traversal unless the dirty node happens to lie
+// on the home → requester arc; write misses and invalidations that find
+// the block cached elsewhere make the home multicast an invalidation
+// around the ring and await its return before responding — one extra
+// traversal. These three latency classes are the paper's Figure 5
+// breakdown, and the traversal counts its Table 1.
+//
+// The home's memory bank serializes all directory processing for its
+// blocks (lookup and data fetch are one 140 ns access), which models
+// directory contention at the home.
+package directory
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// CacheSupplyTime is the dirty owner's cache fetch time for a
+// cache-to-cache transfer (see the snoop package for the rationale).
+const CacheSupplyTime = memory.BankTime
+
+// Options configures an Engine.
+type Options struct {
+	// Cache is the per-node cache geometry (zero: paper defaults).
+	Cache cache.Config
+	// PageBytes is the home-placement granularity; default 4096.
+	PageBytes int
+	// Seed drives the random page-to-home placement.
+	Seed uint64
+	// Home, when non-nil, supplies a pre-built page-to-home placement
+	// (e.g. one with private-data hints); PageBytes and Seed are then
+	// ignored.
+	Home *memory.HomeMap
+}
+
+func (o *Options) fill() {
+	if o.PageBytes == 0 {
+		o.PageBytes = 4096
+	}
+}
+
+// Engine is a full-map directory coherence engine over a slotted ring.
+type Engine struct {
+	k      *sim.Kernel
+	ring   *ring.Ring
+	caches []*cache.Cache
+	banks  []*memory.Bank
+	home   *memory.HomeMap
+	dir    *memory.Directory
+
+	// WriteBacks counts dirty-eviction block messages.
+	WriteBacks uint64
+}
+
+// New returns a directory engine over r.
+func New(r *ring.Ring, opts Options) *Engine {
+	opts.fill()
+	k := r.Kernel()
+	n := r.Geo.Nodes
+	e := &Engine{
+		k:      k,
+		ring:   r,
+		caches: make([]*cache.Cache, n),
+		banks:  make([]*memory.Bank, n),
+		home:   homeMapFor(n, opts),
+		dir:    memory.NewDirectory(),
+	}
+	for i := 0; i < n; i++ {
+		e.caches[i] = cache.New(opts.Cache)
+		e.banks[i] = memory.NewBank(k, "mem")
+	}
+	return e
+}
+
+// Ring returns the underlying slotted ring.
+func (e *Engine) Ring() *ring.Ring { return e.ring }
+
+// Cache returns node's cache.
+func (e *Engine) Cache(node int) *cache.Cache { return e.caches[node] }
+
+// HomeMap returns the page-to-home placement.
+func (e *Engine) HomeMap() *memory.HomeMap { return e.home }
+
+// Directory exposes the shared directory store (tests only).
+func (e *Engine) Directory() *memory.Directory { return e.dir }
+
+// Access performs one data reference for node; done fires at completion.
+func (e *Engine) Access(node int, addr uint64, write bool, done func(at sim.Time, res coherence.Result)) {
+	c := e.caches[node]
+	block := c.BlockAddr(addr)
+	switch c.Lookup(addr, write) {
+	case cache.Hit:
+		done(e.k.Now(), coherence.Result{Hit: true})
+	case cache.MissRead:
+		e.miss(node, block, false, done)
+	case cache.MissWrite:
+		e.miss(node, block, true, done)
+	case cache.Upgrade:
+		e.upgrade(node, block, done)
+	}
+}
+
+// fill installs a block, sending a write-back for any dirty victim.
+func (e *Engine) fill(node int, block uint64, st coherence.State) {
+	if v := e.caches[node].Fill(block, st); v.Valid && v.Dirty {
+		if DebugEvict != nil {
+			DebugEvict(node, block, v.Block)
+		}
+		e.writeBack(node, v.Block)
+	}
+}
+
+// DebugEvict, when non-nil, observes every dirty eviction (filler block
+// and victim). Test-only instrumentation.
+var DebugEvict func(node int, filler, victim uint64)
+
+// writeBack returns a dirty block to its home, off the critical path.
+func (e *Engine) writeBack(node int, block uint64) {
+	e.WriteBacks++
+	h := e.home.Home(block)
+	land := func() {
+		e.banks[h].Access(func() {
+			ln := e.dir.Line(block)
+			ln.RemoveSharer(node) // also clears the dirty bit if owner
+		})
+	}
+	if h == node {
+		land()
+		return
+	}
+	e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) { land() })
+}
+
+// probe sends a point-to-point probe (request, forward, or ack) in the
+// parity slot of block.
+func (e *Engine) probe(src, dst int, block uint64, arrived func(at sim.Time)) {
+	class := e.ring.Geo.ProbeClassFor(block)
+	e.ring.Send(src, dst, class, nil, func(at sim.Time) { arrived(at) })
+}
+
+// multicast sends the home's invalidation sweep: a broadcast probe that
+// invalidates every cached copy except keep's, returning after one full
+// traversal.
+func (e *Engine) multicast(h int, block uint64, keep int, returned func(at sim.Time)) {
+	class := e.ring.Geo.ProbeClassFor(block)
+	e.ring.Send(h, ring.Broadcast, class,
+		func(visited int, at sim.Time) {
+			if visited != keep {
+				e.caches[visited].Invalidate(block)
+			}
+		},
+		func(at sim.Time) { returned(at) })
+}
+
+// traversals converts a total downstream path length into ring
+// traversals (paths always close the loop, so this is exact).
+func (e *Engine) traversals(stages int) int {
+	t := stages / e.ring.Geo.TotalStages
+	if stages%e.ring.Geo.TotalStages != 0 {
+		t++
+	}
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// classify maps a dirty-forward path onto the paper's latency classes.
+func classifyDirty(trav int) coherence.MissClass {
+	if trav == 1 {
+		return coherence.OneCycleDirty
+	}
+	return coherence.TwoCycle
+}
+
+// miss services a read or write miss.
+func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+	h := e.home.Home(block)
+	if h == node {
+		e.localMiss(node, block, write, done)
+		return
+	}
+	// Remote home: request probe to h; all decisions are made at the
+	// home, serialized by its bank.
+	e.probe(node, h, block, func(sim.Time) {
+		e.banks[h].Access(func() {
+			e.atHome(node, h, block, write, done)
+		})
+	})
+}
+
+// localMiss handles a miss whose home is the requesting node.
+func (e *Engine) localMiss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+	e.banks[node].Access(func() {
+		ln := e.dir.Line(block)
+		dirtyRemote := ln.Dirty && ln.Owner != node
+		switch {
+		case dirtyRemote:
+			// Request straight to the dirty node; it supplies the
+			// block directly back: exactly one traversal (n→o→n).
+			o := ln.Owner
+			if write {
+				ln.SetDirty(node)
+			} else {
+				ln.Dirty = false
+				ln.AddSharer(node)
+			}
+			txn := coherence.ReadMissDirty
+			if write {
+				txn = coherence.WriteMissDirty
+			}
+			e.probe(node, o, block, func(sim.Time) {
+				e.ownerSupply(o, node, block, write, func(at sim.Time) {
+					st := coherence.ReadShared
+					if write {
+						st = coherence.WriteExclusive
+					}
+					e.fill(node, block, st)
+					done(at, coherence.Result{Txn: txn, Class: coherence.OneCycleDirty, Traversals: 1})
+				})
+			})
+		case write && ln.NumSharers() > 0 && !(ln.NumSharers() == 1 && ln.HasSharer(node)):
+			// Local write miss, block shared remotely: multicast and
+			// wait for the sweep to return before completing.
+			ln.SetDirty(node)
+			e.multicast(node, block, node, func(at sim.Time) {
+				e.fill(node, block, coherence.WriteExclusive)
+				// Latency-wise this is one traversal plus the local
+				// fetch — the clean-remote-miss class.
+				done(at, coherence.Result{Txn: coherence.WriteMissClean,
+					Class: coherence.OneCycleClean, Traversals: 1})
+			})
+		default:
+			// Purely local.
+			if write {
+				ln.SetDirty(node)
+				e.fill(node, block, coherence.WriteExclusive)
+				done(e.k.Now(), coherence.Result{Txn: coherence.WriteMissClean, Local: true})
+			} else {
+				ln.AddSharer(node)
+				e.fill(node, block, coherence.ReadShared)
+				done(e.k.Now(), coherence.Result{Txn: coherence.ReadMissClean, Local: true})
+			}
+		}
+	})
+}
+
+// atHome runs the home-node directory actions for a remote miss, at the
+// point the home's bank grants the (lookup + fetch) access.
+func (e *Engine) atHome(node, h int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+	g := &e.ring.Geo
+	ln := e.dir.Line(block)
+	dirtyRemote := ln.Dirty && ln.Owner != node && ln.Owner != h
+	if DebugMiss != nil {
+		DebugMiss(block, ln.NumSharers(), ln.Dirty, ln.Owner, node, write)
+	}
+
+	switch {
+	case dirtyRemote:
+		// Forward to the dirty node; it supplies the block to the
+		// requester. One extra traversal unless the owner lies on the
+		// home→requester arc (Figure 2.b).
+		o := ln.Owner
+		total := g.DistStages(node, h) + g.DistStages(h, o) + g.DistStages(o, node)
+		trav := e.traversals(total)
+		txn := coherence.ReadMissDirty
+		if write {
+			txn = coherence.WriteMissDirty
+			ln.SetDirty(node)
+		} else {
+			ln.Dirty = false
+			ln.AddSharer(node)
+		}
+		e.probe(h, o, block, func(sim.Time) {
+			e.ownerSupply(o, node, block, write, func(at sim.Time) {
+				st := coherence.ReadShared
+				if write {
+					st = coherence.WriteExclusive
+				}
+				e.fill(node, block, st)
+				done(at, coherence.Result{Txn: txn, Class: classifyDirty(trav), Traversals: trav})
+			})
+		})
+
+	case write && sharedElsewhere(ln, node, h):
+		// Multicast invalidation, then respond: two traversals total.
+		// The home's own copy (if any) dies too.
+		e.caches[h].Invalidate(block)
+		ln.SetDirty(node)
+		e.multicast(h, block, node, func(sim.Time) {
+			e.sendBlock(h, node, func(at sim.Time) {
+				e.fill(node, block, coherence.WriteExclusive)
+				done(at, coherence.Result{Txn: coherence.WriteMissClean, Class: coherence.TwoCycle, Traversals: 2})
+			})
+		})
+
+	default:
+		// Clean (or home-owned): the home supplies directly. If the
+		// home's own cache holds it WE, it downgrades/invalidates.
+		txn := coherence.ReadMissClean
+		if ln.Dirty && ln.Owner == h {
+			txn = coherence.ReadMissDirty
+			if write {
+				txn = coherence.WriteMissDirty
+			}
+			if write {
+				e.caches[h].Invalidate(block)
+			} else {
+				e.caches[h].Downgrade(block)
+			}
+		} else if write {
+			txn = coherence.WriteMissClean
+			e.caches[h].Invalidate(block)
+		}
+		if write {
+			ln.SetDirty(node)
+		} else {
+			ln.Dirty = false
+			ln.AddSharer(node)
+		}
+		class := coherence.OneCycleClean
+		if txn == coherence.ReadMissDirty || txn == coherence.WriteMissDirty {
+			class = coherence.OneCycleDirty
+		}
+		e.sendBlock(h, node, func(at sim.Time) {
+			st := coherence.ReadShared
+			if write {
+				st = coherence.WriteExclusive
+			}
+			e.fill(node, block, st)
+			done(at, coherence.Result{Txn: txn, Class: class, Traversals: 1})
+		})
+	}
+}
+
+// sharedElsewhere reports whether ln is cached by anyone other than the
+// requester (the home's presence bit counts: its cache copy must be
+// invalidated, though that needs no ring traffic).
+func sharedElsewhere(ln *memory.Line, requester, home int) bool {
+	for _, s := range ln.Sharers() {
+		if s != requester && s != home {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerSupply has the dirty owner fetch the block from its cache,
+// downgrade or invalidate its copy, and ship the data to the requester.
+func (e *Engine) ownerSupply(o, requester int, block uint64, write bool, delivered func(at sim.Time)) {
+	if write {
+		e.caches[o].Invalidate(block)
+	} else {
+		e.caches[o].Downgrade(block)
+	}
+	e.k.After(CacheSupplyTime, func() {
+		e.sendBlock(o, requester, delivered)
+	})
+}
+
+// sendBlock ships one block message src → dst.
+func (e *Engine) sendBlock(src, dst int, delivered func(at sim.Time)) {
+	e.ring.Send(src, dst, ring.BlockSlot, nil, func(at sim.Time) { delivered(at) })
+}
+
+// DebugUpgrade, when non-nil, observes every remote upgrade as the home
+// processes it (block, presence population, home, requester, whether
+// sharers were found). Test-only instrumentation.
+var DebugUpgrade func(block uint64, sharers, home, node int, found bool)
+
+// DebugMiss, when non-nil, observes every remote miss as the home
+// processes it. Test-only instrumentation.
+var DebugMiss func(block uint64, sharers int, dirty bool, owner, node int, write bool)
+
+// upgrade services an invalidation request: the requester holds RS and
+// asks the home for write permission.
+func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.Result)) {
+	h := e.home.Home(block)
+	finish := func(at sim.Time, trav int) {
+		if !e.caches[node].Upgrade(block) {
+			// Invalidated by a racing writer while our request was in
+			// flight; the permission grant still stands per the
+			// directory, so install fresh.
+			e.fill(node, block, coherence.WriteExclusive)
+		}
+		done(at, coherence.Result{Txn: coherence.Invalidation, Traversals: trav, Local: trav == 0})
+	}
+	if h == node {
+		e.banks[h].Access(func() {
+			ln := e.dir.Line(block)
+			if sharedElsewhere(ln, node, node) {
+				ln.SetDirty(node)
+				e.multicast(node, block, node, func(at sim.Time) { finish(at, 1) })
+			} else {
+				ln.SetDirty(node)
+				finish(e.k.Now(), 0)
+			}
+		})
+		return
+	}
+	e.probe(node, h, block, func(sim.Time) {
+		e.banks[h].Access(func() {
+			ln := e.dir.Line(block)
+			if DebugUpgrade != nil {
+				DebugUpgrade(block, ln.NumSharers(), h, node, sharedElsewhere(ln, node, h))
+			}
+			if sharedElsewhere(ln, node, h) {
+				e.caches[h].Invalidate(block)
+				ln.SetDirty(node)
+				e.multicast(h, block, node, func(sim.Time) {
+					e.probe(h, node, block, func(at sim.Time) { finish(at, 2) })
+				})
+			} else {
+				e.caches[h].Invalidate(block)
+				ln.SetDirty(node)
+				e.probe(h, node, block, func(at sim.Time) { finish(at, 1) })
+			}
+		})
+	})
+}
+
+// homeMapFor returns the configured home map, or builds the default
+// seeded-random page placement.
+func homeMapFor(n int, opts Options) *memory.HomeMap {
+	if opts.Home != nil {
+		return opts.Home
+	}
+	return memory.NewHomeMap(n, opts.PageBytes, sim.NewRand(opts.Seed))
+}
+
+// HasBlock reports whether node currently caches the block containing
+// addr in a readable state (RS or WE). The core's write-buffer model
+// uses it to decide whether a load can bypass an outstanding store.
+func (e *Engine) HasBlock(node int, addr uint64) bool {
+	c := e.caches[node]
+	return c.State(c.BlockAddr(addr)) != coherence.Invalid
+}

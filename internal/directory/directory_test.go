@@ -1,0 +1,281 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func testEngine(t *testing.T, nodes int) (*sim.Kernel, *Engine) {
+	t.Helper()
+	k := sim.NewKernel()
+	r := ring.New(k, ring.Config{Nodes: nodes})
+	return k, New(r, Options{Seed: 1})
+}
+
+func access(k *sim.Kernel, e *Engine, node int, addr uint64, write bool) (coherence.Result, sim.Time) {
+	var res coherence.Result
+	var lat sim.Time = -1
+	start := k.Now()
+	e.Access(node, addr, write, func(at sim.Time, r coherence.Result) {
+		res = r
+		lat = at - start
+	})
+	k.Run()
+	if lat < 0 {
+		panic("access never completed")
+	}
+	return res, lat
+}
+
+func TestHit(t *testing.T) {
+	k, e := testEngine(t, 4)
+	e.HomeMap().Place(0x1000, 1)
+	access(k, e, 0, 0x1000, false)
+	res, lat := access(k, e, 0, 0x1000, false)
+	if !res.Hit || lat != 0 {
+		t.Fatalf("res=%+v lat=%v, want immediate hit", res, lat)
+	}
+}
+
+func TestRemoteCleanReadMissIsOneTraversal(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x1000, 5)
+	res, lat := access(k, e, 1, 0x1000, false)
+	if res.Txn != coherence.ReadMissClean || res.Local {
+		t.Fatalf("res = %+v, want remote clean read miss", res)
+	}
+	if res.Class != coherence.OneCycleClean {
+		t.Fatalf("class = %v, want 1-cycle-clean", res.Class)
+	}
+	if res.Traversals != 1 {
+		t.Fatalf("traversals = %d, want 1", res.Traversals)
+	}
+	rtt := e.Ring().Geo.RoundTrip()
+	// One traversal + one bank access + slot waits.
+	if lat < rtt+memory.BankTime || lat > 2*rtt+memory.BankTime+rtt {
+		t.Fatalf("latency %v implausible for a 1-traversal miss", lat)
+	}
+	// Directory now records the sharer.
+	ln := e.Directory().Line(0x1000)
+	if !ln.HasSharer(1) || ln.Dirty {
+		t.Fatalf("directory line wrong after clean read: %+v", ln)
+	}
+}
+
+func TestLocalCleanMissUsesNoRing(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x2000, 3)
+	res, lat := access(k, e, 3, 0x2000, false)
+	if !res.Local || res.Traversals != 0 {
+		t.Fatalf("res = %+v, want local, 0 traversals", res)
+	}
+	if lat != memory.BankTime {
+		t.Fatalf("local miss latency = %v, want 140ns", lat)
+	}
+}
+
+func TestDirtyMissClassDependsOnOwnerPosition(t *testing.T) {
+	// Requester n, home h, owner o: one traversal iff o is on the
+	// h→n arc. With n=0, h=2: owner at 5 (on 2→0 arc) → 1 traversal;
+	// owner at 1 (on 0→2 arc) → 2 traversals.
+	cases := []struct {
+		owner     int
+		wantTrav  int
+		wantClass coherence.MissClass
+	}{
+		{owner: 5, wantTrav: 1, wantClass: coherence.OneCycleDirty},
+		{owner: 1, wantTrav: 2, wantClass: coherence.TwoCycle},
+	}
+	for _, c := range cases {
+		k, e := testEngine(t, 8)
+		e.HomeMap().Place(0x3000, 2)
+		access(k, e, c.owner, 0x3000, true) // make owner dirty
+		res, _ := access(k, e, 0, 0x3000, false)
+		if res.Txn != coherence.ReadMissDirty {
+			t.Fatalf("owner %d: txn = %v, want read-miss-dirty", c.owner, res.Txn)
+		}
+		if res.Traversals != c.wantTrav || res.Class != c.wantClass {
+			t.Fatalf("owner %d: traversals/class = %d/%v, want %d/%v",
+				c.owner, res.Traversals, res.Class, c.wantTrav, c.wantClass)
+		}
+		// The owner downgraded; the reader holds RS; dirty bit clear.
+		if e.Cache(c.owner).State(0x3000) != coherence.ReadShared {
+			t.Fatal("owner did not downgrade")
+		}
+		if e.Cache(0).State(0x3000) != coherence.ReadShared {
+			t.Fatal("reader did not get RS")
+		}
+		if e.Directory().Line(0x3000).Dirty {
+			t.Fatal("dirty bit survived read miss")
+		}
+	}
+}
+
+func TestWriteMissWithSharersIsTwoTraversals(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x4000, 2)
+	access(k, e, 4, 0x4000, false)
+	access(k, e, 6, 0x4000, false)
+	res, _ := access(k, e, 0, 0x4000, true)
+	if res.Txn != coherence.WriteMissClean {
+		t.Fatalf("txn = %v, want write-miss-clean", res.Txn)
+	}
+	if res.Traversals != 2 || res.Class != coherence.TwoCycle {
+		t.Fatalf("traversals/class = %d/%v, want 2/two-cycle", res.Traversals, res.Class)
+	}
+	for _, n := range []int{4, 6} {
+		if e.Cache(n).State(0x4000) != coherence.Invalid {
+			t.Fatalf("sharer %d survived multicast", n)
+		}
+	}
+	ln := e.Directory().Line(0x4000)
+	if !ln.Dirty || ln.Owner != 0 || ln.NumSharers() != 1 {
+		t.Fatalf("directory after write miss: %+v", ln)
+	}
+}
+
+func TestWriteMissNoSharersIsOneTraversal(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x5000, 2)
+	res, _ := access(k, e, 0, 0x5000, true)
+	if res.Traversals != 1 || res.Class != coherence.OneCycleClean {
+		t.Fatalf("traversals/class = %d/%v, want 1/one-cycle-clean", res.Traversals, res.Class)
+	}
+}
+
+func TestUpgradeWithSharersTwoTraversals(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x6000, 2)
+	access(k, e, 0, 0x6000, false)
+	access(k, e, 5, 0x6000, false)
+	res, _ := access(k, e, 0, 0x6000, true) // upgrade, sharer at 5
+	if res.Txn != coherence.Invalidation {
+		t.Fatalf("txn = %v, want invalidation", res.Txn)
+	}
+	if res.Traversals != 2 {
+		t.Fatalf("traversals = %d, want 2 (request + multicast + ack)", res.Traversals)
+	}
+	if e.Cache(5).State(0x6000) != coherence.Invalid {
+		t.Fatal("sharer survived invalidation")
+	}
+	if e.Cache(0).State(0x6000) != coherence.WriteExclusive {
+		t.Fatal("upgrader not WE")
+	}
+}
+
+func TestUpgradeSoleSharerOneTraversal(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x7000, 2)
+	access(k, e, 0, 0x7000, false)
+	res, _ := access(k, e, 0, 0x7000, true)
+	if res.Traversals != 1 {
+		t.Fatalf("traversals = %d, want 1 (request + ack, no multicast)", res.Traversals)
+	}
+}
+
+func TestLocalUpgradeNoSharersIsFree(t *testing.T) {
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x8000, 3)
+	access(k, e, 3, 0x8000, false)
+	res, _ := access(k, e, 3, 0x8000, true)
+	if !res.Local || res.Traversals != 0 {
+		t.Fatalf("res = %+v, want local 0-traversal upgrade", res)
+	}
+	if e.Cache(3).State(0x8000) != coherence.WriteExclusive {
+		t.Fatal("upgrader not WE")
+	}
+}
+
+func TestLocalMissOnRemoteDirtyBlock(t *testing.T) {
+	// Home node misses on its own block while a remote node holds it
+	// dirty: one traversal (home → owner → home).
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0x9000, 2)
+	access(k, e, 6, 0x9000, true)
+	res, _ := access(k, e, 2, 0x9000, false)
+	if res.Txn != coherence.ReadMissDirty || res.Traversals != 1 || res.Class != coherence.OneCycleDirty {
+		t.Fatalf("res = %+v, want 1-traversal dirty read", res)
+	}
+	if e.Cache(6).State(0x9000) != coherence.ReadShared {
+		t.Fatal("owner did not downgrade")
+	}
+}
+
+func TestDirtyEvictionWritesBackAndClearsDirectory(t *testing.T) {
+	k, e := testEngine(t, 4)
+	const a, b = 0x1_0000_0000, 0x1_0002_0000 // same cache set
+	e.HomeMap().Place(a, 1)
+	e.HomeMap().Place(b, 1)
+	access(k, e, 0, a, true)
+	access(k, e, 0, b, false) // evicts dirty a
+	k.Run()                   // let the write-back land
+	if e.WriteBacks != 1 {
+		t.Fatalf("WriteBacks = %d, want 1", e.WriteBacks)
+	}
+	ln := e.Directory().Line(e.Cache(0).BlockAddr(a))
+	if ln.Dirty || ln.HasSharer(0) {
+		t.Fatalf("directory not cleaned by write-back: %+v", ln)
+	}
+	res, _ := access(k, e, 2, a, false)
+	if res.Txn != coherence.ReadMissClean {
+		t.Fatalf("post-write-back read = %+v, want clean miss", res)
+	}
+}
+
+func TestHomeOwnedDirtySupplyCountsAsDirtyMiss(t *testing.T) {
+	// The home's own cache holds the block WE: the request still takes
+	// one traversal, but the transaction is a dirty miss.
+	k, e := testEngine(t, 8)
+	e.HomeMap().Place(0xa000, 2)
+	access(k, e, 2, 0xa000, true) // home takes it WE locally
+	res, _ := access(k, e, 0, 0xa000, false)
+	if res.Txn != coherence.ReadMissDirty || res.Traversals != 1 {
+		t.Fatalf("res = %+v, want 1-traversal dirty read from home cache", res)
+	}
+	if e.Cache(2).State(0xa000) != coherence.ReadShared {
+		t.Fatal("home cache did not downgrade")
+	}
+}
+
+func TestDirectoryStateConsistencyUnderRandomTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	r := ring.New(k, ring.Config{Nodes: 8})
+	e := New(r, Options{Seed: 7})
+	rng := sim.NewRand(123)
+	blocks := []uint64{0x1000, 0x2000, 0x3000, 0x4000, 0x5000}
+	for i := 0; i < 300; i++ {
+		node := rng.Intn(8)
+		blk := blocks[rng.Intn(len(blocks))]
+		write := rng.Bool(0.4)
+		doneCalled := false
+		e.Access(node, blk, write, func(sim.Time, coherence.Result) { doneCalled = true })
+		k.Run()
+		if !doneCalled {
+			t.Fatal("access did not complete")
+		}
+		for _, b := range blocks {
+			ln := e.Directory().Line(b)
+			writers := 0
+			for n := 0; n < 8; n++ {
+				st := e.Cache(n).State(b)
+				if st == coherence.WriteExclusive {
+					writers++
+					if !ln.Dirty || ln.Owner != n {
+						t.Fatalf("block %#x: cache %d WE but directory says dirty=%v owner=%d",
+							b, n, ln.Dirty, ln.Owner)
+					}
+				}
+				if st != coherence.Invalid && !ln.HasSharer(n) {
+					t.Fatalf("block %#x: cache %d holds %v without presence bit", b, n, st)
+				}
+			}
+			if writers > 1 {
+				t.Fatalf("block %#x has %d writers", b, writers)
+			}
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+
+	"repro/internal/core"
+	"repro/internal/hier"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationSlotMix checks the paper's claim that one probe-slot pair per
+// block slot is the right frame mix for the snooping protocol: more
+// probe capacity only pays if probes are the bottleneck, and they are
+// not, because probes and block messages are generated in roughly
+// equal numbers while probes traverse the whole ring and blocks half
+// of it.
+func (r *Runner) AblationSlotMix(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: slot mix (probe pairs per block slot), snooping, %s/%d, 5 ns CPUs", bench, cpus),
+		"pairs", "exec(us)", "probe util", "block util", "miss lat(ns)")
+	for _, pairs := range []int{1, 2, 3} {
+		sys, m := r.runSystem(core.Config{
+			Protocol:  core.SnoopRing,
+			ProcCycle: 5 * sim.Nanosecond,
+			Ring:      ring.Config{ProbePairsPerBlockSlot: pairs},
+		}, bench, cpus)
+		rg := sys.Ring()
+		probeU := (rg.Utilization(ring.ProbeEven) + rg.Utilization(ring.ProbeOdd)) / 2
+		t.AddRow(fmt.Sprintf("%d", pairs),
+			fmt.Sprintf("%.1f", m.ExecTime.Nanoseconds()/1000),
+			fmt.Sprintf("%.3f", probeU),
+			fmt.Sprintf("%.3f", rg.Utilization(ring.BlockSlot)),
+			fmt.Sprintf("%.0f", m.MissLatency.Value()))
+	}
+	return t
+}
+
+// AblationSlotMixExecTimes returns the execution times behind the slot
+// mix ablation, keyed by probe pairs, for programmatic checks.
+func (r *Runner) AblationSlotMixExecTimes(bench string, cpus int) map[int]sim.Time {
+	out := make(map[int]sim.Time)
+	for _, pairs := range []int{1, 2, 3} {
+		_, m := r.runSystem(core.Config{
+			Protocol:  core.SnoopRing,
+			ProcCycle: 5 * sim.Nanosecond,
+			Ring:      ring.Config{ProbePairsPerBlockSlot: pairs},
+		}, bench, cpus)
+		out[pairs] = m.ExecTime
+	}
+	return out
+}
+
+// AblationStarvationRule checks the paper's claim that forbidding a
+// node from immediately reusing a slot it just freed has "no
+// significant impact on system performance".
+func (r *Runner) AblationStarvationRule(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: anti-starvation slot-reuse rule, snooping, %s/%d, 5 ns CPUs", bench, cpus),
+		"rule", "exec(us)", "miss lat(ns)", "deferrals")
+	for _, disable := range []bool{false, true} {
+		sys, m := r.runSystem(core.Config{
+			Protocol:  core.SnoopRing,
+			ProcCycle: 5 * sim.Nanosecond,
+			Ring:      ring.Config{DisableStarvationRule: disable},
+		}, bench, cpus)
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		var defers uint64
+		for c := 0; c < ring.NumSlotClasses; c++ {
+			defers += sys.Ring().StarvationDeferrals(ring.SlotClass(c))
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", m.ExecTime.Nanoseconds()/1000),
+			fmt.Sprintf("%.0f", m.MissLatency.Value()),
+			fmt.Sprintf("%d", defers))
+	}
+	return t
+}
+
+// AblationStarvationRuleExecTimes returns the two execution times
+// (rule on, rule off) for programmatic checks.
+func (r *Runner) AblationStarvationRuleExecTimes(bench string, cpus int) (on, off sim.Time) {
+	_, mOn := r.runSystem(core.Config{
+		Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond,
+	}, bench, cpus)
+	_, mOff := r.runSystem(core.Config{
+		Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond,
+		Ring: ring.Config{DisableStarvationRule: true},
+	}, bench, cpus)
+	return mOn.ExecTime, mOff.ExecTime
+}
+
+// AblationWideRing checks the paper's 64-bit ring remark: utilization
+// never surpasses 50 % and snooping beats the directory protocol in
+// all cases.
+func (r *Runner) AblationWideRing(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: 64-bit parallel ring, %s/%d, 2 ns CPUs", bench, cpus),
+		"protocol", "exec(us)", "ring util", "miss lat(ns)")
+	for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+		_, m := r.runSystem(core.Config{
+			Protocol:  proto,
+			ProcCycle: 2 * sim.Nanosecond,
+			Ring:      ring.Config{WidthBits: 64},
+		}, bench, cpus)
+		t.AddRow(shortProto(proto),
+			fmt.Sprintf("%.1f", m.ExecTime.Nanoseconds()/1000),
+			fmt.Sprintf("%.3f", m.NetworkUtil),
+			fmt.Sprintf("%.0f", m.MissLatency.Value()))
+	}
+	return t
+}
+
+// AblationWideRingData returns (snoop, directory) metrics on the
+// 64-bit ring for programmatic checks.
+func (r *Runner) AblationWideRingData(bench string, cpus int) (snoop, dir *core.Metrics) {
+	_, snoop = r.runSystem(core.Config{
+		Protocol: core.SnoopRing, ProcCycle: 2 * sim.Nanosecond,
+		Ring: ring.Config{WidthBits: 64},
+	}, bench, cpus)
+	_, dir = r.runSystem(core.Config{
+		Protocol: core.DirectoryRing, ProcCycle: 2 * sim.Nanosecond,
+		Ring: ring.Config{WidthBits: 64},
+	}, bench, cpus)
+	return snoop, dir
+}
+
+// runSystem builds and runs one system over the calibrated workload.
+func (r *Runner) runSystem(cfg core.Config, bench string, cpus int) (*core.System, *core.Metrics) {
+	wcfg, warmup := r.workloadFor(bench, cpus)
+	gen := workload.NewGenerator(wcfg)
+	if cfg.WarmupDataRefs == 0 {
+		cfg.WarmupDataRefs = warmup
+	}
+	sys := core.NewSystem(r.sysCfg(cfg), gen)
+	return sys, sys.Run()
+}
+
+// AccessControlResult is one fabric's mean delivery latency under an
+// open-loop probe load.
+type AccessControlResult struct {
+	Fabric    string
+	MeanLatNS float64
+	Delivered int
+}
+
+// AblationAccessControl compares the three ring access-control
+// mechanisms of Section 2 — slotted, register insertion, and token
+// passing — at the fabric level: every node offers point-to-point
+// probe traffic at a fixed rate, and the mean source-to-destination
+// delivery latency is measured. Register insertion wins unloaded,
+// token passing collapses under load (one message in flight), and the
+// slotted ring sits in between with bounded, fair waits.
+func AblationAccessControl(nodes int, interArrival sim.Time, messages int, seed uint64) []AccessControlResult {
+	fabrics := []struct {
+		name  string
+		build func(k *sim.Kernel) ring.Sender
+	}{
+		{"slotted", func(k *sim.Kernel) ring.Sender { return ring.New(k, ring.Config{Nodes: nodes}) }},
+		{"insertion", func(k *sim.Kernel) ring.Sender { return ring.NewInsertionRing(k, ring.Config{Nodes: nodes}) }},
+		{"token", func(k *sim.Kernel) ring.Sender { return ring.NewTokenRing(k, ring.Config{Nodes: nodes}) }},
+	}
+	var out []AccessControlResult
+	for _, f := range fabrics {
+		k := sim.NewKernel()
+		snd := f.build(k)
+		rng := sim.NewRand(seed)
+		var sumLat sim.Time
+		delivered := 0
+		var at sim.Time
+		for i := 0; i < messages; i++ {
+			src := rng.Intn(nodes)
+			dst := (src + 1 + rng.Intn(nodes-1)) % nodes
+			at += sim.Time(rng.Intn(int(2*interArrival) + 1))
+			start := at
+			k.At(at, func() {
+				snd.Send(src, dst, ring.ProbeEven, nil, func(done sim.Time) {
+					sumLat += done - start
+					delivered++
+				})
+			})
+		}
+		k.Run()
+		mean := 0.0
+		if delivered > 0 {
+			mean = (sumLat / sim.Time(delivered)).Nanoseconds()
+		}
+		out = append(out, AccessControlResult{Fabric: f.name, MeanLatNS: mean, Delivered: delivered})
+	}
+	return out
+}
+
+// AblationAccessControlTable renders the access-control comparison at
+// light and heavy load.
+func AblationAccessControlTable(nodes int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: ring access control, %d nodes, point-to-point probes", nodes),
+		"fabric", "light-load lat(ns)", "heavy-load lat(ns)")
+	light := AblationAccessControl(nodes, 2000*sim.Nanosecond, 300, 1)
+	heavy := AblationAccessControl(nodes, 10*sim.Nanosecond, 300, 1)
+	for i := range light {
+		t.AddRow(light[i].Fabric,
+			fmt.Sprintf("%.0f", light[i].MeanLatNS),
+			fmt.Sprintf("%.0f", heavy[i].MeanLatNS))
+	}
+	return t
+}
+
+// LatencyToleranceResult pairs blocking and weak-ordering runs for one
+// interconnect.
+type LatencyToleranceResult struct {
+	Fabric             string
+	BlockingExecUS     float64
+	NonBlockingExecUS  float64
+	SpeedupPct         float64
+	BlockingNetUtil    float64
+	NonBlockingNetUtil float64
+	BufferedStores     uint64
+}
+
+// AblationLatencyTolerance tests the paper's closing argument
+// (Section 6): latency-tolerance techniques such as weak ordering
+// increase interconnect load, so they help on the underutilized
+// slotted ring but are self-defeating on a bus running close to
+// saturation. Stores retire through a write buffer (weak ordering);
+// loads still block.
+func (r *Runner) AblationLatencyTolerance(bench string, cpus int) []LatencyToleranceResult {
+	var out []LatencyToleranceResult
+	for _, fabric := range []core.Protocol{core.SnoopRing, core.SnoopBus} {
+		base := core.Config{Protocol: fabric, ProcCycle: 5 * sim.Nanosecond}
+		_, blocking := r.runSystem(base, bench, cpus)
+		nb := base
+		nb.NonBlockingStores = true
+		_, weak := r.runSystem(nb, bench, cpus)
+		be := blocking.ExecTime.Nanoseconds() / 1000
+		ne := weak.ExecTime.Nanoseconds() / 1000
+		out = append(out, LatencyToleranceResult{
+			Fabric:             shortProto(fabric),
+			BlockingExecUS:     be,
+			NonBlockingExecUS:  ne,
+			SpeedupPct:         100 * (be - ne) / be,
+			BlockingNetUtil:    blocking.NetworkUtil,
+			NonBlockingNetUtil: weak.NetworkUtil,
+			BufferedStores:     weak.BufferedStores,
+		})
+	}
+	return out
+}
+
+// AblationLatencyToleranceTable renders the weak-ordering ablation.
+func (r *Runner) AblationLatencyToleranceTable(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: weak ordering (non-blocking stores), %s/%d, 5 ns CPUs", bench, cpus),
+		"fabric", "exec blocking(us)", "exec weak(us)", "speedup", "net util blocking", "net util weak")
+	for _, row := range r.AblationLatencyTolerance(bench, cpus) {
+		t.AddRow(row.Fabric,
+			fmt.Sprintf("%.1f", row.BlockingExecUS),
+			fmt.Sprintf("%.1f", row.NonBlockingExecUS),
+			fmt.Sprintf("%.1f%%", row.SpeedupPct),
+			fmt.Sprintf("%.3f", row.BlockingNetUtil),
+			fmt.Sprintf("%.3f", row.NonBlockingNetUtil))
+	}
+	return t
+}
+
+// LatencyDecompositionRow splits one system's average miss latency into
+// contention (queueing for slots, arbitration, memory banks) and pure
+// delay (propagation + fixed service).
+type LatencyDecompositionRow struct {
+	Fabric         string
+	MissLatNS      float64
+	ContentionNS   float64
+	ContentionFrac float64
+	NetUtil        float64
+}
+
+// LatencyDecomposition quantifies the paper's Section 6 observation
+// that the slotted ring's large latencies are "not caused by heavy
+// contention but by pure delays" — there is latency to tolerate while
+// the network stays underutilized — whereas a fast-processor bus's
+// latency is mostly queueing. Contention is measured as the mean
+// slot-acquisition (or bus-arbitration) wait per miss.
+func (r *Runner) LatencyDecomposition(bench string, cpus, cycleNS int) []LatencyDecompositionRow {
+	var out []LatencyDecompositionRow
+	cyc := sim.Time(cycleNS) * sim.Nanosecond
+
+	sys, m := r.runSystem(core.Config{Protocol: core.SnoopRing, ProcCycle: cyc}, bench, cpus)
+	rg := sys.Ring()
+	// A snooping miss waits once for a probe slot and once for a block
+	// slot.
+	probeWait := (rg.MeanWait(ring.ProbeEven) + rg.MeanWait(ring.ProbeOdd)) / 2
+	wait := (probeWait + rg.MeanWait(ring.BlockSlot)).Nanoseconds()
+	out = append(out, LatencyDecompositionRow{
+		Fabric:         "ring-500MHz",
+		MissLatNS:      m.MissLatency.Value(),
+		ContentionNS:   wait,
+		ContentionFrac: wait / m.MissLatency.Value(),
+		NetUtil:        m.NetworkUtil,
+	})
+
+	sysB, mb := r.runSystem(core.Config{Protocol: core.SnoopBus, ProcCycle: cyc}, bench, cpus)
+	// A bus miss arbitrates twice: request and response tenures.
+	waitB := (2 * sysB.Bus().MeanArbWait()).Nanoseconds()
+	out = append(out, LatencyDecompositionRow{
+		Fabric:         "bus-50MHz",
+		MissLatNS:      mb.MissLatency.Value(),
+		ContentionNS:   waitB,
+		ContentionFrac: waitB / mb.MissLatency.Value(),
+		NetUtil:        mb.NetworkUtil,
+	})
+	return out
+}
+
+// LatencyDecompositionTable renders the decomposition.
+func (r *Runner) LatencyDecompositionTable(bench string, cpus, cycleNS int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Latency decomposition, %s/%d, %d ns CPUs", bench, cpus, cycleNS),
+		"fabric", "miss lat(ns)", "contention(ns)", "contention frac", "net util")
+	for _, row := range r.LatencyDecomposition(bench, cpus, cycleNS) {
+		t.AddRow(row.Fabric,
+			fmt.Sprintf("%.0f", row.MissLatNS),
+			fmt.Sprintf("%.0f", row.ContentionNS),
+			fmt.Sprintf("%.2f", row.ContentionFrac),
+			fmt.Sprintf("%.3f", row.NetUtil))
+	}
+	return t
+}
+
+// HierarchyResult is one machine's outcome in the hierarchical-ring
+// extension experiment.
+type HierarchyResult struct {
+	Machine     string
+	ExecUS      float64
+	MissLatNS   float64
+	NetUtil     float64
+	GlobalShare float64 // fraction of coherence transactions crossing the global ring
+}
+
+// ExtensionHierarchy evaluates the related-work direction the paper
+// closes with (Hector, KSR1): a two-level hierarchy of slotted rings
+// against the flat ring, on the same workload at two localities. With
+// cluster affinity, most migratory sharing stays inside a cluster and
+// pays only the short local round trip; without it, transactions pay
+// local + global + local.
+func (r *Runner) ExtensionHierarchy(bench string, cpus, clusters int) []HierarchyResult {
+	wcfg, warmup := r.workloadFor(bench, cpus)
+	var out []HierarchyResult
+
+	run := func(machine string, cfg core.Config, w workload.Config) {
+		gen := workload.NewGenerator(w)
+		cfg.WarmupDataRefs = warmup
+		sys := core.NewSystem(r.sysCfg(cfg), gen)
+		m := sys.Run()
+		res := HierarchyResult{
+			Machine:   machine,
+			ExecUS:    m.ExecTime.Nanoseconds() / 1000,
+			MissLatNS: m.MissLatency.Value(),
+			NetUtil:   m.NetworkUtil,
+		}
+		if h, ok := sys.EngineImpl().(*hier.Engine); ok {
+			res.GlobalShare = h.GlobalShare()
+		} else {
+			res.GlobalShare = 1
+		}
+		out = append(out, res)
+	}
+
+	base := core.Config{Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond}
+	run("flat-ring", base, wcfg)
+
+	hcfg := core.Config{Protocol: core.HierRing, ProcCycle: 5 * sim.Nanosecond, Clusters: clusters}
+	w0 := wcfg
+	w0.Clusters = clusters
+	w0.ClusterAffinity = 0
+	run("hier-noaffinity", hcfg, w0)
+
+	w9 := wcfg
+	w9.Clusters = clusters
+	w9.ClusterAffinity = 0.9
+	run("hier-affinity0.9", hcfg, w9)
+	return out
+}
+
+// ExtensionHierarchyTable renders the comparison.
+func (r *Runner) ExtensionHierarchyTable(bench string, cpus, clusters int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: hierarchical rings (%d×%d) vs flat, %s/%d, 5 ns CPUs",
+			clusters, cpus/clusters, bench, cpus),
+		"machine", "exec(us)", "miss lat(ns)", "net util", "global txn share")
+	for _, row := range r.ExtensionHierarchy(bench, cpus, clusters) {
+		t.AddRow(row.Machine,
+			fmt.Sprintf("%.1f", row.ExecUS),
+			fmt.Sprintf("%.0f", row.MissLatNS),
+			fmt.Sprintf("%.3f", row.NetUtil),
+			fmt.Sprintf("%.2f", row.GlobalShare))
+	}
+	return t
+}
+
+// BlockSizeResult is one cache/ring block size's outcome.
+type BlockSizeResult struct {
+	BlockBytes   int
+	ExecUS       float64
+	TotalMissPct float64
+	MissLatNS    float64
+	NetUtil      float64
+	FrameNS      float64 // Table 3's snooping-rate constraint
+}
+
+// AblationBlockSize sweeps the cache/ring block size for the snooping
+// ring. Larger blocks exploit the workload's spatial locality (private
+// and cold data walk sequentially, popular read-mostly blocks coalesce)
+// but stretch the ring frame — each block slot carries more data words,
+// raising both the per-message slot occupancy and Table 3's probe
+// inter-arrival bound on the snooper. The paper fixes 16-byte blocks;
+// the sweep shows the trade it sits on.
+func (r *Runner) AblationBlockSize(bench string, cpus int) []BlockSizeResult {
+	var out []BlockSizeResult
+	for _, bb := range []int{16, 32, 64} {
+		cfg := core.Config{
+			Protocol:  core.SnoopRing,
+			ProcCycle: 5 * sim.Nanosecond,
+			Cache:     cache.Config{SizeBytes: 128 << 10, BlockBytes: bb},
+			Ring:      ring.Config{BlockBytes: bb},
+		}
+		_, m := r.runSystem(cfg, bench, cpus)
+		g := ring.NewGeometry(ring.Config{Nodes: cpus, BlockBytes: bb})
+		out = append(out, BlockSizeResult{
+			BlockBytes:   bb,
+			ExecUS:       m.ExecTime.Nanoseconds() / 1000,
+			TotalMissPct: 100 * m.TotalMissRate(),
+			MissLatNS:    m.MissLatency.Value(),
+			NetUtil:      m.NetworkUtil,
+			FrameNS:      g.FrameTime().Nanoseconds(),
+		})
+	}
+	return out
+}
+
+// AblationBlockSizeTable renders the sweep.
+func (r *Runner) AblationBlockSizeTable(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: cache/ring block size, snooping, %s/%d, 5 ns CPUs", bench, cpus),
+		"block", "exec(us)", "total MR%", "miss lat(ns)", "ring util", "snoop rate(ns)")
+	for _, row := range r.AblationBlockSize(bench, cpus) {
+		t.AddRow(fmt.Sprintf("%dB", row.BlockBytes),
+			fmt.Sprintf("%.1f", row.ExecUS),
+			fmt.Sprintf("%.2f", row.TotalMissPct),
+			fmt.Sprintf("%.0f", row.MissLatNS),
+			fmt.Sprintf("%.3f", row.NetUtil),
+			fmt.Sprintf("%.0f", row.FrameNS))
+	}
+	return t
+}
+
+// MultitaskingResult is one context-switch quantum's outcome.
+type MultitaskingResult struct {
+	QuantumRefs  int // 0 = no switching
+	TotalMissPct float64
+	ExecUS       float64
+	NetUtil      float64
+}
+
+// AblationMultitasking quantifies the multitasking context the paper's
+// abstract frames the study in: context switches bring fresh private
+// working sets that cool the caches, raising the miss rate and hence
+// the interconnect load the ring must carry.
+func (r *Runner) AblationMultitasking(bench string, cpus int) []MultitaskingResult {
+	wcfg, warmup := r.workloadFor(bench, cpus)
+	var out []MultitaskingResult
+	for _, quantum := range []int{0, 5000, 1500} {
+		w := wcfg
+		w.ContextSwitchRefs = quantum
+		gen := workload.NewGenerator(w)
+		m := core.NewSystem(r.sysCfg(core.Config{
+			Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond, WarmupDataRefs: warmup,
+		}), gen).Run()
+		out = append(out, MultitaskingResult{
+			QuantumRefs:  quantum,
+			TotalMissPct: 100 * m.TotalMissRate(),
+			ExecUS:       m.ExecTime.Nanoseconds() / 1000,
+			NetUtil:      m.NetworkUtil,
+		})
+	}
+	return out
+}
+
+// AblationMultitaskingTable renders the quantum sweep.
+func (r *Runner) AblationMultitaskingTable(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: multitasking context switches, snooping ring, %s/%d, 5 ns CPUs", bench, cpus),
+		"quantum(refs)", "total MR%", "exec(us)", "ring util")
+	for _, row := range r.AblationMultitasking(bench, cpus) {
+		q := "none"
+		if row.QuantumRefs > 0 {
+			q = fmt.Sprintf("%d", row.QuantumRefs)
+		}
+		t.AddRow(q,
+			fmt.Sprintf("%.2f", row.TotalMissPct),
+			fmt.Sprintf("%.1f", row.ExecUS),
+			fmt.Sprintf("%.3f", row.NetUtil))
+	}
+	return t
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/bus"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FigurePanels groups the three panels of a Figure 3/4/6 column.
+type FigurePanels struct {
+	ProcUtil    *stats.Figure // processor utilization (%)
+	NetUtil     *stats.Figure // ring/bus utilization (%)
+	MissLatency *stats.Figure // average miss latency (ns)
+}
+
+// sweepCycles is the paper's x axis: processor cycle 1–20 ns.
+func sweepCycles() []sim.Time {
+	var out []sim.Time
+	for ns := 1; ns <= 20; ns++ {
+		out = append(out, sim.Time(ns)*sim.Nanosecond)
+	}
+	return out
+}
+
+// addSweep evaluates a model across the processor-cycle sweep and adds
+// the three series.
+func addSweep(p *FigurePanels, name string, eval func(sim.Time) analytic.Eval) {
+	su := p.ProcUtil.AddSeries(name)
+	sn := p.NetUtil.AddSeries(name)
+	sl := p.MissLatency.AddSeries(name)
+	for _, cyc := range sweepCycles() {
+		ev := eval(cyc)
+		x := cyc.Nanoseconds()
+		su.Add(x, 100*ev.ProcUtil)
+		sn.Add(x, 100*ev.NetworkUtil)
+		sl.Add(x, ev.MissLatencyNS)
+	}
+}
+
+func newPanels(title string) *FigurePanels {
+	return &FigurePanels{
+		ProcUtil:    stats.NewFigure(title+" — processor utilization", "cycle(ns)", "util(%)"),
+		NetUtil:     stats.NewFigure(title+" — network utilization", "cycle(ns)", "util(%)"),
+		MissLatency: stats.NewFigure(title+" — miss latency", "cycle(ns)", "latency(ns)"),
+	}
+}
+
+// Figure3 reproduces "snooping vs directories; 500 MHz 32-bit rings"
+// for one SPLASH benchmark: processor utilization, ring utilization
+// and miss latency vs processor cycle, with one snooping and one
+// directory curve per system size (8, 16, 32).
+func (r *Runner) Figure3(bench string) *FigurePanels {
+	p := newPanels("Figure 3 " + bench)
+	for _, cpus := range splashSizes {
+		for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+			cal, _ := r.Simulate(proto, bench, cpus)
+			model := analytic.NewRingModel(ring.Config{}, cal, proto == core.SnoopRing)
+			label := fmt.Sprintf("%s-%d", shortProto(proto), cpus)
+			addSweep(p, label, model.Evaluate)
+		}
+	}
+	return p
+}
+
+// Figure4 reproduces the same three panels for the 64-processor
+// benchmarks FFT, WEATHER and SIMPLE.
+func (r *Runner) Figure4() *FigurePanels {
+	p := newPanels("Figure 4 FFT/WEATHER/SIMPLE (64 CPUs)")
+	for _, bench := range workload.MITNames() {
+		for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+			cal, _ := r.Simulate(proto, bench, 64)
+			model := analytic.NewRingModel(ring.Config{}, cal, proto == core.SnoopRing)
+			label := fmt.Sprintf("%s-%s", bench, shortProto(proto))
+			addSweep(p, label, model.Evaluate)
+		}
+	}
+	return p
+}
+
+// Figure5Row is one bar of the Figure 5 breakdown.
+type Figure5Row struct {
+	Bench string
+	CPUs  int
+	// Percentages over remote misses.
+	OneCycleClean, OneCycleDirty, TwoCycle float64
+}
+
+// Figure5Data computes the directory-protocol miss breakdown for every
+// benchmark × size.
+func (r *Runner) Figure5Data() []Figure5Row {
+	var rows []Figure5Row
+	add := func(bench string, cpus int) {
+		_, m := r.Simulate(core.DirectoryRing, bench, cpus)
+		c1 := float64(m.ClassCount[coherence.OneCycleClean])
+		d1 := float64(m.ClassCount[coherence.OneCycleDirty])
+		t2 := float64(m.ClassCount[coherence.TwoCycle])
+		tot := c1 + d1 + t2
+		if tot == 0 {
+			tot = 1
+		}
+		rows = append(rows, Figure5Row{
+			Bench: bench, CPUs: cpus,
+			OneCycleClean: 100 * c1 / tot,
+			OneCycleDirty: 100 * d1 / tot,
+			TwoCycle:      100 * t2 / tot,
+		})
+	}
+	for _, bench := range workload.SPLASHNames() {
+		for _, cpus := range splashSizes {
+			add(bench, cpus)
+		}
+	}
+	for _, bench := range workload.MITNames() {
+		add(bench, 64)
+	}
+	return rows
+}
+
+// Figure5 renders the breakdown as a table (the paper draws stacked
+// bars; the numbers are the reproduction target).
+func (r *Runner) Figure5() *stats.Table {
+	t := stats.NewTable(
+		"Figure 5: breakdown of remote misses, directory protocol (%)",
+		"benchmark", "1-cycle-clean", "1-cycle-dirty", "2-cycle")
+	for _, row := range r.Figure5Data() {
+		t.AddRow(benchLabel(row.Bench, row.CPUs),
+			fmt.Sprintf("%.1f", row.OneCycleClean),
+			fmt.Sprintf("%.1f", row.OneCycleDirty),
+			fmt.Sprintf("%.1f", row.TwoCycle))
+	}
+	return t
+}
+
+// Figure6 reproduces "32-bit slotted ring vs 64-bit split transaction
+// bus" for one benchmark at one size: 500/250 MHz rings against
+// 100/50 MHz buses, all under snooping.
+func (r *Runner) Figure6(bench string, cpus int) *FigurePanels {
+	p := newPanels(fmt.Sprintf("Figure 6 %s-%d", bench, cpus))
+	calRing, _ := r.Simulate(core.SnoopRing, bench, cpus)
+	calBus, _ := r.Simulate(core.SnoopBus, bench, cpus)
+	for _, mhz := range []int{500, 250} {
+		model := analytic.NewRingModel(ring.Config{ClockPS: clockForMHz(mhz)}, calRing, true)
+		addSweep(p, fmt.Sprintf("ring-%dMHz", mhz), model.Evaluate)
+	}
+	for _, mhz := range []int{100, 50} {
+		model := analytic.NewBusModel(bus.Config{ClockPS: clockForMHz(mhz)}, calBus)
+		addSweep(p, fmt.Sprintf("bus-%dMHz", mhz), model.Evaluate)
+	}
+	return p
+}
+
+func shortProto(p core.Protocol) string {
+	switch p {
+	case core.SnoopRing:
+		return "snoop"
+	case core.DirectoryRing:
+		return "dir"
+	case core.SCIRing:
+		return "sci"
+	case core.SnoopBus:
+		return "bus"
+	}
+	return p.String()
+}
+
+// Plot renders the three panels as ASCII line charts.
+func (p *FigurePanels) Plot(width, height int) string {
+	return p.ProcUtil.Plot(width, height) + "\n" +
+		p.NetUtil.Plot(width, height) + "\n" +
+		p.MissLatency.Plot(width, height)
+}
+
+// ExtensionHierarchyFigure sweeps processor speed for the flat ring
+// against the cluster hierarchy using the analytical models (the same
+// hybrid methodology as the paper's figures, applied to the extension).
+func (r *Runner) ExtensionHierarchyFigure(bench string, cpus, clusters int) *FigurePanels {
+	p := newPanels(fmt.Sprintf("Extension: flat vs %d×%d hierarchy, %s", clusters, cpus/clusters, bench))
+
+	calFlat, _ := r.Simulate(core.SnoopRing, bench, cpus)
+	flat := analytic.NewRingModel(ring.Config{}, calFlat, true)
+	addSweep(p, "flat", flat.Evaluate)
+
+	// Calibrate the hierarchy with a moderately clustered workload.
+	wcfg, warmup := r.workloadFor(bench, cpus)
+	wcfg.Clusters = clusters
+	wcfg.ClusterAffinity = 0.5
+	gen := workload.NewGenerator(wcfg)
+	m := core.NewSystem(r.sysCfg(core.Config{
+		Protocol: core.HierRing, Clusters: clusters, WarmupDataRefs: warmup,
+	}), gen).Run()
+	hierModel := analytic.NewHierModel(ring.Config{}, analytic.FromMetrics(m, cpus), clusters)
+	addSweep(p, "hier", hierModel.Evaluate)
+	return p
+}

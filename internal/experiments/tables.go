@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Table1 reproduces "Distribution of the number of ring traversals,
+// full directory vs. linked list" for the three 16-processor SPLASH
+// benchmarks: the percentage of misses and invalidations needing 1, 2,
+// and 3-or-more traversals under each directory organization.
+func (r *Runner) Table1() *stats.Table {
+	t := stats.NewTable(
+		"Table 1: ring traversals, full map vs linked list (%)",
+		"benchmark", "txn", "proto", "1", "2", "3+")
+	for _, bench := range workload.SPLASHNames() {
+		for _, proto := range []core.Protocol{core.DirectoryRing, core.SCIRing} {
+			name := "full"
+			if proto == core.SCIRing {
+				name = "l.list"
+			}
+			_, m := r.Simulate(proto, bench, 16)
+			t.AddRow(benchLabel(bench, 16), "miss", name,
+				fmt.Sprintf("%.1f", m.MissTraversals.Percent(1)),
+				fmt.Sprintf("%.1f", m.MissTraversals.Percent(2)),
+				fmt.Sprintf("%.1f", m.MissTraversals.PercentAtLeast(3)))
+			t.AddRow(benchLabel(bench, 16), "inv", name,
+				fmt.Sprintf("%.1f", m.InvTraversals.Percent(1)),
+				fmt.Sprintf("%.1f", m.InvTraversals.Percent(2)),
+				fmt.Sprintf("%.1f", m.InvTraversals.PercentAtLeast(3)))
+		}
+	}
+	return t
+}
+
+// Table1Data returns the traversal distributions behind Table 1 for
+// programmatic checks: percentages for (benchmark, protocol) pairs.
+type Table1Row struct {
+	Bench               string
+	Protocol            core.Protocol
+	Miss1, Miss2, Miss3 float64
+	Inv1, Inv2, Inv3    float64
+}
+
+// Table1Data computes the Table 1 rows.
+func (r *Runner) Table1Data() []Table1Row {
+	var rows []Table1Row
+	for _, bench := range workload.SPLASHNames() {
+		for _, proto := range []core.Protocol{core.DirectoryRing, core.SCIRing} {
+			_, m := r.Simulate(proto, bench, 16)
+			rows = append(rows, Table1Row{
+				Bench:    bench,
+				Protocol: proto,
+				Miss1:    m.MissTraversals.Percent(1),
+				Miss2:    m.MissTraversals.Percent(2),
+				Miss3:    m.MissTraversals.PercentAtLeast(3),
+				Inv1:     m.InvTraversals.Percent(1),
+				Inv2:     m.InvTraversals.Percent(2),
+				Inv3:     m.InvTraversals.PercentAtLeast(3),
+			})
+		}
+	}
+	return rows
+}
+
+// Table2 reproduces the trace-characteristics table: the synthetic
+// workloads' measured statistics next to the paper's targets.
+func (r *Runner) Table2() *stats.Table {
+	t := stats.NewTable(
+		"Table 2: trace characteristics (measured synthetic vs paper target)",
+		"benchmark", "proc", "priv%w", "shared%w", "sharedfrac",
+		"totMR%", "totMR%paper", "shMR%", "shMR%paper")
+	for _, p := range workload.Profiles() {
+		wcfg, _ := r.workloadFor(p.Name, p.CPUs)
+		gen := workload.NewGenerator(wcfg)
+		tr := workload.Materialize(p.Name, gen)
+		s := trace.Measure(tr)
+		_, m := r.Simulate(core.DirectoryRing, p.Name, p.CPUs)
+		t.AddRow(p.Name, fmt.Sprintf("%d", p.CPUs),
+			fmt.Sprintf("%.0f", 100*s.PrivateWriteFrac()),
+			fmt.Sprintf("%.0f", 100*s.SharedWriteFrac()),
+			fmt.Sprintf("%.2f", s.SharedFrac()),
+			fmt.Sprintf("%.2f", 100*m.TotalMissRate()),
+			fmt.Sprintf("%.2f", 100*p.TotalMissRate),
+			fmt.Sprintf("%.2f", 100*m.SharedMissRate()),
+			fmt.Sprintf("%.2f", 100*p.SharedMissRate))
+	}
+	return t
+}
+
+// Table3 reproduces the snooping-rate table: minimum probe
+// inter-arrival time per dual-directory bank for ring widths × block
+// sizes at 500 MHz. This is pure geometry (no simulation).
+func (r *Runner) Table3() *stats.Table {
+	t := stats.NewTable(
+		"Table 3: snooping rate (ns), 500 MHz links, 2-way interleaved dual directory",
+		"block", "16-bit", "32-bit", "64-bit")
+	for _, blockBytes := range []int{16, 32, 64, 128} {
+		row := []string{fmt.Sprintf("%d bytes", blockBytes)}
+		for _, width := range []int{16, 32, 64} {
+			g := ring.NewGeometry(ring.Config{Nodes: 8, WidthBits: width, BlockBytes: blockBytes})
+			row = append(row, fmt.Sprintf("%.0f", g.FrameTime().Nanoseconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table3Value returns one snoop-rate cell for programmatic checks.
+func Table3Value(widthBits, blockBytes int) float64 {
+	g := ring.NewGeometry(ring.Config{Nodes: 8, WidthBits: widthBits, BlockBytes: blockBytes})
+	return g.FrameTime().Nanoseconds()
+}
+
+// Table4 reproduces "bus clock cycle (ns) to match the performance of
+// slotted ring configurations": for each SPLASH benchmark × size and
+// each processor speed, the 64-bit bus cycle that reaches the same
+// processor utilization as the 250 MHz and 500 MHz 32-bit rings under
+// snooping.
+func (r *Runner) Table4() *stats.Table {
+	t := stats.NewTable(
+		"Table 4: bus clock (ns) to match slotted-ring processor utilization",
+		"benchmark",
+		"250MHz/100MIPS", "250MHz/200MIPS", "250MHz/400MIPS",
+		"500MHz/100MIPS", "500MHz/200MIPS", "500MHz/400MIPS")
+	for _, bench := range workload.SPLASHNames() {
+		for _, cpus := range splashSizes {
+			calRing, _ := r.Simulate(core.SnoopRing, bench, cpus)
+			calBus, _ := r.Simulate(core.SnoopBus, bench, cpus)
+			row := []string{benchLabel(bench, cpus)}
+			for _, ringClock := range []int{250, 500} {
+				rc := ring.Config{ClockPS: clockForMHz(ringClock)}
+				model := analytic.NewRingModel(rc, calRing, true)
+				for _, mips := range []int{100, 200, 400} {
+					cyc := procCycleForMIPS(mips)
+					target := model.Evaluate(cyc).ProcUtil
+					ns, ok := analytic.MatchBusClock(bus.Config{}, calBus, cyc, target)
+					cell := fmt.Sprintf("%.1f", ns)
+					if !ok {
+						cell = "<" + cell
+					}
+					row = append(row, cell)
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Table4Cell computes one Table 4 entry: the matching bus clock in ns.
+func (r *Runner) Table4Cell(bench string, cpus, ringMHz, mips int) (float64, bool) {
+	calRing, _ := r.Simulate(core.SnoopRing, bench, cpus)
+	calBus, _ := r.Simulate(core.SnoopBus, bench, cpus)
+	rc := ring.Config{ClockPS: clockForMHz(ringMHz)}
+	cyc := procCycleForMIPS(mips)
+	target := analytic.NewRingModel(rc, calRing, true).Evaluate(cyc).ProcUtil
+	return analytic.MatchBusClock(bus.Config{}, calBus, cyc, target)
+}
+
+// clockForMHz converts a link/bus frequency to a cycle time.
+func clockForMHz(mhz int) sim.Time {
+	return sim.Time(1e6 / float64(mhz)) // picoseconds
+}
+
+// Validation reproduces the paper's model-accuracy claim: analytical
+// predictions within 15 % of simulated latencies and 5 % (absolute) of
+// simulated utilizations, at processor speeds away from the
+// calibration point.
+func (r *Runner) Validation(bench string, cpus int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Model validation, %s/%d (calibrated at 50 MIPS)", bench, cpus),
+		"proto", "cycle(ns)", "Uproc(model)", "Uproc(sim)", "Unet(model)", "Unet(sim)",
+		"lat(model)", "lat(sim)")
+	for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing, core.SnoopBus} {
+		cal, _ := r.Simulate(proto, bench, cpus)
+		for _, cycNS := range []int{5, 10, 20} {
+			cyc := sim.Time(cycNS) * sim.Nanosecond
+			var ev analytic.Eval
+			if proto == core.SnoopBus {
+				ev = analytic.NewBusModel(bus.Config{}, cal).Evaluate(cyc)
+			} else {
+				ev = analytic.NewRingModel(ring.Config{}, cal, proto == core.SnoopRing).Evaluate(cyc)
+			}
+			m := r.SimulateAt(core.Config{Protocol: proto, ProcCycle: cyc}, bench, cpus)
+			t.AddRow(proto.String(), fmt.Sprintf("%d", cycNS),
+				fmt.Sprintf("%.3f", ev.ProcUtil), fmt.Sprintf("%.3f", m.ProcUtil()),
+				fmt.Sprintf("%.3f", ev.NetworkUtil), fmt.Sprintf("%.3f", m.NetworkUtil),
+				fmt.Sprintf("%.0f", ev.MissLatencyNS), fmt.Sprintf("%.0f", m.MissLatency.Value()))
+		}
+	}
+	return t
+}

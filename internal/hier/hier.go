@@ -1,0 +1,502 @@
+// Package hier implements the hierarchical-ring extension the paper
+// points at in its related work (Section 5): machines like Toronto's
+// Hector and the Kendall Square KSR1 build large systems from a
+// two-level hierarchy of unidirectional slotted rings — clusters of
+// processors on fast local rings, joined by inter-ring interfaces
+// (IRIs) on a global ring — with coherence maintained by hierarchical
+// snooping.
+//
+// Requests circulate the local ring first; the IRI, which keeps a
+// summary of which clusters hold copies (the role of the KSR1's
+// ring directory), forwards them onto the global ring only when a
+// remote cluster must participate. Cluster-local sharing therefore
+// pays only the small local round trip, while inter-cluster
+// transactions pay local + global + local — the trade the extension
+// experiment quantifies against the paper's flat 64-node ring.
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// CacheSupplyTime matches the flat engines' remote fetch time.
+const CacheSupplyTime = memory.BankTime
+
+// Options configures a hierarchical engine.
+type Options struct {
+	// Clusters is the number of local rings; the node count must be an
+	// exact multiple.
+	Clusters int
+	// Ring is the physical configuration shared by the local rings and
+	// the global ring (clock, width, block size, slot mix).
+	Ring ring.Config
+	// Cache is the per-node cache geometry (zero: paper defaults).
+	Cache cache.Config
+	// PageBytes is the home-placement granularity; default 4096.
+	PageBytes int
+	// Seed drives random page placement.
+	Seed uint64
+	// Home, when non-nil, supplies a pre-built placement.
+	Home *memory.HomeMap
+}
+
+// hmeta is the home-side and IRI-summary state of one block.
+type hmeta struct {
+	dirty  bool
+	owner  int
+	copies []int // cached copies per cluster (the IRIs' summary)
+}
+
+// Engine is a hierarchical snooping coherence engine.
+type Engine struct {
+	k        *sim.Kernel
+	nodes    int
+	clusters int
+	perClus  int
+	global   *ring.Ring
+	locals   []*ring.Ring
+	caches   []*cache.Cache
+	banks    []*memory.Bank
+	home     *memory.HomeMap
+	meta     map[uint64]*hmeta
+
+	// WriteBacks counts dirty-eviction transfers.
+	WriteBacks uint64
+	// Txns counts coherence transactions (misses and upgrades);
+	// GlobalTxns the subset that crossed the global ring. Both span the
+	// whole run.
+	Txns       uint64
+	GlobalTxns uint64
+}
+
+// New returns a hierarchical engine for nodes processors in
+// opts.Clusters clusters, attached to k.
+func New(k *sim.Kernel, nodes int, opts Options) *Engine {
+	if opts.Clusters <= 1 {
+		panic("hier: need at least two clusters")
+	}
+	if nodes%opts.Clusters != 0 {
+		panic(fmt.Sprintf("hier: %d nodes not divisible into %d clusters", nodes, opts.Clusters))
+	}
+	if opts.PageBytes == 0 {
+		opts.PageBytes = 4096
+	}
+	per := nodes / opts.Clusters
+	e := &Engine{
+		k:        k,
+		nodes:    nodes,
+		clusters: opts.Clusters,
+		perClus:  per,
+		caches:   make([]*cache.Cache, nodes),
+		banks:    make([]*memory.Bank, nodes),
+		meta:     make(map[uint64]*hmeta),
+	}
+	gc := opts.Ring
+	gc.Nodes = opts.Clusters
+	e.global = ring.New(k, gc)
+	e.locals = make([]*ring.Ring, opts.Clusters)
+	for c := range e.locals {
+		lc := opts.Ring
+		lc.Nodes = per + 1 // the extra interface is the IRI
+		e.locals[c] = ring.New(k, lc)
+	}
+	if opts.Home != nil {
+		e.home = opts.Home
+	} else {
+		e.home = memory.NewHomeMap(nodes, opts.PageBytes, sim.NewRand(opts.Seed))
+	}
+	for i := 0; i < nodes; i++ {
+		e.caches[i] = cache.New(opts.Cache)
+		e.banks[i] = memory.NewBank(k, "mem")
+	}
+	return e
+}
+
+// cluster returns node n's cluster; local its position on that ring.
+func (e *Engine) cluster(n int) int { return n / e.perClus }
+func (e *Engine) local(n int) int   { return n % e.perClus }
+
+// iri is the IRI's interface position on every local ring.
+func (e *Engine) iri() int { return e.perClus }
+
+// Clusters returns the cluster count.
+func (e *Engine) Clusters() int { return e.clusters }
+
+// GlobalRing returns the inter-cluster ring.
+func (e *Engine) GlobalRing() *ring.Ring { return e.global }
+
+// LocalRing returns cluster c's ring.
+func (e *Engine) LocalRing(c int) *ring.Ring { return e.locals[c] }
+
+// Cache returns node's cache.
+func (e *Engine) Cache(node int) *cache.Cache { return e.caches[node] }
+
+// HomeMap returns the page placement.
+func (e *Engine) HomeMap() *memory.HomeMap { return e.home }
+
+// NetworkUtilization reports the slot utilization averaged over every
+// ring (local rings and global), weighted by slot count.
+func (e *Engine) NetworkUtilization() float64 {
+	var num, den float64
+	add := func(r *ring.Ring) {
+		n := float64(r.Geo.NumSlots())
+		num += r.OverallUtilization() * n
+		den += n
+	}
+	add(e.global)
+	for _, r := range e.locals {
+		add(r)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ResetNetStats restarts every ring's statistics window.
+func (e *Engine) ResetNetStats() {
+	e.global.ResetStats()
+	for _, r := range e.locals {
+		r.ResetStats()
+	}
+}
+
+// GlobalShare reports the fraction of coherence transactions that
+// crossed the global ring, over the whole run.
+func (e *Engine) GlobalShare() float64 {
+	if e.Txns == 0 {
+		return 0
+	}
+	return float64(e.GlobalTxns) / float64(e.Txns)
+}
+
+// HasBlock implements the core engine probe.
+func (e *Engine) HasBlock(node int, addr uint64) bool {
+	c := e.caches[node]
+	return c.State(c.BlockAddr(addr)) != coherence.Invalid
+}
+
+func (e *Engine) metaFor(block uint64) *hmeta {
+	m := e.meta[block]
+	if m == nil {
+		m = &hmeta{owner: -1, copies: make([]int, e.clusters)}
+		e.meta[block] = m
+	}
+	return m
+}
+
+// remoteCopies reports whether any cluster other than c holds a copy.
+func (m *hmeta) remoteCopies(c int) bool {
+	for i, n := range m.copies {
+		if i != c && n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Access implements the core engine interface.
+func (e *Engine) Access(node int, addr uint64, write bool, done func(at sim.Time, res coherence.Result)) {
+	c := e.caches[node]
+	block := c.BlockAddr(addr)
+	switch c.Lookup(addr, write) {
+	case cache.Hit:
+		done(e.k.Now(), coherence.Result{Hit: true})
+	case cache.MissRead:
+		e.miss(node, block, false, done)
+	case cache.MissWrite:
+		e.miss(node, block, true, done)
+	case cache.Upgrade:
+		e.upgrade(node, block, done)
+	}
+}
+
+// invalidate drops node's copy and maintains the cluster summary.
+func (e *Engine) invalidate(node int, block uint64) {
+	if e.caches[node].Invalidate(block) != coherence.Invalid {
+		m := e.metaFor(block)
+		if c := e.cluster(node); m.copies[c] > 0 {
+			m.copies[c]--
+		}
+	}
+}
+
+// fill installs a block, maintaining the summary and writing back any
+// dirty victim.
+func (e *Engine) fill(node int, block uint64, st coherence.State) {
+	v := e.caches[node].Fill(block, st)
+	e.metaFor(block).copies[e.cluster(node)]++
+	if !v.Valid {
+		return
+	}
+	vm := e.metaFor(v.Block)
+	if c := e.cluster(node); vm.copies[c] > 0 {
+		vm.copies[c]--
+	}
+	if v.Dirty {
+		e.writeBack(node, v.Block)
+	}
+}
+
+// writeBack returns a dirty block to its home, off the critical path.
+func (e *Engine) writeBack(node int, block uint64) {
+	e.WriteBacks++
+	h := e.home.Home(block)
+	land := func(sim.Time) {
+		m := e.metaFor(block)
+		if m.dirty && m.owner == node {
+			m.dirty = false
+		}
+		e.banks[h].Access(nil)
+	}
+	if h == node {
+		land(e.k.Now())
+		return
+	}
+	e.sendBlockPath(node, h, land)
+}
+
+// sendProbePath routes a point-to-point probe from node a to node b
+// through up to three ring legs (local → global → local).
+func (e *Engine) sendProbePath(a, b int, block uint64, arrived func(at sim.Time)) {
+	ca, cb := e.cluster(a), e.cluster(b)
+	class := e.locals[ca].Geo.ProbeClassFor(block)
+	if ca == cb {
+		e.locals[ca].Send(e.local(a), e.local(b), class, nil, func(at sim.Time) { arrived(at) })
+		return
+	}
+	e.locals[ca].Send(e.local(a), e.iri(), class, nil, func(sim.Time) {
+		e.global.Send(ca, cb, class, nil, func(sim.Time) {
+			e.locals[cb].Send(e.iri(), e.local(b), class, nil, func(at sim.Time) { arrived(at) })
+		})
+	})
+}
+
+// sendBlockPath routes a block message likewise.
+func (e *Engine) sendBlockPath(a, b int, delivered func(at sim.Time)) {
+	ca, cb := e.cluster(a), e.cluster(b)
+	if ca == cb {
+		e.locals[ca].Send(e.local(a), e.local(b), ring.BlockSlot, nil, func(at sim.Time) { delivered(at) })
+		return
+	}
+	e.locals[ca].Send(e.local(a), e.iri(), ring.BlockSlot, nil, func(sim.Time) {
+		e.global.Send(ca, cb, ring.BlockSlot, nil, func(sim.Time) {
+			e.locals[cb].Send(e.iri(), e.local(b), ring.BlockSlot, nil, func(at sim.Time) { delivered(at) })
+		})
+	})
+}
+
+// supply fetches the block at the responder (bank at the clean home,
+// cache at a dirty owner) and ships it to the requester.
+func (e *Engine) supply(responder, requester int, fromCache bool, delivered func(at sim.Time)) {
+	send := func() { e.sendBlockPath(responder, requester, delivered) }
+	if fromCache {
+		e.k.After(CacheSupplyTime, send)
+	} else {
+		e.banks[responder].Access(send)
+	}
+}
+
+// DebugGlobal, when non-nil, observes each miss's routing decision.
+// Test-only instrumentation.
+var DebugGlobal func(block uint64, global, remoteResponder, dirty, write bool)
+
+// miss services a read or write miss.
+func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+	m := e.metaFor(block)
+	h := e.home.Home(block)
+	cn := e.cluster(node)
+	dirtyRemote := m.dirty && m.owner != node
+
+	// Pure local: clean block homed here, and (for writes) no copies
+	// anywhere else per the IRI summary.
+	soleCopies := !m.remoteCopies(cn) && m.copies[cn] == 0
+	if h == node && !dirtyRemote && (!write || soleCopies) {
+		e.banks[h].Access(func() {
+			st := coherence.ReadShared
+			if write {
+				st = coherence.WriteExclusive
+				m.dirty = true
+				m.owner = node
+			}
+			e.fill(node, block, st)
+			txn := coherence.ReadMissClean
+			if write {
+				txn = coherence.WriteMissClean
+			}
+			done(e.k.Now(), coherence.Result{Txn: txn, Local: true})
+		})
+		return
+	}
+
+	responder := h
+	if dirtyRemote {
+		responder = m.owner
+	}
+	txn := coherence.ReadMissClean
+	switch {
+	case write && dirtyRemote:
+		txn = coherence.WriteMissDirty
+	case write:
+		txn = coherence.WriteMissClean
+	case dirtyRemote:
+		txn = coherence.ReadMissDirty
+	}
+
+	needGlobal := e.cluster(responder) != cn || (write && m.remoteCopies(cn))
+	trav := 1
+	e.Txns++
+	if needGlobal {
+		trav = 2
+		e.GlobalTxns++
+	}
+	if DebugGlobal != nil {
+		DebugGlobal(block, needGlobal, e.cluster(responder) != cn, dirtyRemote, write)
+	}
+
+	// Join: data arrival plus (for writes) every invalidation sweep.
+	j := newJoin(func(at sim.Time) {
+		st := coherence.ReadShared
+		if write {
+			st = coherence.WriteExclusive
+			m.dirty = true
+			m.owner = node
+		} else if dirtyRemote {
+			m.dirty = false
+		}
+		e.fill(node, block, st)
+		done(at, coherence.Result{Txn: txn, Traversals: trav})
+	})
+
+	if write {
+		e.sweeps(node, block, m, j)
+	}
+
+	// Data path.
+	j.add()
+	if responder == node {
+		// Write miss on a clean block homed here with remote copies:
+		// the data is local, the sweeps do the rest.
+		e.banks[node].Access(func() { j.arrive(e.k.Now()) })
+	} else {
+		e.sendProbePath(node, responder, block, func(sim.Time) {
+			if dirtyRemote {
+				if write {
+					e.invalidate(responder, block)
+				} else {
+					e.caches[responder].Downgrade(block)
+				}
+				e.supply(responder, node, true, func(at sim.Time) { j.arrive(at) })
+			} else {
+				e.supply(responder, node, false, func(at sim.Time) { j.arrive(at) })
+			}
+		})
+	}
+	j.seal()
+}
+
+// sweeps launches the invalidation sweeps a write needs: a broadcast on
+// the requester's local ring, and — when the IRI summary shows copies
+// elsewhere — a global broadcast that injects a sweep into every
+// cluster holding copies.
+func (e *Engine) sweeps(node int, block uint64, m *hmeta, j *join) {
+	cn := e.cluster(node)
+	class := e.locals[cn].Geo.ProbeClassFor(block)
+
+	// Local sweep from the requester.
+	j.add()
+	e.locals[cn].Send(e.local(node), ring.Broadcast, class,
+		func(visited int, _ sim.Time) {
+			if visited < e.perClus { // skip the IRI position
+				e.invalidate(cn*e.perClus+visited, block)
+			}
+		},
+		func(at sim.Time) { j.arrive(at) })
+
+	if !m.remoteCopies(cn) {
+		return
+	}
+	// Global sweep: the IRI forwards the invalidation around the global
+	// ring; each IRI whose cluster holds copies injects a local sweep.
+	j.add()
+	e.locals[cn].Send(e.local(node), e.iri(), class, nil, func(sim.Time) {
+		e.global.Send(cn, ring.Broadcast, class,
+			func(cluster int, _ sim.Time) {
+				if m.copies[cluster] == 0 {
+					return
+				}
+				j.add()
+				e.locals[cluster].Send(e.iri(), ring.Broadcast, class,
+					func(visited int, _ sim.Time) {
+						if visited < e.perClus {
+							e.invalidate(cluster*e.perClus+visited, block)
+						}
+					},
+					func(at sim.Time) { j.arrive(at) })
+			},
+			func(at sim.Time) { j.arrive(at) })
+	})
+}
+
+// upgrade services an invalidation request.
+func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.Result)) {
+	m := e.metaFor(block)
+	cn := e.cluster(node)
+	needGlobal := m.remoteCopies(cn)
+	trav := 1
+	e.Txns++
+	if needGlobal {
+		trav = 2
+		e.GlobalTxns++
+	}
+	j := newJoin(func(at sim.Time) {
+		if !e.caches[node].Upgrade(block) {
+			e.fill(node, block, coherence.WriteExclusive)
+		}
+		m.dirty = true
+		m.owner = node
+		done(at, coherence.Result{Txn: coherence.Invalidation, Traversals: trav})
+	})
+	e.sweeps(node, block, m, j)
+	j.seal()
+}
+
+// join runs a completion callback once every registered event has
+// arrived; seal marks registration complete.
+type join struct {
+	pending int
+	sealed  bool
+	fired   bool
+	latest  sim.Time
+	then    func(at sim.Time)
+}
+
+func newJoin(then func(at sim.Time)) *join { return &join{then: then} }
+
+func (j *join) add() { j.pending++ }
+
+func (j *join) arrive(at sim.Time) {
+	if at > j.latest {
+		j.latest = at
+	}
+	j.pending--
+	j.maybeFire()
+}
+
+func (j *join) seal() {
+	j.sealed = true
+	j.maybeFire()
+}
+
+func (j *join) maybeFire() {
+	if j.sealed && j.pending == 0 && !j.fired {
+		j.fired = true
+		j.then(j.latest)
+	}
+}

@@ -1,0 +1,180 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPaperGeometry8Nodes(t *testing.T) {
+	// Section 4.2: 16-byte blocks, 32-bit ring → frame = 10 stages;
+	// 8 nodes × 3 stages = 24, padded by 6 to 30 stages (3 frames);
+	// round trip 60 ns at 500 MHz.
+	g := NewGeometry(Config{Nodes: 8})
+	if g.ProbeStages != 2 {
+		t.Errorf("ProbeStages = %d, want 2", g.ProbeStages)
+	}
+	if g.BlockStages != 6 {
+		t.Errorf("BlockStages = %d, want 6", g.BlockStages)
+	}
+	if g.FrameStages != 10 {
+		t.Errorf("FrameStages = %d, want 10", g.FrameStages)
+	}
+	if g.Frames != 3 {
+		t.Errorf("Frames = %d, want 3", g.Frames)
+	}
+	if g.TotalStages != 30 {
+		t.Errorf("TotalStages = %d, want 30", g.TotalStages)
+	}
+	if rtt := g.RoundTrip(); rtt != 60*sim.Nanosecond {
+		t.Errorf("RoundTrip = %v, want 60ns", rtt)
+	}
+	if ft := g.FrameTime(); ft != 20*sim.Nanosecond {
+		t.Errorf("FrameTime = %v, want 20ns", ft)
+	}
+	if n := g.NumSlots(); n != 9 {
+		t.Errorf("NumSlots = %d, want 9 (3 frames × 3 slots)", n)
+	}
+	if n := g.SlotsOfClass(BlockSlot); n != 3 {
+		t.Errorf("block slots = %d, want 3", n)
+	}
+	if n := g.SlotsOfClass(ProbeEven); n != 3 {
+		t.Errorf("probe-even slots = %d, want 3", n)
+	}
+}
+
+func TestTable3SnoopRate(t *testing.T) {
+	// Table 3 gives the probe inter-arrival time (= frame time with a
+	// 2-way interleaved dual directory) for 500 MHz links.
+	cases := []struct {
+		width, block int
+		wantNS       float64
+	}{
+		{16, 16, 40}, {32, 16, 20}, {64, 16, 10},
+		{16, 32, 56}, {32, 32, 28}, {64, 32, 14},
+		{16, 64, 88}, {32, 64, 44}, {64, 64, 22},
+		{16, 128, 152}, {32, 128, 76}, {64, 128, 38},
+	}
+	for _, c := range cases {
+		g := NewGeometry(Config{Nodes: 8, WidthBits: c.width, BlockBytes: c.block})
+		if got := g.FrameTime().Nanoseconds(); got != c.wantNS {
+			t.Errorf("width %d block %d: frame time %.0f ns, want %.0f",
+				c.width, c.block, got, c.wantNS)
+		}
+	}
+}
+
+func TestGeometryDefaults(t *testing.T) {
+	g := NewGeometry(Config{Nodes: 16})
+	if g.ClockPS != 2*sim.Nanosecond || g.WidthBits != 32 || g.BlockBytes != 16 || g.StagesPerNode != 3 {
+		t.Fatalf("defaults not applied: %+v", g.Config)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0},
+		{Nodes: 4, WidthBits: 12},
+		{Nodes: 4, WidthBits: 64, BlockBytes: 4}, // 32 bits of data in 64-bit words
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewGeometry(cfg)
+		}()
+	}
+}
+
+func TestSlotLayoutCoversFrame(t *testing.T) {
+	g := NewGeometry(Config{Nodes: 8})
+	// Slots within a frame must tile it: starts 0,2,4 then next frame.
+	wantStarts := []int{0, 2, 4, 10, 12, 14, 20, 22, 24}
+	wantClass := []SlotClass{ProbeEven, ProbeOdd, BlockSlot, ProbeEven, ProbeOdd, BlockSlot, ProbeEven, ProbeOdd, BlockSlot}
+	for i := range wantStarts {
+		if g.slotStart[i] != wantStarts[i] || g.slotClass[i] != wantClass[i] {
+			t.Fatalf("slot %d = (%d,%v), want (%d,%v)",
+				i, g.slotStart[i], g.slotClass[i], wantStarts[i], wantClass[i])
+		}
+	}
+}
+
+func TestSlotMixAblationGeometry(t *testing.T) {
+	// 2 probe pairs per block slot: frame = 4 probes + 1 block.
+	g := NewGeometry(Config{Nodes: 8, ProbePairsPerBlockSlot: 2})
+	if g.FrameStages != 4*2+6 {
+		t.Fatalf("FrameStages = %d, want 14", g.FrameStages)
+	}
+	if g.SlotsOfClass(ProbeEven) != 2*g.Frames {
+		t.Fatalf("probe-even slots = %d, want %d", g.SlotsOfClass(ProbeEven), 2*g.Frames)
+	}
+}
+
+func TestDistAndPropTime(t *testing.T) {
+	g := NewGeometry(Config{Nodes: 8}) // 30 stages
+	if d := g.DistStages(0, 1); d != 3 {
+		t.Errorf("Dist(0,1) = %d, want 3 (30 stages / 8 nodes ≈ 3)", d)
+	}
+	if d := g.DistStages(7, 0); d+g.DistStages(0, 7) != g.TotalStages {
+		t.Errorf("forward+backward distances don't close the ring")
+	}
+	if d := g.DistStages(3, 3); d != 0 {
+		t.Errorf("Dist(3,3) = %d, want 0", d)
+	}
+	if p := g.PropTime(0, 4); p != sim.Time(g.DistStages(0, 4))*g.ClockPS {
+		t.Errorf("PropTime inconsistent with DistStages")
+	}
+}
+
+func TestDistanceClosesRingForAllPairs(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16, 32, 64} {
+		g := NewGeometry(Config{Nodes: n})
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				d := g.DistStages(a, b)
+				if d < 0 || d >= g.TotalStages {
+					t.Fatalf("n=%d Dist(%d,%d) = %d out of range", n, a, b, d)
+				}
+				if a != b && d+g.DistStages(b, a) != g.TotalStages {
+					t.Fatalf("n=%d: Dist(%d,%d)+Dist(%d,%d) != circumference", n, a, b, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestProbeClassParity(t *testing.T) {
+	g := NewGeometry(Config{Nodes: 8})
+	if c := g.ProbeClassFor(0x0); c != ProbeEven {
+		t.Errorf("block 0 class = %v, want probe-even", c)
+	}
+	if c := g.ProbeClassFor(0x10); c != ProbeOdd {
+		t.Errorf("block 0x10 class = %v, want probe-odd", c)
+	}
+	if c := g.ProbeClassFor(0x20); c != ProbeEven {
+		t.Errorf("block 0x20 class = %v, want probe-even", c)
+	}
+}
+
+func TestSlotClassString(t *testing.T) {
+	if ProbeEven.String() != "probe-even" || ProbeOdd.String() != "probe-odd" || BlockSlot.String() != "block" {
+		t.Error("slot class names wrong")
+	}
+}
+
+func Test64NodeGeometry(t *testing.T) {
+	g := NewGeometry(Config{Nodes: 64})
+	if g.TotalStages < 64*3 {
+		t.Fatalf("TotalStages = %d < minimum 192", g.TotalStages)
+	}
+	if g.TotalStages%g.FrameStages != 0 {
+		t.Fatal("ring not a whole number of frames")
+	}
+	// 192/10 → 20 frames → 200 stages → 400 ns round trip.
+	if g.RoundTrip() != 400*sim.Nanosecond {
+		t.Fatalf("64-node RTT = %v, want 400ns", g.RoundTrip())
+	}
+}

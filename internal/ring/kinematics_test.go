@@ -1,0 +1,144 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestPassTimesMatchClosedForm pins the slot kinematics to the closed
+// form: slot i's head passes node n at phase((start_i - pos_n) mod S)
+// plus multiples of the round trip.
+func TestPassTimesMatchClosedForm(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k, Config{Nodes: 8})
+	g := &r.Geo
+	for i := 0; i < g.NumSlots(); i++ {
+		for n := 0; n < g.Nodes; n++ {
+			d := g.NodePos(n) - g.slotStart[i]
+			if d < 0 {
+				d += g.TotalStages
+			}
+			want := sim.Time(d) * g.ClockPS
+			if got := r.nextPass(i, n, 0); got != want {
+				t.Fatalf("slot %d node %d: first pass %v, want %v", i, n, got, want)
+			}
+			// And exactly one round trip later for the second pass.
+			if got := r.nextPass(i, n, want+1); got != want+g.RoundTrip() {
+				t.Fatalf("slot %d node %d: second pass wrong", i, n)
+			}
+		}
+	}
+}
+
+// TestUnloadedWaitBounded checks the structural bound the analytic
+// model's W = I·(1/(1-ρ)-1/2) rests on: with an idle ring, the wait for
+// a slot of any class is below one inter-slot interval of that class.
+func TestUnloadedWaitBounded(t *testing.T) {
+	f := func(nodeRaw, timeRaw uint16, classRaw uint8) bool {
+		k := sim.NewKernel()
+		r := New(k, Config{Nodes: 8})
+		node := int(nodeRaw) % 8
+		class := SlotClass(classRaw % 3)
+		at := sim.Time(timeRaw) * sim.Nanosecond
+		ok := true
+		k.At(at, func() {
+			grab, _ := r.Send(node, (node+3)%8, class, nil, nil)
+			// Interval between usable slots of one class at a node:
+			// frameTime for each of the three classes (one pair + one
+			// block slot per frame).
+			if grab-at >= r.Geo.FrameTime() {
+				ok = false
+			}
+		})
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOccupancyConservation cross-checks the utilization accounting
+// against first principles: N back-to-back point-to-point messages of
+// known distance must produce exactly N·dist·clk of transit time.
+func TestOccupancyConservation(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k, Config{Nodes: 8})
+	g := &r.Geo
+	const msgs = 60
+	var sent int
+	var expected sim.Time
+	var pump func()
+	pump = func() {
+		if sent >= msgs {
+			return
+		}
+		src := sent % 8
+		dst := (src + 1 + sent%6) % 8
+		expected += g.PropTime(src, dst)
+		sent++
+		r.Send(src, dst, BlockSlot, nil, func(sim.Time) { pump() })
+	}
+	k.At(0, func() { pump() })
+	end := k.Run()
+	got := r.Utilization(BlockSlot) * float64(end) * float64(g.SlotsOfClass(BlockSlot))
+	if diff := got - float64(expected); diff < -1 || diff > 1 {
+		t.Fatalf("occupancy integral %v, want %v", got, expected)
+	}
+}
+
+// TestBroadcastSnoopTimesAreExact verifies the UMA property at the
+// timing level: node m snoops a probe exactly dist(src,m) stages after
+// the grab, for every (src, m) pair.
+func TestBroadcastSnoopTimesAreExact(t *testing.T) {
+	for src := 0; src < 8; src++ {
+		k := sim.NewKernel()
+		r := New(k, Config{Nodes: 8})
+		g := &r.Geo
+		var grab sim.Time
+		type visit struct {
+			node int
+			at   sim.Time
+		}
+		var visits []visit
+		s := src
+		k.At(0, func() {
+			grab, _ = r.Send(s, Broadcast, ProbeEven, func(n int, at sim.Time) {
+				visits = append(visits, visit{n, at})
+			}, nil)
+		})
+		k.Run()
+		for _, v := range visits {
+			want := grab + g.PropTime(s, v.node)
+			if v.at != want {
+				t.Fatalf("src %d: node %d snooped at %v, want %v", s, v.node, v.at, want)
+			}
+		}
+	}
+}
+
+// TestSlotReuseAfterRemoval verifies a freed slot is usable by another
+// node at its next pass — freeing is per-pass, not per-round-trip.
+func TestSlotReuseAfterRemoval(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k, Config{Nodes: 2}) // single block slot
+	var rem1, grab2 sim.Time
+	k.At(0, func() {
+		_, rem1 = r.Send(0, 1, BlockSlot, nil, func(sim.Time) {
+			// Node 1 (the remover's successor in traffic terms) sends
+			// next; it must not wait a full extra round trip beyond
+			// the removal.
+			g2, _ := r.Send(1, 0, BlockSlot, nil, nil)
+			grab2 = g2
+		})
+	})
+	k.Run()
+	if grab2 <= rem1-1 {
+		t.Fatalf("second grab %v before first removal %v", grab2, rem1)
+	}
+	if grab2-rem1 > r.Geo.RoundTrip() {
+		t.Fatalf("freed slot unused for over a round trip (%v)", grab2-rem1)
+	}
+}

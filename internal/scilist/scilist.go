@@ -1,0 +1,390 @@
+// Package scilist implements an SCI-style linked-list directory
+// protocol on the slotted ring, used by the paper's Table 1 to argue
+// that a full-map directory dominates the linked-list organization on a
+// ring. Each home keeps only a head pointer; sharers are chained
+// through per-cache forward pointers. A miss is forwarded from the home
+// to the head node, which supplies the data (the home supplies only
+// uncached blocks), so even clean cached misses can take two
+// traversals. Invalidations walk the sharing list node by node; when
+// the list order conflicts with the ring direction, each hop can cost
+// most of a traversal — in the worst case a block shared by n nodes
+// takes n traversals to invalidate.
+//
+// Simplification (documented in DESIGN.md): replacement of an RS copy
+// silently unlinks the node from the sharing list rather than running
+// the SCI rollout handshake; rollout traffic is off the critical path
+// and does not affect the traversal distributions Table 1 reports.
+package scilist
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// CacheSupplyTime is the head node's cache fetch time (see snoop).
+const CacheSupplyTime = memory.BankTime
+
+// Options configures an Engine.
+type Options struct {
+	// Cache is the per-node cache geometry (zero: paper defaults).
+	Cache cache.Config
+	// PageBytes is the home-placement granularity; default 4096.
+	PageBytes int
+	// Seed drives the random page-to-home placement.
+	Seed uint64
+	// Home, when non-nil, supplies a pre-built page-to-home placement
+	// (e.g. one with private-data hints); PageBytes and Seed are then
+	// ignored.
+	Home *memory.HomeMap
+}
+
+func (o *Options) fill() {
+	if o.PageBytes == 0 {
+		o.PageBytes = 4096
+	}
+}
+
+// Engine is a linked-list directory engine over a slotted ring.
+type Engine struct {
+	k      *sim.Kernel
+	ring   *ring.Ring
+	caches []*cache.Cache
+	banks  []*memory.Bank
+	home   *memory.HomeMap
+	dir    *memory.Directory
+
+	// WriteBacks counts dirty-eviction block messages.
+	WriteBacks uint64
+}
+
+// New returns a linked-list engine over r.
+func New(r *ring.Ring, opts Options) *Engine {
+	opts.fill()
+	k := r.Kernel()
+	n := r.Geo.Nodes
+	e := &Engine{
+		k:      k,
+		ring:   r,
+		caches: make([]*cache.Cache, n),
+		banks:  make([]*memory.Bank, n),
+		home:   homeMapFor(n, opts),
+		dir:    memory.NewDirectory(),
+	}
+	for i := 0; i < n; i++ {
+		e.caches[i] = cache.New(opts.Cache)
+		e.banks[i] = memory.NewBank(k, "mem")
+	}
+	return e
+}
+
+// Ring returns the underlying slotted ring.
+func (e *Engine) Ring() *ring.Ring { return e.ring }
+
+// Cache returns node's cache.
+func (e *Engine) Cache(node int) *cache.Cache { return e.caches[node] }
+
+// HomeMap returns the page-to-home placement.
+func (e *Engine) HomeMap() *memory.HomeMap { return e.home }
+
+// Directory exposes the shared directory store (tests only).
+func (e *Engine) Directory() *memory.Directory { return e.dir }
+
+// Access performs one data reference for node; done fires at completion.
+func (e *Engine) Access(node int, addr uint64, write bool, done func(at sim.Time, res coherence.Result)) {
+	c := e.caches[node]
+	block := c.BlockAddr(addr)
+	switch c.Lookup(addr, write) {
+	case cache.Hit:
+		done(e.k.Now(), coherence.Result{Hit: true})
+	case cache.MissRead:
+		e.miss(node, block, false, done)
+	case cache.MissWrite:
+		e.miss(node, block, true, done)
+	case cache.Upgrade:
+		e.upgrade(node, block, done)
+	}
+}
+
+// fill installs a block; dirty victims write back, clean shared victims
+// silently unlink from their sharing list.
+func (e *Engine) fill(node int, block uint64, st coherence.State) {
+	v := e.caches[node].Fill(block, st)
+	if !v.Valid {
+		return
+	}
+	if v.Dirty {
+		e.WriteBacks++
+		h := e.home.Home(v.Block)
+		land := func() {
+			e.banks[h].Access(func() { e.dir.Line(v.Block).RemoveSharer(node) })
+		}
+		if h == node {
+			land()
+		} else {
+			vb := v.Block
+			e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) { _ = vb; land() })
+		}
+	} else {
+		e.dir.Line(v.Block).RemoveSharer(node)
+	}
+}
+
+// probe sends a point-to-point probe in the block's parity slot. A
+// zero-distance hop (the home is itself the list head, or adjacent
+// list members coincide) completes immediately without ring traffic.
+func (e *Engine) probe(src, dst int, block uint64, arrived func(at sim.Time)) {
+	if src == dst {
+		arrived(e.k.Now())
+		return
+	}
+	e.ring.Send(src, dst, e.ring.Geo.ProbeClassFor(block), nil, func(at sim.Time) { arrived(at) })
+}
+
+// sendBlock ships one block message src → dst.
+func (e *Engine) sendBlock(src, dst int, delivered func(at sim.Time)) {
+	e.ring.Send(src, dst, ring.BlockSlot, nil, func(at sim.Time) { delivered(at) })
+}
+
+// traversals converts a serial path length in stages into ring
+// traversals, rounding partial loops up.
+func (e *Engine) traversals(stages int) int {
+	if stages == 0 {
+		return 0
+	}
+	S := e.ring.Geo.TotalStages
+	t := stages / S
+	if stages%S != 0 {
+		t++
+	}
+	return t
+}
+
+// miss services a read or write miss.
+func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+	h := e.home.Home(block)
+	g := &e.ring.Geo
+	afterHome := func(pathToHome int) {
+		e.banks[h].Access(func() {
+			ln := e.dir.Line(block)
+			head := ln.Head
+			wasDirty := ln.Dirty
+
+			if head < 0 || head == node {
+				// Uncached (or our own stale entry): home supplies.
+				txn := coherence.ReadMissClean
+				if write {
+					txn = coherence.WriteMissClean
+					ln.ClearSharers()
+					ln.SetDirty(node)
+				} else {
+					ln.RemoveSharer(node)
+					ln.AddSharer(node)
+				}
+				if h == node {
+					e.fill(node, block, fillState(write))
+					done(e.k.Now(), coherence.Result{Txn: txn, Local: true})
+					return
+				}
+				e.sendBlock(h, node, func(at sim.Time) {
+					e.fill(node, block, fillState(write))
+					trav := e.traversals(pathToHome + g.DistStages(h, node))
+					done(at, coherence.Result{Txn: txn, Traversals: trav, Class: missClass(wasDirty, trav)})
+				})
+				return
+			}
+
+			// Cached: the head services the request.
+			txn := coherence.ReadMissClean
+			if wasDirty {
+				txn = coherence.ReadMissDirty
+			}
+			if write {
+				txn = coherence.WriteMissClean
+				if wasDirty {
+					txn = coherence.WriteMissDirty
+				}
+			}
+			if !write {
+				// Read: requester prepends to the list; a dirty head
+				// downgrades.
+				ln.Dirty = false
+				ln.AddSharer(node)
+				e.probe(h, head, block, func(sim.Time) {
+					e.caches[head].Downgrade(block)
+					e.k.After(CacheSupplyTime, func() {
+						e.sendBlock(head, node, func(at sim.Time) {
+							e.fill(node, block, coherence.ReadShared)
+							total := pathToHome + g.DistStages(h, head) + g.DistStages(head, node)
+							trav := e.traversals(total)
+							done(at, coherence.Result{Txn: txn, Traversals: trav, Class: missClass(wasDirty, trav)})
+						})
+					})
+				})
+				return
+			}
+
+			// Write: the head supplies data while the purge walks the
+			// rest of the list; the miss commits when both are done.
+			members := ln.List() // head first; excludes nobody yet
+			ln.ClearSharers()
+			ln.SetDirty(node)
+			var dataAt, purgeAt sim.Time = -1, -1
+			purgeDist := 0
+			finish := func(at sim.Time) {
+				if dataAt < 0 || purgeAt < 0 {
+					return
+				}
+				e.fill(node, block, coherence.WriteExclusive)
+				total := pathToHome + purgeDist + g.DistStages(members[len(members)-1], node)
+				trav := e.traversals(total)
+				done(at, coherence.Result{Txn: txn, Traversals: trav, Class: missClass(wasDirty, trav)})
+			}
+			e.probe(h, head, block, func(sim.Time) {
+				e.caches[head].Invalidate(block)
+				e.k.After(CacheSupplyTime, func() {
+					e.sendBlock(head, node, func(at sim.Time) {
+						dataAt = at
+						finish(at)
+					})
+				})
+				// Purge the remainder of the list serially.
+				e.walkList(block, members, 0, func(at sim.Time) {
+					purgeAt = at
+					finish(at)
+				})
+			})
+			purgeDist = g.DistStages(h, head) + listDistance(g, members)
+		})
+	}
+	if h == node {
+		afterHome(0)
+		return
+	}
+	e.probe(node, h, block, func(sim.Time) { afterHome(g.DistStages(node, h)) })
+}
+
+// walkList invalidates members[i+1:] one probe hop at a time, starting
+// from members[i]; done fires when the tail's work is complete.
+func (e *Engine) walkList(block uint64, members []int, i int, doneAt func(at sim.Time)) {
+	if i+1 >= len(members) {
+		doneAt(e.k.Now())
+		return
+	}
+	from, to := members[i], members[i+1]
+	e.probe(from, to, block, func(sim.Time) {
+		e.caches[to].Invalidate(block)
+		e.walkList(block, members, i+1, doneAt)
+	})
+}
+
+// listDistance sums the downstream distances along consecutive list
+// members — the serial purge path length.
+func listDistance(g *ring.Geometry, members []int) int {
+	d := 0
+	for i := 0; i+1 < len(members); i++ {
+		d += g.DistStages(members[i], members[i+1])
+	}
+	return d
+}
+
+func fillState(write bool) coherence.State {
+	if write {
+		return coherence.WriteExclusive
+	}
+	return coherence.ReadShared
+}
+
+func missClass(wasDirty bool, trav int) coherence.MissClass {
+	switch {
+	case trav <= 0:
+		return coherence.LocalOrHit
+	case trav == 1 && !wasDirty:
+		return coherence.OneCycleClean
+	case trav == 1:
+		return coherence.OneCycleDirty
+	default:
+		return coherence.TwoCycle
+	}
+}
+
+// upgrade services an invalidation: the requester holds RS and must
+// purge every other list member.
+func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.Result)) {
+	h := e.home.Home(block)
+	g := &e.ring.Geo
+	afterHome := func(pathToHome int) {
+		e.banks[h].Access(func() {
+			ln := e.dir.Line(block)
+			// Other members, in list order.
+			var others []int
+			for _, m := range ln.List() {
+				if m != node {
+					others = append(others, m)
+				}
+			}
+			ln.ClearSharers()
+			ln.SetDirty(node)
+			finish := func(at sim.Time, trav int) {
+				if !e.caches[node].Upgrade(block) {
+					e.fill(node, block, coherence.WriteExclusive)
+				}
+				done(at, coherence.Result{Txn: coherence.Invalidation, Traversals: trav, Local: trav == 0})
+			}
+			if len(others) == 0 {
+				if h == node {
+					finish(e.k.Now(), 0)
+					return
+				}
+				e.probe(h, node, block, func(at sim.Time) {
+					finish(at, e.traversals(pathToHome+g.DistStages(h, node)))
+				})
+				return
+			}
+			// Serial purge: home → first member → ... → tail → ack to
+			// the requester.
+			chain := append([]int{h}, others...)
+			dist := pathToHome + listDistance(g, chain)
+			tail := others[len(others)-1]
+			e.walkChainFromHome(block, chain, func(sim.Time) {
+				if tail == node {
+					finish(e.k.Now(), e.traversals(dist))
+					return
+				}
+				e.probe(tail, node, block, func(at sim.Time) {
+					finish(at, e.traversals(dist+g.DistStages(tail, node)))
+				})
+			})
+		})
+	}
+	if h == node {
+		afterHome(0)
+		return
+	}
+	e.probe(node, h, block, func(sim.Time) { afterHome(g.DistStages(node, h)) })
+}
+
+// walkChainFromHome sends the purge probe down chain (chain[0] is the
+// home, which needs no invalidation).
+func (e *Engine) walkChainFromHome(block uint64, chain []int, doneAt func(at sim.Time)) {
+	e.walkList(block, chain, 0, doneAt)
+}
+
+// homeMapFor returns the configured home map, or builds the default
+// seeded-random page placement.
+func homeMapFor(n int, opts Options) *memory.HomeMap {
+	if opts.Home != nil {
+		return opts.Home
+	}
+	return memory.NewHomeMap(n, opts.PageBytes, sim.NewRand(opts.Seed))
+}
+
+// HasBlock reports whether node currently caches the block containing
+// addr in a readable state (RS or WE). The core's write-buffer model
+// uses it to decide whether a load can bypass an outstanding store.
+func (e *Engine) HasBlock(node int, addr uint64) bool {
+	c := e.caches[node]
+	return c.State(c.BlockAddr(addr)) != coherence.Invalid
+}

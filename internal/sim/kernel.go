@@ -1,0 +1,144 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It plays the role that the CSIM library played in the original paper:
+// a clock, an event calendar, and a handful of queueing primitives. All
+// simulated time is kept in integer picoseconds so that ring clocks
+// (2 ns and 4 ns stages) and arbitrary processor cycle times (1–20 ns)
+// compose without rounding error.
+//
+// The kernel is event-driven rather than process-oriented: model code
+// schedules closures at absolute or relative times. Events scheduled for
+// the same instant fire in scheduling order, which makes runs exactly
+// reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation time in picoseconds.
+type Time int64
+
+// Duration is a span of simulation time in picoseconds.
+type Duration = Time
+
+// Common time units, all expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time with a nanosecond unit, the natural scale of
+// the systems modeled here.
+func (t Time) String() string { return fmt.Sprintf("%.3fns", t.Nanoseconds()) }
+
+// event is a single calendar entry.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Kernel is a discrete-event simulation engine. The zero value is ready
+// to use with the clock at time zero.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired reports how many events have been dispatched so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports how many events are waiting on the calendar.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a model bug, never a recoverable state.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.seq++
+}
+
+// After schedules fn to run d picoseconds from now.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Stop makes the currently executing Run return once the current event
+// handler finishes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events until the calendar is empty or Stop is called.
+// It returns the final simulation time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.events.empty() && !k.stopped {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil dispatches events with timestamps <= limit. Events beyond the
+// limit stay on the calendar; the clock is advanced to limit if the run
+// was not stopped early. It returns the final simulation time.
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.stopped = false
+	for !k.events.empty() && !k.stopped {
+		if k.events.peek().at > limit {
+			k.now = limit
+			return k.now
+		}
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	if !k.stopped && k.now < limit {
+		k.now = limit
+	}
+	return k.now
+}

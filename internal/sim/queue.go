@@ -1,0 +1,124 @@
+package sim
+
+// Resource is a FIFO server with a fixed number of service slots, the
+// moral equivalent of CSIM's facility. Acquire either grants a slot
+// immediately or enqueues the caller; Release hands the freed slot to
+// the oldest waiter. It is used by the memory banks (single-server) and
+// by the bus arbiter's per-node request queues.
+type Resource struct {
+	k        *Kernel
+	name     string
+	servers  int
+	busy     int
+	waiters  []waiter
+	busyArea Time // integral of busy servers over time, for utilization
+	lastMark Time
+	resetAt  Time // start of the current statistics window
+	grants   uint64
+	waitSum  Time
+}
+
+type waiter struct {
+	since Time
+	fn    func()
+}
+
+// NewResource returns a resource with the given number of service slots.
+func NewResource(k *Kernel, name string, servers int) *Resource {
+	if servers <= 0 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{k: k, name: name, servers: servers}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire requests a service slot; fn runs (synchronously if a slot is
+// free, otherwise when one frees up) once the slot is granted.
+func (r *Resource) Acquire(fn func()) {
+	if r.busy < r.servers {
+		r.mark()
+		r.busy++
+		r.grants++
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, waiter{since: r.k.Now(), fn: fn})
+}
+
+// Release frees one service slot. If anyone is waiting, the slot passes
+// directly to the oldest waiter, whose callback runs synchronously.
+func (r *Resource) Release() {
+	if r.busy == 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.grants++
+		r.waitSum += r.k.Now() - w.since
+		w.fn()
+		return
+	}
+	r.mark()
+	r.busy--
+}
+
+// Use acquires a slot, holds it for d, then releases it and runs done.
+func (r *Resource) Use(d Duration, done func()) {
+	r.Acquire(func() {
+		r.k.After(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// QueueLen reports the number of requests waiting for a slot.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Busy reports the number of slots currently in service.
+func (r *Resource) Busy() int { return r.busy }
+
+// Grants reports the total number of slot grants so far.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// MeanWait reports the average time grants spent queued (zero-wait
+// grants included).
+func (r *Resource) MeanWait() Time {
+	if r.grants == 0 {
+		return 0
+	}
+	return r.waitSum / Time(r.grants)
+}
+
+// Utilization reports the time-averaged fraction of slots busy over the
+// current statistics window (since creation or the last ResetStats).
+func (r *Resource) Utilization() float64 {
+	r.mark()
+	window := r.k.Now() - r.resetAt
+	if window == 0 {
+		return 0
+	}
+	return float64(r.busyArea) / float64(Time(r.servers)*window)
+}
+
+func (r *Resource) mark() {
+	now := r.k.Now()
+	r.busyArea += Time(r.busy) * (now - r.lastMark)
+	r.lastMark = now
+}
+
+// ResetStats zeroes the utilization and waiting statistics without
+// disturbing the queue itself; subsequent Utilization figures cover
+// only the window after the reset. Used to exclude warmup transients.
+func (r *Resource) ResetStats() {
+	r.mark()
+	r.busyArea = 0
+	r.grants = 0
+	r.waitSum = 0
+	r.resetAt = r.k.Now()
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "testing"
+
+func TestResourceImmediateGrant(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	granted := false
+	r.Acquire(func() { granted = true })
+	if !granted {
+		t.Fatal("idle resource did not grant immediately")
+	}
+	if r.Busy() != 1 {
+		t.Fatalf("Busy() = %d, want 1", r.Busy())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	var order []int
+	k.At(0, func() {
+		r.Acquire(func() {}) // occupy
+		for i := 1; i <= 3; i++ {
+			i := i
+			r.Acquire(func() { order = append(order, i) })
+		}
+	})
+	k.At(10, func() { r.Release() })
+	k.At(20, func() { r.Release() })
+	k.At(30, func() { r.Release() })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceUseHoldsForDuration(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	var first, second Time = -1, -1
+	k.At(0, func() {
+		r.Use(140*Nanosecond, func() { first = k.Now() })
+		r.Use(140*Nanosecond, func() { second = k.Now() })
+	})
+	k.Run()
+	if first != 140*Nanosecond {
+		t.Fatalf("first completion at %v, want 140ns", first)
+	}
+	if second != 280*Nanosecond {
+		t.Fatalf("second completion at %v, want 280ns (queued behind first)", second)
+	}
+}
+
+func TestResourceMultipleServers(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "banks", 2)
+	var done []Time
+	k.At(0, func() {
+		for i := 0; i < 3; i++ {
+			r.Use(100, func() { done = append(done, k.Now()) })
+		}
+	})
+	k.Run()
+	if len(done) != 3 {
+		t.Fatalf("completions = %d, want 3", len(done))
+	}
+	// Two run in parallel (finish at 100), third queues (finishes at 200).
+	if done[0] != 100 || done[1] != 100 || done[2] != 200 {
+		t.Fatalf("completion times = %v, want [100 100 200]", done)
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	k.At(0, func() { r.Use(50, nil) })
+	k.At(100, func() { k.Stop() })
+	k.Run()
+	u := r.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization() = %v, want 0.5 (busy 50 of 100)", u)
+	}
+}
+
+func TestResourceMeanWait(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	k.At(0, func() {
+		r.Use(100, nil) // grant at 0, no wait
+		r.Use(100, nil) // waits 100
+	})
+	k.Run()
+	if got := r.MeanWait(); got != 50 {
+		t.Fatalf("MeanWait() = %v, want 50 (waits 0 and 100)", got)
+	}
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bank", 1)
+	r.Acquire(func() {})
+	r.Acquire(func() {})
+	r.Acquire(func() {})
+	if r.QueueLen() != 2 {
+		t.Fatalf("QueueLen() = %d, want 2", r.QueueLen())
+	}
+}
+
+func TestResourceZeroServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResource with 0 servers did not panic")
+		}
+	}()
+	NewResource(NewKernel(), "bad", 0)
+}

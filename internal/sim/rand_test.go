@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("zero-seeded stream produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestRandSplitIndependent(t *testing.T) {
+	parent := NewRand(7)
+	a := parent.Split(0)
+	b := parent.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams collided %d/1000 times", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(99)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandFloat64Mean(t *testing.T) {
+	r := NewRand(123)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandBoolExtremes(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(17)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) hit fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(31)
+	const mean = 8.0
+	var sum int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(mean)
+	}
+	got := float64(sum) / n
+	if got < mean*0.95 || got > mean*1.05 {
+		t.Fatalf("Geometric(%v) sample mean = %v", mean, got)
+	}
+}
+
+func TestRandGeometricDegenerate(t *testing.T) {
+	r := NewRand(8)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(0.5); g != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", g)
+		}
+		if g := r.Geometric(1); g != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", g)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(55)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

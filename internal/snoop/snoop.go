@@ -1,0 +1,318 @@
+// Package snoop implements the paper's snooping cache coherence
+// protocol for the unidirectional slotted ring (Section 3.1): a
+// write-invalidate write-back protocol in which miss and invalidation
+// requests are broadcast in probe slots, snooped by every interface as
+// they pass, and acknowledged by the owner — the home memory when the
+// block's dirty bit is clear, the dirty cache otherwise. Probes are
+// removed only by their requester, so no transaction traverses the
+// ring more than once and miss latency is independent of node
+// positions: the ring behaves as a UMA interconnect.
+//
+// Timing simplifications, noted in DESIGN.md: the block supplied by a
+// dirty owner is assumed to update memory without an extra message
+// (home reflection), and responder selection is made at probe insertion
+// time — consistent with the paper's own model, which never charges
+// extra traffic for reflection.
+package snoop
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/memory"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+// CacheSupplyTime is the time for a dirty owner to fetch a block from
+// its cache for a cache-to-cache transfer. The paper lumps "the time to
+// fetch the block in the remote memory or cache" together, so this
+// matches the 140 ns memory bank time.
+const CacheSupplyTime = memory.BankTime
+
+// Options configures an Engine.
+type Options struct {
+	// Cache is the per-node cache geometry (zero: paper defaults).
+	Cache cache.Config
+	// PageBytes is the home-placement granularity; default 4096.
+	PageBytes int
+	// Seed drives the random page-to-home placement.
+	Seed uint64
+	// Home, when non-nil, supplies a pre-built page-to-home placement
+	// (e.g. one with private-data hints); PageBytes and Seed are then
+	// ignored.
+	Home *memory.HomeMap
+}
+
+func (o *Options) fill() {
+	if o.PageBytes == 0 {
+		o.PageBytes = 4096
+	}
+}
+
+// blockMeta is the home-side state of one block: the dirty bit (and
+// owner) kept in main memory by the snooping protocol.
+type blockMeta struct {
+	dirty bool
+	owner int
+}
+
+// Engine is a snooping-protocol coherence engine over a slotted ring.
+type Engine struct {
+	k      *sim.Kernel
+	ring   *ring.Ring
+	caches []*cache.Cache
+	banks  []*memory.Bank
+	home   *memory.HomeMap
+	meta   map[uint64]*blockMeta
+
+	// WriteBacks counts the block messages sent home on dirty
+	// evictions (off the critical path).
+	WriteBacks uint64
+}
+
+// New returns a snooping engine over r.
+func New(r *ring.Ring, opts Options) *Engine {
+	opts.fill()
+	k := r.Kernel()
+	n := r.Geo.Nodes
+	e := &Engine{
+		k:      k,
+		ring:   r,
+		caches: make([]*cache.Cache, n),
+		banks:  make([]*memory.Bank, n),
+		home:   homeMapFor(n, opts),
+		meta:   make(map[uint64]*blockMeta),
+	}
+	for i := 0; i < n; i++ {
+		e.caches[i] = cache.New(opts.Cache)
+		e.banks[i] = memory.NewBank(k, "mem")
+	}
+	return e
+}
+
+// Ring returns the underlying slotted ring (for utilization stats).
+func (e *Engine) Ring() *ring.Ring { return e.ring }
+
+// Cache returns node's cache.
+func (e *Engine) Cache(node int) *cache.Cache { return e.caches[node] }
+
+// HomeMap returns the page-to-home placement.
+func (e *Engine) HomeMap() *memory.HomeMap { return e.home }
+
+func (e *Engine) metaFor(block uint64) *blockMeta {
+	m := e.meta[block]
+	if m == nil {
+		m = &blockMeta{owner: -1}
+		e.meta[block] = m
+	}
+	return m
+}
+
+// Access performs one data reference for node. done fires at completion
+// time with the classification; hits complete synchronously.
+func (e *Engine) Access(node int, addr uint64, write bool, done func(at sim.Time, res coherence.Result)) {
+	c := e.caches[node]
+	block := c.BlockAddr(addr)
+	switch c.Lookup(addr, write) {
+	case cache.Hit:
+		done(e.k.Now(), coherence.Result{Hit: true})
+	case cache.MissRead:
+		e.miss(node, block, false, done)
+	case cache.MissWrite:
+		e.miss(node, block, true, done)
+	case cache.Upgrade:
+		e.upgrade(node, block, done)
+	}
+}
+
+// fill installs a block, sending a write-back for any dirty victim.
+func (e *Engine) fill(node int, block uint64, st coherence.State) {
+	if v := e.caches[node].Fill(block, st); v.Valid && v.Dirty {
+		e.writeBack(node, v.Block)
+	}
+}
+
+// writeBack returns a dirty block to its home memory, off the critical
+// path. The home clears the dirty bit when the block message arrives.
+func (e *Engine) writeBack(node int, block uint64) {
+	e.WriteBacks++
+	m := e.metaFor(block)
+	h := e.home.Home(block)
+	if h == node {
+		// Local write-back: just the bank write.
+		m.dirty = false
+		e.banks[h].Access(nil)
+		return
+	}
+	e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) {
+		mm := e.metaFor(block)
+		if mm.dirty && mm.owner == node {
+			mm.dirty = false
+		}
+		e.banks[h].Access(nil)
+	})
+}
+
+// miss services a read or write miss.
+func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+	m := e.metaFor(block)
+	h := e.home.Home(block)
+	start := e.k.Now()
+
+	// Clean block homed here (or our own stale ownership racing with a
+	// write-back): served from the local bank. A write to a block that
+	// other caches may share still needs the invalidating probe, so
+	// only reads take the pure-local path.
+	dirtyRemote := m.dirty && m.owner != node
+	if h == node && !dirtyRemote && !write {
+		e.banks[h].Access(func() {
+			e.fill(node, block, coherence.ReadShared)
+			done(e.k.Now(), coherence.Result{Txn: coherence.ReadMissClean, Local: true})
+		})
+		return
+	}
+
+	txn := coherence.ReadMissClean
+	if write {
+		txn = coherence.WriteMissClean
+		if dirtyRemote {
+			txn = coherence.WriteMissDirty
+		}
+	} else if dirtyRemote {
+		txn = coherence.ReadMissDirty
+	}
+
+	// Responder chosen at insertion: the dirty owner, else the home.
+	responder := h
+	if dirtyRemote {
+		responder = m.owner
+	}
+
+	// Broadcast the probe. Every interface snoops it as it passes:
+	// a write probe invalidates all copies, a read probe downgrades
+	// the dirty owner.
+	var probeReturn sim.Time
+	blockArrived := sim.Time(-1)
+	finished := false
+	finish := func() {
+		if finished {
+			return
+		}
+		// A write completes when every copy is invalidated (probe back
+		// around) and the data has arrived; a read when data arrives.
+		if blockArrived < 0 {
+			return
+		}
+		if write && e.k.Now() < probeReturn {
+			return
+		}
+		finished = true
+		st := coherence.ReadShared
+		if write {
+			st = coherence.WriteExclusive
+		}
+		e.fill(node, block, st)
+		mm := e.metaFor(block)
+		if write {
+			mm.dirty = true
+			mm.owner = node
+		} else if dirtyRemote {
+			// The owner downgraded and the home copy is refreshed.
+			mm.dirty = false
+		}
+		_ = start
+		done(e.k.Now(), coherence.Result{Txn: txn, Traversals: 1})
+	}
+
+	class := e.ring.Geo.ProbeClassFor(block)
+	supplied := false
+	grab, ret := e.ring.Send(node, ring.Broadcast, class,
+		func(visited int, at sim.Time) {
+			// Snooper actions at probe pass time.
+			if write {
+				e.caches[visited].Invalidate(block)
+			} else if visited == responder && dirtyRemote {
+				e.caches[visited].Downgrade(block)
+			}
+			if visited == responder && !supplied {
+				supplied = true
+				e.respond(responder, node, dirtyRemote, func() {
+					blockArrived = e.k.Now()
+					finish()
+				})
+			}
+		},
+		func(at sim.Time) {
+			// Probe removed by the requester after one traversal.
+			finish()
+		})
+	probeReturn = ret
+	_ = grab
+
+	// A write miss on a clean block homed at the requester: the probe
+	// still sweeps the ring to invalidate sharers, but the data comes
+	// from the local bank, in parallel.
+	if responder == node {
+		supplied = true
+		e.banks[node].Access(func() {
+			blockArrived = e.k.Now()
+			finish()
+		})
+	}
+}
+
+// respond fetches the block at the responder (memory bank when it is
+// the clean home, cache when it is the dirty owner) and ships it to the
+// requester in a block slot.
+func (e *Engine) respond(responder, requester int, fromCache bool, delivered func()) {
+	send := func() {
+		e.ring.Send(responder, requester, ring.BlockSlot, nil, func(sim.Time) {
+			delivered()
+		})
+	}
+	if fromCache {
+		e.k.After(CacheSupplyTime, send)
+	} else {
+		e.banks[responder].Access(send)
+	}
+}
+
+// upgrade services an invalidation request: the requester holds an RS
+// copy and broadcasts a probe; every other copy is invalidated as the
+// probe sweeps, and the write permission is granted when the probe
+// returns — exactly one traversal.
+func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.Result)) {
+	class := e.ring.Geo.ProbeClassFor(block)
+	e.ring.Send(node, ring.Broadcast, class,
+		func(visited int, at sim.Time) {
+			e.caches[visited].Invalidate(block)
+		},
+		func(at sim.Time) {
+			// Our copy may have been invalidated by a racing write; the
+			// transaction then degenerates into a write miss fill.
+			if !e.caches[node].Upgrade(block) {
+				e.fill(node, block, coherence.WriteExclusive)
+			}
+			m := e.metaFor(block)
+			m.dirty = true
+			m.owner = node
+			done(at, coherence.Result{Txn: coherence.Invalidation, Traversals: 1})
+		})
+}
+
+// homeMapFor returns the configured home map, or builds the default
+// seeded-random page placement.
+func homeMapFor(n int, opts Options) *memory.HomeMap {
+	if opts.Home != nil {
+		return opts.Home
+	}
+	return memory.NewHomeMap(n, opts.PageBytes, sim.NewRand(opts.Seed))
+}
+
+// HasBlock reports whether node currently caches the block containing
+// addr in a readable state (RS or WE). The core's write-buffer model
+// uses it to decide whether a load can bypass an outstanding store.
+func (e *Engine) HasBlock(node int, addr uint64) bool {
+	c := e.caches[node]
+	return c.State(c.BlockAddr(addr)) != coherence.Invalid
+}

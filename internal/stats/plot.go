@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as an ASCII line chart — the closest a text
+// harness gets to the paper's actual figures. Each series draws with
+// its own glyph; the legend maps glyphs to series names. Width and
+// height are the plot-area size in characters (sensible minimums are
+// enforced).
+func (f *Figure) Plot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(f.Series) == 0 {
+		return f.Title + "\n(no series)\n"
+	}
+
+	// Domain and range over all series.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return f.Title + "\n(empty series)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom keeps curves off the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+
+	plotCell := func(x, y float64) (col, row int, ok bool) {
+		col = int((x - xmin) / (xmax - xmin) * float64(width-1))
+		row = height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return 0, 0, false
+		}
+		return col, row, true
+	}
+
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		// Sample every column so interpolated segments draw through.
+		for col := 0; col < width; col++ {
+			x := xmin + (xmax-xmin)*float64(col)/float64(width-1)
+			if x < s.X[0] || x > s.X[len(s.X)-1] {
+				continue
+			}
+			y := s.At(x)
+			if c, r, ok := plotCell(x, y); ok {
+				grid[r][c] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		b.WriteString(f.Title)
+		b.WriteByte('\n')
+	}
+	yLabelW := 9
+	for r := 0; r < height; r++ {
+		// Label the top, middle and bottom rows.
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*.4g |", yLabelW, ymax)
+		case height / 2:
+			fmt.Fprintf(&b, "%*.4g |", yLabelW, (ymax+ymin)/2)
+		case height - 1:
+			fmt.Fprintf(&b, "%*.4g |", yLabelW, ymin)
+		default:
+			fmt.Fprintf(&b, "%*s |", yLabelW, "")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*.4g%*.4g\n", yLabelW, "", width/2, xmin, width-width/2, xmax)
+	fmt.Fprintf(&b, "%*s  x: %s, y: %s\n", yLabelW, "", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", yLabelW, "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFigure() *Figure {
+	f := NewFigure("Test figure", "cycle(ns)", "util(%)")
+	up := f.AddSeries("rising")
+	down := f.AddSeries("falling")
+	for x := 1.0; x <= 20; x++ {
+		up.Add(x, x*4)
+		down.Add(x, 100-x*4)
+	}
+	return f
+}
+
+func TestPlotContainsFrameAndLegend(t *testing.T) {
+	out := plotFigure().Plot(40, 10)
+	for _, want := range []string{"Test figure", "rising", "falling", "cycle(ns)", "util(%)", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both series glyphs appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+ ") {
+		t.Fatalf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestPlotOrientation(t *testing.T) {
+	// The rising series must appear lower-left to upper-right: its
+	// glyph '*' should be on a lower row at the left edge than at the
+	// right edge.
+	out := plotFigure().Plot(40, 12)
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l[strings.Index(l, "|")+1:])
+		}
+	}
+	firstStarRowLeft, firstStarRowRight := -1, -1
+	for r, l := range plotLines {
+		if len(l) == 0 {
+			continue
+		}
+		if idx := strings.IndexByte(l, '*'); idx >= 0 && idx < 8 && firstStarRowLeft == -1 {
+			firstStarRowLeft = r
+		}
+		if idx := strings.LastIndexByte(l, '*'); idx >= len(l)-8 && firstStarRowRight == -1 {
+			firstStarRowRight = r
+		}
+	}
+	if firstStarRowLeft == -1 || firstStarRowRight == -1 {
+		t.Fatalf("rising series not found at both edges:\n%s", out)
+	}
+	if firstStarRowRight >= firstStarRowLeft {
+		t.Fatalf("rising series not rising (left row %d, right row %d):\n%s",
+			firstStarRowLeft, firstStarRowRight, out)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	empty := NewFigure("empty", "x", "y")
+	if out := empty.Plot(40, 10); !strings.Contains(out, "no series") {
+		t.Fatalf("empty figure plot = %q", out)
+	}
+	flat := NewFigure("flat", "x", "y")
+	s := flat.AddSeries("const")
+	s.Add(0, 5)
+	s.Add(10, 5)
+	out := flat.Plot(40, 10) // constant series must not divide by zero
+	if !strings.Contains(out, "const") {
+		t.Fatalf("flat plot missing legend:\n%s", out)
+	}
+	single := NewFigure("single", "x", "y")
+	p := single.AddSeries("pt")
+	p.Add(3, 7)
+	_ = single.Plot(40, 10) // single point must not panic
+}
+
+func TestPlotEnforcesMinimumSize(t *testing.T) {
+	out := plotFigure().Plot(1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatalf("minimum size not enforced:\n%s", out)
+	}
+}

@@ -1,0 +1,360 @@
+// Package stats provides the measurement primitives shared by the
+// simulators and experiment drivers: counters, running means,
+// histograms, time-weighted utilization trackers, and the ASCII table
+// and series renderers the benches use to print paper-style output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple named event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Count returns the current value.
+func (c *Counter) Count() uint64 { return c.n }
+
+// Mean accumulates a running arithmetic mean with min/max.
+type Mean struct {
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(v float64) {
+	if m.n == 0 || v < m.min {
+		m.min = v
+	}
+	if m.n == 0 || v > m.max {
+		m.max = v
+	}
+	m.n++
+	m.sum += v
+}
+
+// N returns the number of samples.
+func (m *Mean) N() uint64 { return m.n }
+
+// Sum returns the sum of all samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Value returns the mean, or zero with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Min returns the smallest sample, or zero with no samples.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest sample, or zero with no samples.
+func (m *Mean) Max() float64 { return m.max }
+
+// Histogram counts samples in fixed-width bins over [lo, hi); samples
+// outside the range land in saturating end bins.
+type Histogram struct {
+	lo, hi float64
+	bins   []uint64
+	n      uint64
+	sum    float64
+}
+
+// NewHistogram returns a histogram with the given range and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, bins)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	i := int(float64(len(h.bins)) * (v - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the mean of all samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) assuming
+// samples are uniform within a bin.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum float64
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Distribution tallies discrete outcomes (e.g. "misses needing k ring
+// traversals") and reports percentage shares.
+type Distribution struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewDistribution returns an empty discrete distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{counts: make(map[int]uint64)}
+}
+
+// Observe tallies one outcome.
+func (d *Distribution) Observe(outcome int) {
+	d.counts[outcome]++
+	d.total++
+}
+
+// N returns the number of observations.
+func (d *Distribution) N() uint64 { return d.total }
+
+// Count returns the tally for one outcome.
+func (d *Distribution) Count(outcome int) uint64 { return d.counts[outcome] }
+
+// Percent returns the share of observations with the given outcome, in
+// percent.
+func (d *Distribution) Percent(outcome int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return 100 * float64(d.counts[outcome]) / float64(d.total)
+}
+
+// PercentAtLeast returns the share of observations with outcome >= k.
+func (d *Distribution) PercentAtLeast(k int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	var n uint64
+	for o, c := range d.counts {
+		if o >= k {
+			n += c
+		}
+	}
+	return 100 * float64(n) / float64(d.total)
+}
+
+// Outcomes returns the observed outcomes in ascending order.
+func (d *Distribution) Outcomes() []int {
+	out := make([]int, 0, len(d.counts))
+	for o := range d.counts {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RelErr returns |a-b| / max(|b|, eps), the relative error of a against
+// reference b, used for model-vs-simulation validation.
+func RelErr(a, b float64) float64 {
+	den := math.Abs(b)
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	return math.Abs(a-b) / den
+}
+
+// Table renders aligned ASCII tables in the style of the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells, one format per cell,
+// applied to the matching value.
+func (t *Table) AddRowf(format string, values ...any) {
+	t.AddRow(strings.Fields(fmt.Sprintf(format, values...))...)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) data series, the unit of figure reproduction:
+// each curve in a paper figure becomes one Series.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// At returns the y value for the given x, interpolating linearly and
+// clamping outside the domain. It panics on an empty series.
+func (s *Series) At(x float64) float64 {
+	if len(s.X) == 0 {
+		panic("stats: At on empty series")
+	}
+	if x <= s.X[0] {
+		return s.Y[0]
+	}
+	for i := 1; i < len(s.X); i++ {
+		if x <= s.X[i] {
+			f := (x - s.X[i-1]) / (s.X[i] - s.X[i-1])
+			return s.Y[i-1] + f*(s.Y[i]-s.Y[i-1])
+		}
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Figure is a collection of series sharing axes, mirroring one panel of
+// a paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure returns an empty figure panel.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a new named series and returns it.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Get returns the series with the given name, or nil.
+func (f *Figure) Get(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// String renders the figure as a column-per-series table: the exact
+// numbers behind each curve, which is what "regenerating a figure"
+// means in a text harness.
+func (f *Figure) String() string {
+	t := NewTable(fmt.Sprintf("%s  [x=%s, y=%s]", f.Title, f.XLabel, f.YLabel))
+	t.Headers = append(t.Headers, f.XLabel)
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	// Collect the union of x values (series usually share the sweep).
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%.4g", x)}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.4g", s.At(x)))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

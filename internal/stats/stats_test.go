@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", c.Count())
+	}
+}
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatalf("empty Mean.Value() = %v, want 0", m.Value())
+	}
+	for _, v := range []float64{2, 4, 6} {
+		m.Observe(v)
+	}
+	if m.Value() != 4 {
+		t.Fatalf("Value() = %v, want 4", m.Value())
+	}
+	if m.Min() != 2 || m.Max() != 6 {
+		t.Fatalf("Min/Max = %v/%v, want 2/6", m.Min(), m.Max())
+	}
+	if m.N() != 3 || m.Sum() != 12 {
+		t.Fatalf("N/Sum = %d/%v, want 3/12", m.N(), m.Sum())
+	}
+}
+
+func TestMeanBoundsInvariant(t *testing.T) {
+	f := func(vals []float64) bool {
+		var m Mean
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // avoid overflow in the sum; not a Mean defect
+			}
+			m.Observe(v)
+		}
+		if m.N() > 0 {
+			ok = m.Min() <= m.Value()+1e-9 && m.Value() <= m.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-5) // clamps into first bin
+	h.Observe(50) // clamps into last bin
+	if h.N() != 12 {
+		t.Fatalf("N() = %d, want 12", h.N())
+	}
+	if h.bins[0] != 2 || h.bins[9] != 2 {
+		t.Fatalf("end bins = %d,%d, want 2,2", h.bins[0], h.bins[9])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median of uniform[0,100) = %v, want ~50", med)
+	}
+	if q := h.Quantile(1.0); q < 95 {
+		t.Fatalf("Quantile(1.0) = %v, want near 100", q)
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestDistributionPercent(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 70; i++ {
+		d.Observe(1)
+	}
+	for i := 0; i < 30; i++ {
+		d.Observe(2)
+	}
+	if p := d.Percent(1); p != 70 {
+		t.Fatalf("Percent(1) = %v, want 70", p)
+	}
+	if p := d.Percent(2); p != 30 {
+		t.Fatalf("Percent(2) = %v, want 30", p)
+	}
+	if p := d.Percent(3); p != 0 {
+		t.Fatalf("Percent(3) = %v, want 0", p)
+	}
+	if p := d.PercentAtLeast(2); p != 30 {
+		t.Fatalf("PercentAtLeast(2) = %v, want 30", p)
+	}
+	if got := d.Outcomes(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Outcomes() = %v, want [1 2]", got)
+	}
+}
+
+func TestDistributionPercentsSumTo100(t *testing.T) {
+	f := func(outcomes []uint8) bool {
+		if len(outcomes) == 0 {
+			return true
+		}
+		d := NewDistribution()
+		for _, o := range outcomes {
+			d.Observe(int(o % 5))
+		}
+		var sum float64
+		for _, o := range d.Outcomes() {
+			sum += d.Percent(o)
+		}
+		return math.Abs(sum-100) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("RelErr(110,100) = %v, want 0.1", e)
+	}
+	if e := RelErr(0, 0); e != 0 {
+		t.Fatalf("RelErr(0,0) = %v, want 0", e)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table X", "bench", "value")
+	tab.AddRow("MP3D", "3.29")
+	tab.AddRow("WATER", "0.21")
+	out := tab.String()
+	for _, want := range []string{"Table X", "bench", "MP3D", "0.21"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows() = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestTableShortRowPads(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("only")
+	if tab.NumRows() != 1 {
+		t.Fatal("row not added")
+	}
+	// Must not panic when rendering a padded row.
+	_ = tab.String()
+}
+
+func TestSeriesInterpolation(t *testing.T) {
+	var s Series
+	s.Add(0, 0)
+	s.Add(10, 100)
+	if y := s.At(5); y != 50 {
+		t.Fatalf("At(5) = %v, want 50", y)
+	}
+	if y := s.At(-1); y != 0 {
+		t.Fatalf("At(-1) = %v, want clamp to 0", y)
+	}
+	if y := s.At(99); y != 100 {
+		t.Fatalf("At(99) = %v, want clamp to 100", y)
+	}
+}
+
+func TestSeriesAtEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At on empty series did not panic")
+		}
+	}()
+	(&Series{}).At(1)
+}
+
+func TestFigureRoundTrip(t *testing.T) {
+	f := NewFigure("Fig 3 MP3D", "cycle(ns)", "util(%)")
+	s := f.AddSeries("snoop-16")
+	s.Add(1, 20)
+	s.Add(20, 80)
+	if f.Get("snoop-16") != s {
+		t.Fatal("Get did not return the added series")
+	}
+	if f.Get("missing") != nil {
+		t.Fatal("Get returned a series for an unknown name")
+	}
+	out := f.String()
+	for _, want := range []string{"Fig 3 MP3D", "snoop-16", "cycle(ns)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesMonotoneXInterpolationInvariant(t *testing.T) {
+	// Property: for a series with increasing y, At is monotone in x.
+	f := func(n uint8) bool {
+		var s Series
+		m := int(n%20) + 2
+		for i := 0; i < m; i++ {
+			s.Add(float64(i), float64(i*i))
+		}
+		prev := s.At(0)
+		for x := 0.0; x < float64(m); x += 0.25 {
+			y := s.At(x)
+			if y < prev-1e-9 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

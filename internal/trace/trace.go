@@ -1,0 +1,286 @@
+// Package trace defines the canonical multiprocessor memory-reference
+// trace format used throughout the reproduction, together with binary
+// serialization and the per-trace statistics reported in the paper's
+// Table 2.
+//
+// The original study consumed CacheMire traces (SPLASH programs) and
+// MIT-provided 64-processor FORTRAN traces. Those tapes are not
+// available; the workload package synthesizes statistically equivalent
+// streams in this format instead (see DESIGN.md, substitutions).
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/coherence"
+)
+
+// Ref is a single memory reference by one processor.
+type Ref struct {
+	// CPU is the issuing processor, 0-based.
+	CPU int32
+	// Op is the reference kind (load, store, ifetch).
+	Op coherence.Op
+	// Shared marks references into the shared data region; the rest is
+	// private data or instructions. Carried explicitly so that Table 2
+	// statistics do not depend on address-map heuristics.
+	Shared bool
+	// Addr is the byte address.
+	Addr uint64
+}
+
+// Trace is an in-memory reference trace with per-CPU streams.
+//
+// References are stored per processor rather than globally interleaved:
+// the simulators are execution-driven at the processor level (each CPU
+// consumes its own stream at its own pace, as in the paper's blocking
+// processor model), so a global interleaving would be discarded anyway.
+type Trace struct {
+	// Name labels the workload, e.g. "MP3D".
+	Name string
+	// Streams holds one reference stream per processor.
+	Streams [][]Ref
+}
+
+// NumCPUs returns the number of processor streams.
+func (t *Trace) NumCPUs() int { return len(t.Streams) }
+
+// TotalRefs returns the reference count summed over all CPUs.
+func (t *Trace) TotalRefs() int {
+	n := 0
+	for _, s := range t.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// Stats are the Table 2 trace characteristics.
+type Stats struct {
+	Name          string
+	CPUs          int
+	DataRefs      uint64 // loads + stores
+	InstrRefs     uint64
+	PrivateRefs   uint64 // private data references
+	PrivateWrites uint64
+	SharedRefs    uint64 // shared data references
+	SharedWrites  uint64
+}
+
+// PrivateWriteFrac returns the write fraction of private data references.
+func (s Stats) PrivateWriteFrac() float64 { return frac(s.PrivateWrites, s.PrivateRefs) }
+
+// SharedWriteFrac returns the write fraction of shared data references.
+func (s Stats) SharedWriteFrac() float64 { return frac(s.SharedWrites, s.SharedRefs) }
+
+// SharedFrac returns the fraction of data references that touch shared
+// data.
+func (s Stats) SharedFrac() float64 { return frac(s.SharedRefs, s.DataRefs) }
+
+func frac(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// String renders the stats as one Table 2-style line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s/%d: data=%d instr=%d private=%d(%.0f%%w) shared=%d(%.0f%%w)",
+		s.Name, s.CPUs, s.DataRefs, s.InstrRefs,
+		s.PrivateRefs, 100*s.PrivateWriteFrac(),
+		s.SharedRefs, 100*s.SharedWriteFrac())
+}
+
+// Measure computes Table 2-style characteristics for a trace.
+func Measure(t *Trace) Stats {
+	s := Stats{Name: t.Name, CPUs: t.NumCPUs()}
+	for _, stream := range t.Streams {
+		for _, r := range stream {
+			switch r.Op {
+			case coherence.Ifetch:
+				s.InstrRefs++
+			case coherence.Load, coherence.Store:
+				s.DataRefs++
+				w := r.Op == coherence.Store
+				if r.Shared {
+					s.SharedRefs++
+					if w {
+						s.SharedWrites++
+					}
+				} else {
+					s.PrivateRefs++
+					if w {
+						s.PrivateWrites++
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Binary format:
+//
+//	magic   [8]byte  "RINGTRC1"
+//	nameLen uint16, name bytes
+//	cpus    uint32
+//	per cpu: count uint64, then count records of
+//	    flags byte (bits 0-1 op, bit 2 shared), addr uint64
+//
+// All integers little-endian.
+var magic = [8]byte{'R', 'I', 'N', 'G', 'T', 'R', 'C', '1'}
+
+// ErrBadFormat reports a malformed or foreign trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write serializes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(t.Name) > 0xffff {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Streams))); err != nil {
+		return err
+	}
+	var rec [9]byte
+	for _, stream := range t.Streams {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(stream))); err != nil {
+			return err
+		}
+		for _, r := range stream {
+			flags := byte(r.Op) & 0x3
+			if r.Shared {
+				flags |= 0x4
+			}
+			rec[0] = flags
+			binary.LittleEndian.PutUint64(rec[1:], r.Addr)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadFormat
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var cpus uint32
+	if err := binary.Read(br, binary.LittleEndian, &cpus); err != nil {
+		return nil, err
+	}
+	if cpus > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible cpu count %d", ErrBadFormat, cpus)
+	}
+	t := &Trace{Name: string(name), Streams: make([][]Ref, cpus)}
+	var rec [9]byte
+	for cpu := range t.Streams {
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		if count > 1<<32 {
+			return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
+		}
+		stream := make([]Ref, count)
+		for i := range stream {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, err
+			}
+			op := coherence.Op(rec[0] & 0x3)
+			if op > coherence.Ifetch {
+				return nil, fmt.Errorf("%w: bad op %d", ErrBadFormat, op)
+			}
+			stream[i] = Ref{
+				CPU:    int32(cpu),
+				Op:     op,
+				Shared: rec[0]&0x4 != 0,
+				Addr:   binary.LittleEndian.Uint64(rec[1:]),
+			}
+		}
+		t.Streams[cpu] = stream
+	}
+	return t, nil
+}
+
+// WriteFile writes t to path, gzip-compressing when the file name ends
+// in ".gz" (reference traces compress extremely well — the paper's
+// multi-million-reference traces would be unwieldy raw).
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		defer zw.Close()
+		w = zw
+	}
+	if err := Write(w, t); err != nil {
+		return err
+	}
+	if zw, ok := w.(*gzip.Writer); ok {
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace written by WriteFile, transparently handling
+// gzip compression (detected from the magic bytes, not the name).
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, err
+	}
+	var r io.Reader = br
+	if head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return Read(r)
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/trace"
+)
+
+func TestAllTable2ProfilesPresent(t *testing.T) {
+	want := map[string][]int{
+		"MP3D":     {8, 16, 32},
+		"WATER":    {8, 16, 32},
+		"CHOLESKY": {8, 16, 32},
+		"FFT":      {64},
+		"WEATHER":  {64},
+		"SIMPLE":   {64},
+	}
+	n := 0
+	for name, sizes := range want {
+		for _, cpus := range sizes {
+			if _, ok := ProfileFor(name, cpus); !ok {
+				t.Errorf("missing profile %s/%d", name, cpus)
+			}
+			n++
+		}
+	}
+	if len(Profiles()) != n {
+		t.Errorf("Profiles() has %d entries, want %d", len(Profiles()), n)
+	}
+}
+
+func TestProfileDerivedValues(t *testing.T) {
+	p := MustProfile("MP3D", 16)
+	// instr/data = 8.23/3.94 ≈ 2.089
+	if math.Abs(p.InstrPerData-2.089) > 0.01 {
+		t.Errorf("InstrPerData = %v, want ≈2.089", p.InstrPerData)
+	}
+	// private fraction = 2.50/3.93 ≈ 0.636
+	if math.Abs(p.PrivateFrac-0.636) > 0.01 {
+		t.Errorf("PrivateFrac = %v, want ≈0.636", p.PrivateFrac)
+	}
+	// Implied private miss rate ≈ 0.19 %.
+	pm := p.PrivateMissRate()
+	if pm < 0.001 || pm > 0.004 {
+		t.Errorf("PrivateMissRate = %v, want ≈0.002", pm)
+	}
+}
+
+func TestPrivateMissRateNeverNegative(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.PrivateMissRate() < 0 {
+			t.Errorf("%v: negative private miss rate", p)
+		}
+		if p.SharedMissRate <= 0 || p.SharedMissRate >= 1 {
+			t.Errorf("%v: shared miss rate %v out of (0,1)", p, p.SharedMissRate)
+		}
+	}
+}
+
+func TestMustProfilePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProfile on unknown did not panic")
+		}
+	}()
+	MustProfile("LINPACK", 8)
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{Profile: MustProfile("MP3D", 8), DataRefsPerCPU: 500, Seed: 42}
+	a := Materialize("a", NewGenerator(cfg))
+	b := Materialize("b", NewGenerator(cfg))
+	if a.TotalRefs() != b.TotalRefs() {
+		t.Fatal("same-seed generators produced different lengths")
+	}
+	for cpu := range a.Streams {
+		for i := range a.Streams[cpu] {
+			if a.Streams[cpu][i] != b.Streams[cpu][i] {
+				t.Fatalf("cpu %d ref %d differs", cpu, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p := MustProfile("MP3D", 8)
+	a := Materialize("a", NewGenerator(Config{Profile: p, DataRefsPerCPU: 500, Seed: 1}))
+	b := Materialize("b", NewGenerator(Config{Profile: p, DataRefsPerCPU: 500, Seed: 2}))
+	same := 0
+	for i := range a.Streams[0] {
+		if i < len(b.Streams[0]) && a.Streams[0][i].Addr == b.Streams[0][i].Addr {
+			same++
+		}
+	}
+	if same == len(a.Streams[0]) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorMatchesProfileMix(t *testing.T) {
+	// The generated stream statistics must converge to the Table 2
+	// reference mix within a few percent.
+	for _, name := range []string{"MP3D", "WATER"} {
+		p := MustProfile(name, 16)
+		g := NewGenerator(Config{Profile: p, DataRefsPerCPU: 4000, Seed: 7})
+		tr := Materialize(name, g)
+		s := trace.Measure(tr)
+
+		ipd := float64(s.InstrRefs) / float64(s.DataRefs)
+		if math.Abs(ipd-p.InstrPerData)/p.InstrPerData > 0.05 {
+			t.Errorf("%s: instr/data = %v, want %v", name, ipd, p.InstrPerData)
+		}
+		pf := float64(s.PrivateRefs) / float64(s.DataRefs)
+		if math.Abs(pf-p.PrivateFrac) > 0.03 {
+			t.Errorf("%s: private frac = %v, want %v", name, pf, p.PrivateFrac)
+		}
+		if math.Abs(s.PrivateWriteFrac()-p.PrivateWriteFrac) > 0.03 {
+			t.Errorf("%s: private write frac = %v, want %v", name, s.PrivateWriteFrac(), p.PrivateWriteFrac)
+		}
+		if math.Abs(s.SharedWriteFrac()-p.SharedWriteFrac) > 0.05 {
+			t.Errorf("%s: shared write frac = %v, want %v", name, s.SharedWriteFrac(), p.SharedWriteFrac)
+		}
+	}
+}
+
+func TestGeneratorBudget(t *testing.T) {
+	p := MustProfile("CHOLESKY", 8)
+	g := NewGenerator(Config{Profile: p, DataRefsPerCPU: 777, Seed: 3})
+	tr := Materialize("c", g)
+	for cpu, stream := range tr.Streams {
+		data := 0
+		for _, r := range stream {
+			if r.Op != coherence.Ifetch {
+				data++
+			}
+		}
+		if data != 777 {
+			t.Fatalf("cpu %d issued %d data refs, want 777", cpu, data)
+		}
+	}
+	// Exhausted stream stays exhausted.
+	if _, ok := g.Next(0); ok {
+		t.Fatal("generator yielded refs past its budget")
+	}
+}
+
+func TestGeneratorAddressRegionsDisjoint(t *testing.T) {
+	p := MustProfile("FFT", 64)
+	g := NewGenerator(Config{Profile: p, DataRefsPerCPU: 200, Seed: 9})
+	tr := Materialize("f", g)
+	for _, stream := range tr.Streams {
+		for _, r := range stream {
+			switch {
+			case r.Op == coherence.Ifetch:
+				if r.Addr < ifetchBase || r.Addr >= privateBase {
+					t.Fatalf("ifetch address %#x outside its region", r.Addr)
+				}
+			case r.Shared:
+				if r.Addr < readMostBase {
+					t.Fatalf("shared address %#x below shared region", r.Addr)
+				}
+			default:
+				if r.Addr < privateBase || r.Addr >= readMostBase {
+					t.Fatalf("private address %#x outside its region", r.Addr)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorBlockAlignment(t *testing.T) {
+	p := MustProfile("MP3D", 8)
+	g := NewGenerator(Config{Profile: p, DataRefsPerCPU: 300, Seed: 5, BlockBytes: 32})
+	tr := Materialize("m", g)
+	for _, stream := range tr.Streams {
+		for _, r := range stream {
+			if r.Op != coherence.Ifetch && r.Addr%32 != 0 {
+				t.Fatalf("data address %#x not 32-byte aligned", r.Addr)
+			}
+		}
+	}
+}
+
+func TestSharedBurstScalesInverselyWithMissRate(t *testing.T) {
+	hi := NewGenerator(Config{Profile: MustProfile("MP3D", 32), DataRefsPerCPU: 10}) // 35.7 % target
+	lo := NewGenerator(Config{Profile: MustProfile("WATER", 8), DataRefsPerCPU: 10}) // 1.38 % target
+	if hi.SharedBurst() >= lo.SharedBurst() {
+		t.Fatalf("burst(MP3D32)=%v should be < burst(WATER8)=%v",
+			hi.SharedBurst(), lo.SharedBurst())
+	}
+	scaled := NewGenerator(Config{Profile: MustProfile("WATER", 8), DataRefsPerCPU: 10, SharedBurstScale: 2})
+	if math.Abs(scaled.SharedBurst()-2*lo.SharedBurst()) > 1e-9 {
+		t.Fatal("SharedBurstScale not applied linearly")
+	}
+}
+
+func TestTraceSourceRoundTrip(t *testing.T) {
+	p := MustProfile("MP3D", 8)
+	tr := Materialize("m", NewGenerator(Config{Profile: p, DataRefsPerCPU: 100, Seed: 11}))
+	src := NewTraceSource(tr)
+	if src.NumCPUs() != 8 {
+		t.Fatalf("NumCPUs = %d, want 8", src.NumCPUs())
+	}
+	for cpu := 0; cpu < src.NumCPUs(); cpu++ {
+		for i := 0; ; i++ {
+			r, ok := src.Next(cpu)
+			if !ok {
+				if i != len(tr.Streams[cpu]) {
+					t.Fatalf("cpu %d replayed %d refs, want %d", cpu, i, len(tr.Streams[cpu]))
+				}
+				break
+			}
+			if r != tr.Streams[cpu][i] {
+				t.Fatalf("cpu %d ref %d mismatch", cpu, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// writeTestTrace materializes a small MP3D/8 workload to path.
+func writeTestTrace(t *testing.T, path string) {
+	t.Helper()
+	gen := workload.NewGenerator(workload.Config{
+		Profile:        workload.MustProfile("MP3D", 8),
+		DataRefsPerCPU: 800,
+		Seed:           3,
+	})
+	tr := workload.Materialize("MP3D", gen)
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+}
