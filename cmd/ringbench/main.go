@@ -1,18 +1,24 @@
 // Command ringbench regenerates every table and figure of the paper's
 // evaluation section — Tables 1–4, Figures 3–6 — plus the
 // model-validation table and the design-choice ablations, printing the
-// rows and series the paper reports.
+// rows and series the paper reports. Alongside the text output it
+// writes BENCH_1.json, a machine-readable record of each experiment's
+// wall clock and the simulation engine's throughput, so the
+// reproduction's performance trajectory is tracked run over run.
 //
 // Usage:
 //
 //	ringbench                 # everything (several minutes)
 //	ringbench -only table1    # one experiment
 //	ringbench -refs 4000      # longer calibration simulations
+//	ringbench > bench_results.txt   # text output to the results file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,16 +26,58 @@ import (
 	"repro"
 )
 
-func main() {
-	var (
-		refs = flag.Int("refs", 2000, "data references per CPU in calibration simulations")
-		seed = flag.Uint64("seed", 1993, "random seed for the whole suite")
-		only = flag.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations")
-		plot = flag.Bool("plot", false, "render figures as ASCII line charts instead of data tables")
-	)
-	flag.Parse()
+// benchPoint records one experiment's cost: its wall clock and the
+// simulation work the engine did for it (deltas of the suite's
+// counters across the experiment).
+type benchPoint struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	// SimulatedNS is the simulated time produced while this experiment
+	// ran (zero when every simulation was a cache hit).
+	SimulatedNS int64 `json:"simulated_ns"`
+	// SimRingCyclesPerSec is the simulation throughput in 500 MHz ring
+	// clock cycles (2 ns each) per wall-clock second.
+	SimRingCyclesPerSec float64 `json:"sim_ring_cycles_per_sec"`
+	Computed            int     `json:"computed"`
+	CacheHits           int     `json:"cache_hits"`
+}
 
-	s := repro.NewSuite(repro.SuiteOptions{DataRefsPerCPU: *refs, Seed: *seed})
+// benchReport is the BENCH_1.json schema.
+type benchReport struct {
+	Refs        int              `json:"refs"`
+	Seed        uint64           `json:"seed"`
+	Workers     int              `json:"workers"`
+	Points      []benchPoint     `json:"points"`
+	TotalWallNS int64            `json:"total_wall_ns"`
+	Sweep       repro.SweepStats `json:"sweep"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		refs     = fs.Int("refs", 2000, "data references per CPU in calibration simulations")
+		seed     = fs.Uint64("seed", 1993, "random seed for the whole suite")
+		only     = fs.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations")
+		plot     = fs.Bool("plot", false, "render figures as ASCII line charts instead of data tables")
+		workers  = fs.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		cacheDir = fs.String("cachedir", "", "persist simulation results to this directory")
+		jsonOut  = fs.String("json", "BENCH_1.json", "write the machine-readable benchmark report here (empty to disable)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s := repro.NewSuite(repro.SuiteOptions{
+		DataRefsPerCPU: *refs,
+		Seed:           *seed,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+	})
 
 	experiments := []struct {
 		name string
@@ -103,18 +151,59 @@ func main() {
 		}},
 	}
 
+	var points []benchPoint
+	var totalWall time.Duration
 	matched := false
 	for _, e := range experiments {
 		if *only != "" && e.name != *only {
 			continue
 		}
 		matched = true
+		before := s.SweepStats()
 		start := time.Now()
 		out := e.run()
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+		wall := time.Since(start)
+		after := s.SweepStats()
+		totalWall += wall
+
+		p := benchPoint{
+			Name:        e.name,
+			WallNS:      wall.Nanoseconds(),
+			SimulatedNS: after.SimulatedNS - before.SimulatedNS,
+			Computed:    after.Computed - before.Computed,
+			CacheHits:   (after.CacheHits + after.DiskHits) - (before.CacheHits + before.DiskHits),
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			p.SimRingCyclesPerSec = float64(p.SimulatedNS) / 2 / secs
+		}
+		points = append(points, p)
+
+		fmt.Fprintf(stdout, "==== %s (%.1fs) ====\n%s\n", e.name, wall.Seconds(), out)
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "ringbench: unknown experiment %q\n", *only)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ringbench: unknown experiment %q\n", *only)
+		return 1
 	}
+
+	if *jsonOut != "" {
+		report := benchReport{
+			Refs:        *refs,
+			Seed:        *seed,
+			Workers:     s.SweepStats().Workers,
+			Points:      points,
+			TotalWallNS: totalWall.Nanoseconds(),
+			Sweep:       s.SweepStats(),
+		}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "ringbench: encoding report:", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "ringbench: writing report:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchmark report written to %s\n", *jsonOut)
+	}
+	return 0
 }

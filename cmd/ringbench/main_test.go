@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOneExperimentWritesReport(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_1.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "table1", "-refs", "300", "-json", jsonPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "==== table1") {
+		t.Errorf("missing experiment output:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("BENCH_1.json does not parse: %v", err)
+	}
+	if len(report.Points) != 1 || report.Points[0].Name != "table1" {
+		t.Fatalf("unexpected points: %+v", report.Points)
+	}
+	p := report.Points[0]
+	if p.WallNS <= 0 || p.SimulatedNS <= 0 || p.SimRingCyclesPerSec <= 0 {
+		t.Errorf("point not populated: %+v", p)
+	}
+	if report.Sweep.Computed == 0 || report.Sweep.Workers == 0 {
+		t.Errorf("sweep stats not populated: %+v", report.Sweep)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope", "-json", ""}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}

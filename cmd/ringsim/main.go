@@ -12,33 +12,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		protocol = flag.String("protocol", "snoop-ring", "protocol: snoop-ring | directory-ring | sci-ring | snoop-bus")
-		bench    = flag.String("bench", "MP3D", "benchmark: MP3D | WATER | CHOLESKY | FFT | WEATHER | SIMPLE")
-		cpus     = flag.Int("cpus", 16, "processor count (must match a Table 2 profile)")
-		cycle    = flag.Float64("cycle", 20, "processor cycle time in ns (paper sweeps 1-20)")
-		ringMHz  = flag.Int("ringmhz", 500, "ring link clock in MHz (paper: 250 or 500)")
-		ringBits = flag.Int("ringbits", 32, "ring data path width in bits")
-		busMHz   = flag.Int("busmhz", 50, "bus clock in MHz for snoop-bus (paper: 50 or 100)")
-		refs     = flag.Int("refs", 5000, "data references per processor (simulation length)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		list     = flag.Bool("list", false, "list available benchmark profiles and exit")
-		traceIn  = flag.String("trace", "", "replay a recorded trace file (from tracegen) instead of a synthetic workload")
+		protocol = fs.String("protocol", "snoop-ring", "protocol: snoop-ring | directory-ring | sci-ring | snoop-bus")
+		bench    = fs.String("bench", "MP3D", "benchmark: MP3D | WATER | CHOLESKY | FFT | WEATHER | SIMPLE")
+		cpus     = fs.Int("cpus", 16, "processor count (must match a Table 2 profile)")
+		cycle    = fs.Float64("cycle", 20, "processor cycle time in ns (paper sweeps 1-20)")
+		ringMHz  = fs.Int("ringmhz", 500, "ring link clock in MHz (paper: 250 or 500)")
+		ringBits = fs.Int("ringbits", 32, "ring data path width in bits")
+		busMHz   = fs.Int("busmhz", 50, "bus clock in MHz for snoop-bus (paper: 50 or 100)")
+		refs     = fs.Int("refs", 5000, "data references per processor (simulation length)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		list     = fs.Bool("list", false, "list available benchmark profiles and exit")
+		traceIn  = fs.String("trace", "", "replay a recorded trace file (from tracegen) instead of a synthetic workload")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("benchmark profiles (Table 2):")
+		fmt.Fprintln(stdout, "benchmark profiles (Table 2):")
 		for _, b := range repro.Benchmarks() {
-			fmt.Printf("  %-9s %d CPUs\n", b.Name, b.CPUs)
+			fmt.Fprintf(stdout, "  %-9s %d CPUs\n", b.Name, b.CPUs)
 		}
-		return
+		return 0
 	}
 
 	cfg := repro.Config{
@@ -60,22 +69,23 @@ func main() {
 		res, err = repro.Run(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ringsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ringsim:", err)
+		return 1
 	}
 
 	workloadDesc := fmt.Sprintf("%s/%d CPUs", *bench, *cpus)
 	if *traceIn != "" {
 		workloadDesc = "trace " + *traceIn
 	}
-	fmt.Printf("configuration: %s, %s, %.1f ns processor cycle\n",
+	fmt.Fprintf(stdout, "configuration: %s, %s, %.1f ns processor cycle\n",
 		*protocol, workloadDesc, *cycle)
-	fmt.Printf("  processor utilization : %6.1f %%\n", 100*res.ProcUtil)
-	fmt.Printf("  network utilization   : %6.1f %%\n", 100*res.NetworkUtil)
-	fmt.Printf("  avg miss latency      : %6.0f ns\n", res.MissLatencyNS)
-	fmt.Printf("  avg inv latency       : %6.0f ns\n", res.InvLatencyNS)
-	fmt.Printf("  execution time        : %6.1f us\n", res.ExecTimeUS)
-	fmt.Printf("  shared miss rate      : %6.2f %%\n", 100*res.SharedMissRate)
-	fmt.Printf("  total miss rate       : %6.2f %%\n", 100*res.TotalMissRate)
-	fmt.Printf("  misses / upgrades     : %d / %d\n", res.Misses, res.Upgrades)
+	fmt.Fprintf(stdout, "  processor utilization : %6.1f %%\n", 100*res.ProcUtil)
+	fmt.Fprintf(stdout, "  network utilization   : %6.1f %%\n", 100*res.NetworkUtil)
+	fmt.Fprintf(stdout, "  avg miss latency      : %6.0f ns\n", res.MissLatencyNS)
+	fmt.Fprintf(stdout, "  avg inv latency       : %6.0f ns\n", res.InvLatencyNS)
+	fmt.Fprintf(stdout, "  execution time        : %6.1f us\n", res.ExecTimeUS)
+	fmt.Fprintf(stdout, "  shared miss rate      : %6.2f %%\n", 100*res.SharedMissRate)
+	fmt.Fprintf(stdout, "  total miss rate       : %6.2f %%\n", 100*res.TotalMissRate)
+	fmt.Fprintf(stdout, "  misses / upgrades     : %d / %d\n", res.Misses, res.Upgrades)
+	return 0
 }

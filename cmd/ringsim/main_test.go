@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSimulatesOneMachine(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MP3D", "-cpus", "8", "-cycle", "10", "-refs", "500"},
+		&out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"configuration: snoop-ring, MP3D/8 CPUs, 10.0 ns processor cycle",
+		"processor utilization",
+		"avg miss latency",
+		"execution time",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, bench := range []string{"MP3D", "WATER", "CHOLESKY", "FFT"} {
+		if !strings.Contains(out.String(), bench) {
+			t.Errorf("-list output missing %s:\n%s", bench, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "NOSUCH"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "ringsim:") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}

@@ -1,90 +1,125 @@
 // Command ringsweep sweeps one design parameter of a simulated machine
 // and prints the resulting metric series — the quickest way to explore
-// the design space the paper maps out.
+// the design space the paper maps out. Sweep points are independent
+// simulations, so they fan out over a worker pool and are memoized by
+// content, making repeated and overlapping sweeps cheap.
 //
 // Usage:
 //
 //	ringsweep -param cycle -from 1 -to 20 -step 1 -bench MP3D -cpus 16
 //	ringsweep -param ringmhz -from 125 -to 1000 -step 125
 //	ringsweep -param cpus -protocol snoop-bus -bench MP3D
+//	ringsweep -workers 8 -cachedir .sweepcache -stats
 //
 // Sweepable parameters: cycle (processor cycle ns), ringmhz, busmhz,
 // cpus (restricted to the benchmark's profiled sizes).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
+	"repro/internal/sweep"
 )
 
 func main() {
-	var (
-		protocol = flag.String("protocol", "snoop-ring", "protocol: snoop-ring | directory-ring | sci-ring | snoop-bus | hier-ring")
-		bench    = flag.String("bench", "MP3D", "benchmark name")
-		cpus     = flag.Int("cpus", 16, "processor count (fixed unless sweeping cpus)")
-		cycle    = flag.Float64("cycle", 5, "processor cycle ns (fixed unless sweeping cycle)")
-		param    = flag.String("param", "cycle", "parameter to sweep: cycle | ringmhz | busmhz | cpus")
-		from     = flag.Float64("from", 1, "sweep start")
-		to       = flag.Float64("to", 20, "sweep end")
-		step     = flag.Float64("step", 1, "sweep step")
-		refs     = flag.Int("refs", 2000, "data references per processor")
-		seed     = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Printf("%-10s %10s %10s %12s %10s\n", *param, "Uproc(%)", "Unet(%)", "missLat(ns)", "exec(us)")
-	run := func(label string, cfg repro.Config) {
-		res, err := repro.Run(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ringsweep:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("%-10s %10.1f %10.1f %12.0f %10.1f\n",
-			label, 100*res.ProcUtil, 100*res.NetworkUtil, res.MissLatencyNS, res.ExecTimeUS)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		protocol = fs.String("protocol", "snoop-ring", "protocol: snoop-ring | directory-ring | sci-ring | snoop-bus | hier-ring")
+		bench    = fs.String("bench", "MP3D", "benchmark name")
+		cpus     = fs.Int("cpus", 16, "processor count (fixed unless sweeping cpus)")
+		cycle    = fs.Float64("cycle", 5, "processor cycle ns (fixed unless sweeping cycle)")
+		param    = fs.String("param", "cycle", "parameter to sweep: cycle | ringmhz | busmhz | cpus")
+		from     = fs.Float64("from", 1, "sweep start")
+		to       = fs.Float64("to", 20, "sweep end")
+		step     = fs.Float64("step", 1, "sweep step")
+		refs     = fs.Int("refs", 2000, "data references per processor")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+		cacheDir = fs.String("cachedir", "", "persist results to this content-addressed cache directory")
+		stats    = fs.Bool("stats", false, "print engine statistics after the sweep")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	base := repro.Config{
-		Protocol:       repro.Protocol(*protocol),
+	base := sweep.Job{
+		Protocol:       *protocol,
 		Benchmark:      *bench,
 		CPUs:           *cpus,
-		ProcCycleNS:    *cycle,
+		ProcCyclePS:    int64(*cycle * 1000),
 		DataRefsPerCPU: *refs,
 		Seed:           *seed,
 	}
 
+	var jobs []sweep.Job
+	var labels []string
+	add := func(label string, j sweep.Job) {
+		labels = append(labels, label)
+		jobs = append(jobs, j)
+	}
 	switch *param {
 	case "cycle":
 		for v := *from; v <= *to; v += *step {
-			cfg := base
-			cfg.ProcCycleNS = v
-			run(fmt.Sprintf("%.1fns", v), cfg)
+			j := base
+			j.ProcCyclePS = int64(v * 1000)
+			add(fmt.Sprintf("%.1fns", v), j)
 		}
 	case "ringmhz":
 		for v := *from; v <= *to; v += *step {
-			cfg := base
-			cfg.RingMHz = int(v)
-			run(fmt.Sprintf("%.0fMHz", v), cfg)
+			j := base
+			j.RingClockPS = int64(1e6 / v)
+			add(fmt.Sprintf("%.0fMHz", v), j)
 		}
 	case "busmhz":
 		for v := *from; v <= *to; v += *step {
-			cfg := base
-			cfg.BusMHz = int(v)
-			run(fmt.Sprintf("%.0fMHz", v), cfg)
+			j := base
+			j.BusClockPS = int64(1e6 / v)
+			add(fmt.Sprintf("%.0fMHz", v), j)
 		}
 	case "cpus":
 		for _, b := range repro.Benchmarks() {
 			if b.Name != *bench {
 				continue
 			}
-			cfg := base
-			cfg.CPUs = b.CPUs
-			run(fmt.Sprintf("%dcpu", b.CPUs), cfg)
+			j := base
+			j.CPUs = b.CPUs
+			add(fmt.Sprintf("%dcpu", b.CPUs), j)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "ringsweep: unknown parameter %q\n", *param)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ringsweep: unknown parameter %q\n", *param)
+		return 1
 	}
+
+	eng := sweep.New(sweep.Options{Workers: *workers, CacheDir: *cacheDir})
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringsweep:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "%-10s %10s %10s %12s %10s\n", *param, "Uproc(%)", "Unet(%)", "missLat(ns)", "exec(us)")
+	for i, res := range results {
+		s := res.Summary()
+		fmt.Fprintf(stdout, "%-10s %10.1f %10.1f %12.0f %10.1f\n",
+			labels[i], 100*s.ProcUtil, 100*s.NetworkUtil, s.MissLatencyNS, s.ExecTimeUS)
+	}
+
+	if *stats {
+		st := eng.Stats()
+		fmt.Fprintf(stdout, "\nengine: %d workers, %d jobs (%d computed, %d cached, %d from disk)\n",
+			st.Workers, st.Done, st.Computed, st.CacheHits, st.DiskHits)
+		fmt.Fprintf(stdout, "        %.2fs exec wall, %v mean/job, %.0f simulated ns/s\n",
+			st.ExecWall.Seconds(), st.MeanJobWall, st.SimNSPerSec)
+	}
+	return 0
 }

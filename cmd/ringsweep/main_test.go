@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCycleSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-param", "cycle", "-from", "5", "-to", "10", "-step", "5",
+		"-refs", "200", "-cpus", "8"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + 2 sweep points
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "Uproc(%)") {
+		t.Errorf("missing header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "5.0ns") || !strings.HasPrefix(lines[2], "10.0ns") {
+		t.Errorf("unexpected sweep labels:\n%s", out.String())
+	}
+}
+
+func TestRunCPUSweepWithStatsAndCache(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	args := []string{"-param", "cpus", "-bench", "WATER", "-refs", "200",
+		"-cachedir", dir, "-stats"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "engine:") {
+		t.Errorf("missing -stats output:\n%s", out.String())
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(m) == 0 {
+		t.Error("cache directory has no result artifacts")
+	}
+
+	// A second run against the same cache must agree and hit disk.
+	var out2 bytes.Buffer
+	if code := run(args, &out2, &errb); code != 0 {
+		t.Fatalf("rerun exit %d, stderr: %s", code, errb.String())
+	}
+	strip := func(s string) string { return strings.SplitAfter(s, "engine:")[0] }
+	if strip(out.String()) != strip(out2.String()) {
+		t.Errorf("cache-cold and cache-warm sweeps disagree:\n%s\nvs\n%s",
+			out.String(), out2.String())
+	}
+}
+
+func TestRunRejectsUnknownParam(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-param", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown parameter") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "NOSUCH", "-refs", "100"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// MeanSnapshot is the serializable state of a stats.Mean.
+type MeanSnapshot struct {
+	N   uint64  `json:"n"`
+	Sum float64 `json:"sum"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+func snapMean(m *stats.Mean) MeanSnapshot {
+	n, sum, min, max := m.Moments()
+	return MeanSnapshot{N: n, Sum: sum, Min: min, Max: max}
+}
+
+func (s MeanSnapshot) mean() stats.Mean {
+	return stats.MeanFromMoments(s.N, s.Sum, s.Min, s.Max)
+}
+
+// MetricsSnapshot is a flat, JSON-serializable image of Metrics. It
+// carries every field the experiment drivers and analytical models
+// read, so a snapshot round-trip (Snapshot then Metrics) is lossless:
+// the sweep engine's on-disk result cache depends on that to return
+// bit-identical results whether a job was computed or replayed.
+type MetricsSnapshot struct {
+	ExecTimePS  int64 `json:"exec_time_ps"`
+	BusyTimePS  int64 `json:"busy_time_ps"`
+	StallTimePS int64 `json:"stall_time_ps"`
+
+	InstrRefs  uint64 `json:"instr_refs"`
+	DataRefs   uint64 `json:"data_refs"`
+	SharedRefs uint64 `json:"shared_refs"`
+	Hits       uint64 `json:"hits"`
+
+	SharedMisses      uint64 `json:"shared_misses"`
+	PrivateMisses     uint64 `json:"private_misses"`
+	Upgrades          uint64 `json:"upgrades"`
+	LocalMisses       uint64 `json:"local_misses"`
+	LocalInvs         uint64 `json:"local_invs"`
+	WriteBacks        uint64 `json:"write_backs"`
+	TwoCycleMulticast uint64 `json:"two_cycle_multicast"`
+
+	TxnCount []uint64 `json:"txn_count"`
+
+	MissLatency     MeanSnapshot `json:"miss_latency"`
+	InvLatency      MeanSnapshot `json:"inv_latency"`
+	BufferedLatency MeanSnapshot `json:"buffered_latency"`
+	BufferedStores  uint64       `json:"buffered_stores"`
+
+	ClassCount     map[int]uint64 `json:"class_count,omitempty"`
+	MissTraversals map[int]uint64 `json:"miss_traversals,omitempty"`
+	InvTraversals  map[int]uint64 `json:"inv_traversals,omitempty"`
+
+	NetworkUtil float64 `json:"network_util"`
+}
+
+// Snapshot captures the metrics in serializable form.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		ExecTimePS:        int64(m.ExecTime),
+		BusyTimePS:        int64(m.BusyTime),
+		StallTimePS:       int64(m.StallTime),
+		InstrRefs:         m.InstrRefs,
+		DataRefs:          m.DataRefs,
+		SharedRefs:        m.SharedRefs,
+		Hits:              m.Hits,
+		SharedMisses:      m.SharedMisses,
+		PrivateMisses:     m.PrivateMisses,
+		Upgrades:          m.Upgrades,
+		LocalMisses:       m.LocalMisses,
+		LocalInvs:         m.LocalInvs,
+		WriteBacks:        m.WriteBacks,
+		TwoCycleMulticast: m.TwoCycleMulticast,
+		TxnCount:          append([]uint64(nil), m.TxnCount[:]...),
+		MissLatency:       snapMean(&m.MissLatency),
+		InvLatency:        snapMean(&m.InvLatency),
+		BufferedLatency:   snapMean(&m.BufferedLatency),
+		BufferedStores:    m.BufferedStores,
+		NetworkUtil:       m.NetworkUtil,
+	}
+	if len(m.ClassCount) > 0 {
+		s.ClassCount = make(map[int]uint64, len(m.ClassCount))
+		for c, n := range m.ClassCount {
+			s.ClassCount[int(c)] = n
+		}
+	}
+	if m.MissTraversals != nil {
+		s.MissTraversals = m.MissTraversals.Counts()
+	}
+	if m.InvTraversals != nil {
+		s.InvTraversals = m.InvTraversals.Counts()
+	}
+	return s
+}
+
+// Metrics rebuilds the live metrics value the snapshot was taken from.
+func (s MetricsSnapshot) Metrics() *Metrics {
+	m := &Metrics{
+		ExecTime:          sim.Time(s.ExecTimePS),
+		BusyTime:          sim.Time(s.BusyTimePS),
+		StallTime:         sim.Time(s.StallTimePS),
+		InstrRefs:         s.InstrRefs,
+		DataRefs:          s.DataRefs,
+		SharedRefs:        s.SharedRefs,
+		Hits:              s.Hits,
+		SharedMisses:      s.SharedMisses,
+		PrivateMisses:     s.PrivateMisses,
+		Upgrades:          s.Upgrades,
+		LocalMisses:       s.LocalMisses,
+		LocalInvs:         s.LocalInvs,
+		WriteBacks:        s.WriteBacks,
+		TwoCycleMulticast: s.TwoCycleMulticast,
+		MissLatency:       s.MissLatency.mean(),
+		InvLatency:        s.InvLatency.mean(),
+		BufferedLatency:   s.BufferedLatency.mean(),
+		BufferedStores:    s.BufferedStores,
+		NetworkUtil:       s.NetworkUtil,
+		ClassCount:        make(map[coherence.MissClass]uint64),
+		MissTraversals:    stats.NewDistribution(),
+		InvTraversals:     stats.NewDistribution(),
+	}
+	copy(m.TxnCount[:], s.TxnCount)
+	for c, n := range s.ClassCount {
+		m.ClassCount[coherence.MissClass(c)] = n
+	}
+	for o, n := range s.MissTraversals {
+		m.MissTraversals.AddCount(o, n)
+	}
+	for o, n := range s.InvTraversals {
+		m.InvTraversals.AddCount(o, n)
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runSmall runs a short snooping simulation to get populated metrics.
+func runSmall(t *testing.T) *Metrics {
+	t.Helper()
+	prof := workload.MustProfile("MP3D", 8)
+	gen := workload.NewGenerator(workload.Config{
+		Profile:        prof,
+		DataRefsPerCPU: 700,
+		Seed:           11,
+	})
+	return NewSystem(Config{
+		Protocol:       SnoopRing,
+		ProcCycle:      5 * sim.Nanosecond,
+		WarmupDataRefs: 200,
+		Seed:           11,
+	}, gen).Run()
+}
+
+func TestMetricsSnapshotRoundTrip(t *testing.T) {
+	m := runSmall(t)
+	snap := m.Snapshot()
+
+	// The snapshot must survive a JSON round-trip bit-for-bit — the
+	// sweep engine's disk cache and determinism checks rely on it.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("snapshot JSON not stable:\n%s\nvs\n%s", raw, raw2)
+	}
+
+	// Rebuilding metrics from the snapshot must preserve every derived
+	// quantity the experiment drivers read.
+	r := back.Metrics()
+	if r.ProcUtil() != m.ProcUtil() {
+		t.Errorf("ProcUtil %v != %v", r.ProcUtil(), m.ProcUtil())
+	}
+	if r.MissLatency.Value() != m.MissLatency.Value() {
+		t.Errorf("MissLatency %v != %v", r.MissLatency.Value(), m.MissLatency.Value())
+	}
+	if r.SharedMissRate() != m.SharedMissRate() || r.TotalMissRate() != m.TotalMissRate() {
+		t.Error("miss rates changed across round-trip")
+	}
+	if r.ExecTime != m.ExecTime || r.NetworkUtil != m.NetworkUtil {
+		t.Error("exec time / network util changed across round-trip")
+	}
+	if r.MissTraversals.N() != m.MissTraversals.N() ||
+		r.MissTraversals.Percent(1) != m.MissTraversals.Percent(1) {
+		t.Error("miss traversal distribution changed across round-trip")
+	}
+	for c, n := range m.ClassCount {
+		if r.ClassCount[c] != n {
+			t.Errorf("ClassCount[%v] = %d, want %d", c, r.ClassCount[c], n)
+		}
+	}
+	if r.TxnCount != m.TxnCount {
+		t.Error("TxnCount changed across round-trip")
+	}
+
+	// And the rebuilt metrics must re-snapshot to identical bytes.
+	raw3, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw3) {
+		t.Fatal("re-snapshot of rebuilt metrics differs")
+	}
+}

@@ -43,14 +43,18 @@ func (r *Runner) AblationSlotMix(bench string, cpus int) *stats.Table {
 // AblationSlotMixExecTimes returns the execution times behind the slot
 // mix ablation, keyed by probe pairs, for programmatic checks.
 func (r *Runner) AblationSlotMixExecTimes(bench string, cpus int) map[int]sim.Time {
-	out := make(map[int]sim.Time)
+	var cfgs []core.Config
 	for _, pairs := range []int{1, 2, 3} {
-		_, m := r.runSystem(core.Config{
+		cfgs = append(cfgs, core.Config{
 			Protocol:  core.SnoopRing,
 			ProcCycle: 5 * sim.Nanosecond,
 			Ring:      ring.Config{ProbePairsPerBlockSlot: pairs},
-		}, bench, cpus)
-		out[pairs] = m.ExecTime
+		})
+	}
+	r.prefetchConfigs(cfgs, bench, cpus)
+	out := make(map[int]sim.Time)
+	for i, pairs := range []int{1, 2, 3} {
+		out[pairs] = r.SimulateAt(cfgs[i], bench, cpus).ExecTime
 	}
 	return out
 }
@@ -87,13 +91,14 @@ func (r *Runner) AblationStarvationRule(bench string, cpus int) *stats.Table {
 // AblationStarvationRuleExecTimes returns the two execution times
 // (rule on, rule off) for programmatic checks.
 func (r *Runner) AblationStarvationRuleExecTimes(bench string, cpus int) (on, off sim.Time) {
-	_, mOn := r.runSystem(core.Config{
-		Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond,
-	}, bench, cpus)
-	_, mOff := r.runSystem(core.Config{
-		Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond,
-		Ring: ring.Config{DisableStarvationRule: true},
-	}, bench, cpus)
+	cfgs := []core.Config{
+		{Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond},
+		{Protocol: core.SnoopRing, ProcCycle: 5 * sim.Nanosecond,
+			Ring: ring.Config{DisableStarvationRule: true}},
+	}
+	r.prefetchConfigs(cfgs, bench, cpus)
+	mOn := r.SimulateAt(cfgs[0], bench, cpus)
+	mOff := r.SimulateAt(cfgs[1], bench, cpus)
 	return mOn.ExecTime, mOff.ExecTime
 }
 
@@ -104,12 +109,17 @@ func (r *Runner) AblationWideRing(bench string, cpus int) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Ablation: 64-bit parallel ring, %s/%d, 2 ns CPUs", bench, cpus),
 		"protocol", "exec(us)", "ring util", "miss lat(ns)")
+	var cfgs []core.Config
 	for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
-		_, m := r.runSystem(core.Config{
+		cfgs = append(cfgs, core.Config{
 			Protocol:  proto,
 			ProcCycle: 2 * sim.Nanosecond,
 			Ring:      ring.Config{WidthBits: 64},
-		}, bench, cpus)
+		})
+	}
+	r.prefetchConfigs(cfgs, bench, cpus)
+	for i, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+		m := r.SimulateAt(cfgs[i], bench, cpus)
 		t.AddRow(shortProto(proto),
 			fmt.Sprintf("%.1f", m.ExecTime.Nanoseconds()/1000),
 			fmt.Sprintf("%.3f", m.NetworkUtil),
@@ -121,15 +131,14 @@ func (r *Runner) AblationWideRing(bench string, cpus int) *stats.Table {
 // AblationWideRingData returns (snoop, directory) metrics on the
 // 64-bit ring for programmatic checks.
 func (r *Runner) AblationWideRingData(bench string, cpus int) (snoop, dir *core.Metrics) {
-	_, snoop = r.runSystem(core.Config{
-		Protocol: core.SnoopRing, ProcCycle: 2 * sim.Nanosecond,
-		Ring: ring.Config{WidthBits: 64},
-	}, bench, cpus)
-	_, dir = r.runSystem(core.Config{
-		Protocol: core.DirectoryRing, ProcCycle: 2 * sim.Nanosecond,
-		Ring: ring.Config{WidthBits: 64},
-	}, bench, cpus)
-	return snoop, dir
+	cfgs := []core.Config{
+		{Protocol: core.SnoopRing, ProcCycle: 2 * sim.Nanosecond,
+			Ring: ring.Config{WidthBits: 64}},
+		{Protocol: core.DirectoryRing, ProcCycle: 2 * sim.Nanosecond,
+			Ring: ring.Config{WidthBits: 64}},
+	}
+	r.prefetchConfigs(cfgs, bench, cpus)
+	return r.SimulateAt(cfgs[0], bench, cpus), r.SimulateAt(cfgs[1], bench, cpus)
 }
 
 // runSystem builds and runs one system over the calibrated workload.
@@ -232,13 +241,18 @@ type LatencyToleranceResult struct {
 // saturation. Stores retire through a write buffer (weak ordering);
 // loads still block.
 func (r *Runner) AblationLatencyTolerance(bench string, cpus int) []LatencyToleranceResult {
-	var out []LatencyToleranceResult
+	var cfgs []core.Config
 	for _, fabric := range []core.Protocol{core.SnoopRing, core.SnoopBus} {
 		base := core.Config{Protocol: fabric, ProcCycle: 5 * sim.Nanosecond}
-		_, blocking := r.runSystem(base, bench, cpus)
 		nb := base
 		nb.NonBlockingStores = true
-		_, weak := r.runSystem(nb, bench, cpus)
+		cfgs = append(cfgs, base, nb)
+	}
+	r.prefetchConfigs(cfgs, bench, cpus)
+	var out []LatencyToleranceResult
+	for i, fabric := range []core.Protocol{core.SnoopRing, core.SnoopBus} {
+		blocking := r.SimulateAt(cfgs[2*i], bench, cpus)
+		weak := r.SimulateAt(cfgs[2*i+1], bench, cpus)
 		be := blocking.ExecTime.Nanoseconds() / 1000
 		ne := weak.ExecTime.Nanoseconds() / 1000
 		out = append(out, LatencyToleranceResult{
@@ -422,15 +436,19 @@ type BlockSizeResult struct {
 // inter-arrival bound on the snooper. The paper fixes 16-byte blocks;
 // the sweep shows the trade it sits on.
 func (r *Runner) AblationBlockSize(bench string, cpus int) []BlockSizeResult {
-	var out []BlockSizeResult
+	var cfgs []core.Config
 	for _, bb := range []int{16, 32, 64} {
-		cfg := core.Config{
+		cfgs = append(cfgs, core.Config{
 			Protocol:  core.SnoopRing,
 			ProcCycle: 5 * sim.Nanosecond,
 			Cache:     cache.Config{SizeBytes: 128 << 10, BlockBytes: bb},
 			Ring:      ring.Config{BlockBytes: bb},
-		}
-		_, m := r.runSystem(cfg, bench, cpus)
+		})
+	}
+	r.prefetchConfigs(cfgs, bench, cpus)
+	var out []BlockSizeResult
+	for i, bb := range []int{16, 32, 64} {
+		m := r.SimulateAt(cfgs[i], bench, cpus)
 		g := ring.NewGeometry(ring.Config{Nodes: cpus, BlockBytes: bb})
 		out = append(out, BlockSizeResult{
 			BlockBytes:   bb,

@@ -57,6 +57,14 @@ func newPanels(title string) *FigurePanels {
 // and miss latency vs processor cycle, with one snooping and one
 // directory curve per system size (8, 16, 32).
 func (r *Runner) Figure3(bench string) *FigurePanels {
+	var pts []SimPoint
+	for _, cpus := range splashSizes {
+		for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+			pts = append(pts, SimPoint{proto, bench, cpus})
+		}
+	}
+	r.Prefetch(pts...)
+
 	p := newPanels("Figure 3 " + bench)
 	for _, cpus := range splashSizes {
 		for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
@@ -72,6 +80,14 @@ func (r *Runner) Figure3(bench string) *FigurePanels {
 // Figure4 reproduces the same three panels for the 64-processor
 // benchmarks FFT, WEATHER and SIMPLE.
 func (r *Runner) Figure4() *FigurePanels {
+	var pts []SimPoint
+	for _, bench := range workload.MITNames() {
+		for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
+			pts = append(pts, SimPoint{proto, bench, 64})
+		}
+	}
+	r.Prefetch(pts...)
+
 	p := newPanels("Figure 4 FFT/WEATHER/SIMPLE (64 CPUs)")
 	for _, bench := range workload.MITNames() {
 		for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing} {
@@ -95,6 +111,17 @@ type Figure5Row struct {
 // Figure5Data computes the directory-protocol miss breakdown for every
 // benchmark × size.
 func (r *Runner) Figure5Data() []Figure5Row {
+	var pts []SimPoint
+	for _, bench := range workload.SPLASHNames() {
+		for _, cpus := range splashSizes {
+			pts = append(pts, SimPoint{core.DirectoryRing, bench, cpus})
+		}
+	}
+	for _, bench := range workload.MITNames() {
+		pts = append(pts, SimPoint{core.DirectoryRing, bench, 64})
+	}
+	r.Prefetch(pts...)
+
 	var rows []Figure5Row
 	add := func(bench string, cpus int) {
 		_, m := r.Simulate(core.DirectoryRing, bench, cpus)
@@ -143,6 +170,7 @@ func (r *Runner) Figure5() *stats.Table {
 // 100/50 MHz buses, all under snooping.
 func (r *Runner) Figure6(bench string, cpus int) *FigurePanels {
 	p := newPanels(fmt.Sprintf("Figure 6 %s-%d", bench, cpus))
+	r.Prefetch(SimPoint{core.SnoopRing, bench, cpus}, SimPoint{core.SnoopBus, bench, cpus})
 	calRing, _ := r.Simulate(core.SnoopRing, bench, cpus)
 	calBus, _ := r.Simulate(core.SnoopBus, bench, cpus)
 	for _, mhz := range []int{500, 250} {

@@ -21,6 +21,7 @@ func (r *Runner) Table1() *stats.Table {
 	t := stats.NewTable(
 		"Table 1: ring traversals, full map vs linked list (%)",
 		"benchmark", "txn", "proto", "1", "2", "3+")
+	r.prefetchTable1()
 	for _, bench := range workload.SPLASHNames() {
 		for _, proto := range []core.Protocol{core.DirectoryRing, core.SCIRing} {
 			name := "full"
@@ -50,9 +51,22 @@ type Table1Row struct {
 	Inv1, Inv2, Inv3    float64
 }
 
+// prefetchTable1 warms the directory-organization simulations shared
+// by Table1 and Table1Data.
+func (r *Runner) prefetchTable1() {
+	var pts []SimPoint
+	for _, bench := range workload.SPLASHNames() {
+		for _, proto := range []core.Protocol{core.DirectoryRing, core.SCIRing} {
+			pts = append(pts, SimPoint{proto, bench, 16})
+		}
+	}
+	r.Prefetch(pts...)
+}
+
 // Table1Data computes the Table 1 rows.
 func (r *Runner) Table1Data() []Table1Row {
 	var rows []Table1Row
+	r.prefetchTable1()
 	for _, bench := range workload.SPLASHNames() {
 		for _, proto := range []core.Protocol{core.DirectoryRing, core.SCIRing} {
 			_, m := r.Simulate(proto, bench, 16)
@@ -78,6 +92,11 @@ func (r *Runner) Table2() *stats.Table {
 		"Table 2: trace characteristics (measured synthetic vs paper target)",
 		"benchmark", "proc", "priv%w", "shared%w", "sharedfrac",
 		"totMR%", "totMR%paper", "shMR%", "shMR%paper")
+	var pts []SimPoint
+	for _, p := range workload.Profiles() {
+		pts = append(pts, SimPoint{core.DirectoryRing, p.Name, p.CPUs})
+	}
+	r.Prefetch(pts...)
 	for _, p := range workload.Profiles() {
 		wcfg, _ := r.workloadFor(p.Name, p.CPUs)
 		gen := workload.NewGenerator(wcfg)
@@ -131,6 +150,15 @@ func (r *Runner) Table4() *stats.Table {
 		"benchmark",
 		"250MHz/100MIPS", "250MHz/200MIPS", "250MHz/400MIPS",
 		"500MHz/100MIPS", "500MHz/200MIPS", "500MHz/400MIPS")
+	var pts []SimPoint
+	for _, bench := range workload.SPLASHNames() {
+		for _, cpus := range splashSizes {
+			pts = append(pts,
+				SimPoint{core.SnoopRing, bench, cpus},
+				SimPoint{core.SnoopBus, bench, cpus})
+		}
+	}
+	r.Prefetch(pts...)
 	for _, bench := range workload.SPLASHNames() {
 		for _, cpus := range splashSizes {
 			calRing, _ := r.Simulate(core.SnoopRing, bench, cpus)
@@ -180,7 +208,18 @@ func (r *Runner) Validation(bench string, cpus int) *stats.Table {
 		fmt.Sprintf("Model validation, %s/%d (calibrated at 50 MIPS)", bench, cpus),
 		"proto", "cycle(ns)", "Uproc(model)", "Uproc(sim)", "Unet(model)", "Unet(sim)",
 		"lat(model)", "lat(sim)")
-	for _, proto := range []core.Protocol{core.SnoopRing, core.DirectoryRing, core.SnoopBus} {
+	protos := []core.Protocol{core.SnoopRing, core.DirectoryRing, core.SnoopBus}
+	var pts []SimPoint
+	var cfgs []core.Config
+	for _, proto := range protos {
+		pts = append(pts, SimPoint{proto, bench, cpus})
+		for _, cycNS := range []int{5, 10, 20} {
+			cfgs = append(cfgs, core.Config{Protocol: proto, ProcCycle: sim.Time(cycNS) * sim.Nanosecond})
+		}
+	}
+	r.Prefetch(pts...)
+	r.prefetchConfigs(cfgs, bench, cpus)
+	for _, proto := range protos {
 		cal, _ := r.Simulate(proto, bench, cpus)
 		for _, cycNS := range []int{5, 10, 20} {
 			cyc := sim.Time(cycNS) * sim.Nanosecond

@@ -47,6 +47,17 @@ func (m *Mean) Observe(v float64) {
 // N returns the number of samples.
 func (m *Mean) N() uint64 { return m.n }
 
+// Moments returns the raw accumulator state — sample count, sum, min
+// and max — so a Mean can be serialized and reconstructed losslessly.
+func (m *Mean) Moments() (n uint64, sum, min, max float64) {
+	return m.n, m.sum, m.min, m.max
+}
+
+// MeanFromMoments rebuilds a Mean from the state Moments reported.
+func MeanFromMoments(n uint64, sum, min, max float64) Mean {
+	return Mean{n: n, sum: sum, min: min, max: max}
+}
+
 // Sum returns the sum of all samples.
 func (m *Mean) Sum() float64 { return m.sum }
 
@@ -142,6 +153,25 @@ func NewDistribution() *Distribution {
 func (d *Distribution) Observe(outcome int) {
 	d.counts[outcome]++
 	d.total++
+}
+
+// AddCount tallies n occurrences of one outcome at once, the bulk
+// form of Observe used when rebuilding a serialized distribution.
+func (d *Distribution) AddCount(outcome int, n uint64) {
+	if n == 0 {
+		return
+	}
+	d.counts[outcome] += n
+	d.total += n
+}
+
+// Counts returns a copy of the per-outcome tallies.
+func (d *Distribution) Counts() map[int]uint64 {
+	out := make(map[int]uint64, len(d.counts))
+	for o, c := range d.counts {
+		out[o] = c
+	}
+	return out
 }
 
 // N returns the number of observations.

@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cacheSource says where a lookup was satisfied.
+type cacheSource int
+
+const (
+	cacheMiss cacheSource = iota
+	cacheMem
+	cacheDisk
+)
+
+// cache is the two-level result store: a process-local map keyed by
+// job hash, backed by an optional content-addressed directory of
+// <hash>.json files. Disk failures are deliberately soft — a sweep
+// never fails because an artifact could not be written or parsed; the
+// job is simply recomputed.
+type resultCache struct {
+	dir string
+
+	mu  sync.RWMutex
+	mem map[string]*Result
+}
+
+func newCache(dir string) *resultCache {
+	return &resultCache{dir: dir, mem: make(map[string]*Result)}
+}
+
+func (c *resultCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// get looks a hash up in memory, then on disk. Disk hits are promoted
+// into memory so repeated lookups return the same *Result.
+func (c *resultCache) get(hash string) (*Result, cacheSource) {
+	c.mu.RLock()
+	r, ok := c.mem[hash]
+	c.mu.RUnlock()
+	if ok {
+		return r, cacheMem
+	}
+	if c.dir == "" {
+		return nil, cacheMiss
+	}
+	raw, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, cacheMiss
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil || res.Hash != hash {
+		return nil, cacheMiss
+	}
+	c.mu.Lock()
+	if prior, ok := c.mem[hash]; ok {
+		// Another worker promoted it first; keep one canonical object.
+		c.mu.Unlock()
+		return prior, cacheMem
+	}
+	c.mem[hash] = &res
+	c.mu.Unlock()
+	return &res, cacheDisk
+}
+
+// put stores a result in memory and, when configured, on disk via an
+// atomic rename so concurrent writers and readers never see a torn
+// file.
+func (c *resultCache) put(r *Result) error {
+	c.mu.Lock()
+	c.mem[r.Hash] = r
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sweep: encode result: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+r.Hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(r.Hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Executor computes one job's metrics. Executors must be pure: the
+// returned metrics may depend only on the job's content, never on
+// shared mutable state, wall-clock time, or execution order — that is
+// the contract the memoization and the determinism guarantee rest on.
+type Executor func(Job) (*core.Metrics, error)
+
+// EventType tags a progress event.
+type EventType int
+
+const (
+	// EventStart fires when a worker begins computing a job.
+	EventStart EventType = iota
+	// EventDone fires when a job finishes computing.
+	EventDone
+	// EventHit fires when a job is served from the cache.
+	EventHit
+	// EventError fires when a job's executor fails.
+	EventError
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventStart:
+		return "start"
+	case EventDone:
+		return "done"
+	case EventHit:
+		return "hit"
+	case EventError:
+		return "error"
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// Event is one progress notification, streamed to Options.OnEvent.
+type Event struct {
+	Type EventType
+	Job  Job
+	Hash string
+	// Wall is the job's execution wall-clock (EventDone only).
+	Wall time.Duration
+	Err  error
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size; zero means runtime.NumCPU().
+	Workers int
+	// CacheDir enables the on-disk content-addressed result cache.
+	CacheDir string
+	// Executors maps additional Job.Kind values to their executors.
+	// Kind "" (the standalone simulator) is always available unless
+	// overridden here.
+	Executors map[string]Executor
+	// OnEvent, when set, receives a streamed progress event per job
+	// start/finish/hit. It may be called from multiple workers
+	// concurrently and must not call back into the engine's Run.
+	OnEvent func(Event)
+}
+
+// BatchStats summarizes one Run call.
+type BatchStats struct {
+	Jobs      int           `json:"jobs"`
+	CacheHits int           `json:"cache_hits"`
+	DiskHits  int           `json:"disk_hits"`
+	Computed  int           `json:"computed"`
+	Errors    int           `json:"errors"`
+	Wall      time.Duration `json:"wall_ns"`
+}
+
+// HitRate is the fraction of jobs served from cache (memory or disk).
+func (b BatchStats) HitRate() float64 {
+	if b.Jobs == 0 {
+		return 0
+	}
+	return float64(b.CacheHits+b.DiskHits) / float64(b.Jobs)
+}
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	// Workers is the configured pool size.
+	Workers int `json:"workers"`
+	// Queued/Running/Done track job states across the engine lifetime;
+	// Done includes cache hits.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	// CacheHits/DiskHits/Computed/Errors partition Done.
+	CacheHits int `json:"cache_hits"`
+	DiskHits  int `json:"disk_hits"`
+	Computed  int `json:"computed"`
+	Errors    int `json:"errors"`
+	// ExecWall is total wall-clock spent executing jobs (sums across
+	// workers, so it can exceed elapsed time); MeanJobWall is the mean
+	// per computed job.
+	ExecWall    time.Duration `json:"exec_wall_ns"`
+	MeanJobWall time.Duration `json:"mean_job_wall_ns"`
+	// SimulatedPS is total simulated time produced by computed jobs;
+	// SimNSPerSec is the aggregate throughput in simulated nanoseconds
+	// per wall-clock second of execution.
+	SimulatedPS int64   `json:"simulated_ps"`
+	SimNSPerSec float64 `json:"sim_ns_per_sec"`
+	// LastBatch summarizes the most recent Run call; a repeated sweep
+	// shows its cache hit rate here.
+	LastBatch BatchStats `json:"last_batch"`
+}
+
+// HitRate is the lifetime fraction of jobs served from cache.
+func (s Stats) HitRate() float64 {
+	if s.Done == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.DiskHits) / float64(s.Done)
+}
+
+// inflight coalesces concurrent requests for the same job hash: the
+// first arrival computes, the rest wait for done.
+type inflight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Engine schedules jobs over a worker pool with memoized results. An
+// Engine is safe for concurrent use; results are deterministic per job
+// regardless of worker count or scheduling order.
+type Engine struct {
+	workers int
+	cache   *resultCache
+	execs   map[string]Executor
+	onEvent func(Event)
+
+	mu     sync.Mutex
+	flight map[string]*inflight
+	stats  Stats
+}
+
+// New returns an engine. The default executor (Job.Kind == "") runs a
+// standalone simulation of the job's machine over its benchmark's
+// Table 2 profile.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	execs := map[string]Executor{"": runStandalone}
+	for k, fn := range opts.Executors {
+		execs[k] = fn
+	}
+	e := &Engine{
+		workers: w,
+		cache:   newCache(opts.CacheDir),
+		execs:   execs,
+		onEvent: opts.OnEvent,
+		flight:  make(map[string]*inflight),
+	}
+	e.stats.Workers = w
+	return e
+}
+
+// Workers returns the configured pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	if s.Computed > 0 {
+		s.MeanJobWall = s.ExecWall / time.Duration(s.Computed)
+		if secs := s.ExecWall.Seconds(); secs > 0 {
+			s.SimNSPerSec = float64(s.SimulatedPS) / 1000 / secs
+		}
+	}
+	return s
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.onEvent != nil {
+		e.onEvent(ev)
+	}
+}
+
+// Run executes jobs over the worker pool and returns their results in
+// input order. Identical jobs are computed once; previously seen jobs
+// are served from the cache. On context cancellation Run stops
+// dispatching, waits for in-progress jobs, and returns ctx.Err();
+// undispatched slots are left nil. If an executor fails, the first
+// error is returned alongside the results that did complete.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]*Result, error) {
+	results := make([]*Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+
+	e.mu.Lock()
+	e.stats.Queued += len(jobs)
+	e.mu.Unlock()
+
+	var (
+		batchMu sync.Mutex
+		batch   BatchStats
+		firstEr error
+	)
+	batch.Jobs = len(jobs)
+	start := time.Now()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, src, err := e.do(jobs[i])
+				results[i] = res
+				batchMu.Lock()
+				switch {
+				case err != nil:
+					batch.Errors++
+					if firstEr == nil {
+						firstEr = err
+					}
+				case src == cacheMem:
+					batch.CacheHits++
+				case src == cacheDisk:
+					batch.DiskHits++
+				default:
+					batch.Computed++
+				}
+				batchMu.Unlock()
+			}
+		}()
+	}
+
+	var ctxErr error
+dispatch:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	batch.Wall = time.Since(start)
+	e.mu.Lock()
+	e.stats.Queued -= len(jobs)
+	if e.stats.Queued < 0 {
+		e.stats.Queued = 0
+	}
+	e.stats.LastBatch = batch
+	e.mu.Unlock()
+
+	if ctxErr != nil {
+		return results, ctxErr
+	}
+	return results, firstEr
+}
+
+// RunOne computes (or recalls) a single job on the calling goroutine.
+func (e *Engine) RunOne(job Job) (*Result, error) {
+	res, _, err := e.do(job)
+	return res, err
+}
+
+// do is the memoized single-job path: cache lookup, in-flight
+// coalescing, then execution.
+func (e *Engine) do(job Job) (*Result, cacheSource, error) {
+	job = job.Normalize()
+	hash := job.Hash()
+
+	if res, src := e.cache.get(hash); res != nil {
+		e.mu.Lock()
+		e.stats.Done++
+		if src == cacheDisk {
+			e.stats.DiskHits++
+		} else {
+			e.stats.CacheHits++
+		}
+		e.mu.Unlock()
+		e.emit(Event{Type: EventHit, Job: job, Hash: hash})
+		return res, src, nil
+	}
+
+	e.mu.Lock()
+	if fl, ok := e.flight[hash]; ok {
+		// Another worker is computing this exact job; wait and share.
+		e.mu.Unlock()
+		<-fl.done
+		e.mu.Lock()
+		e.stats.Done++
+		if fl.err != nil {
+			e.stats.Errors++
+		} else {
+			e.stats.CacheHits++
+		}
+		e.mu.Unlock()
+		if fl.err != nil {
+			return nil, cacheMiss, fl.err
+		}
+		return fl.res, cacheMem, nil
+	}
+	fl := &inflight{done: make(chan struct{})}
+	e.flight[hash] = fl
+	e.stats.Running++
+	e.mu.Unlock()
+
+	res, err := e.compute(job, hash)
+	fl.res, fl.err = res, err
+	e.mu.Lock()
+	delete(e.flight, hash)
+	e.stats.Running--
+	e.stats.Done++
+	if err != nil {
+		e.stats.Errors++
+	} else {
+		e.stats.Computed++
+	}
+	e.mu.Unlock()
+	close(fl.done)
+	return res, cacheMiss, err
+}
+
+// compute runs the job's executor and stores the result.
+func (e *Engine) compute(job Job, hash string) (*Result, error) {
+	exec, ok := e.execs[job.Kind]
+	if !ok {
+		err := fmt.Errorf("sweep: no executor for job kind %q", job.Kind)
+		e.emit(Event{Type: EventError, Job: job, Hash: hash, Err: err})
+		return nil, err
+	}
+	e.emit(Event{Type: EventStart, Job: job, Hash: hash})
+	start := time.Now()
+	m, err := exec(job)
+	wall := time.Since(start)
+	if err != nil {
+		e.emit(Event{Type: EventError, Job: job, Hash: hash, Err: err})
+		return nil, fmt.Errorf("sweep: job %s: %w", job, err)
+	}
+	res := newResult(job, hash, m)
+	if perr := e.cache.put(res); perr != nil {
+		// Disk artifacts are best-effort; memory already holds it.
+		e.emit(Event{Type: EventError, Job: job, Hash: hash, Err: perr})
+	}
+	e.mu.Lock()
+	e.stats.ExecWall += wall
+	e.stats.SimulatedPS += int64(m.ExecTime)
+	e.mu.Unlock()
+	e.emit(Event{Type: EventDone, Job: job, Hash: hash, Wall: wall})
+	return res, nil
+}

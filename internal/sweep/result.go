@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Result is one job's cached outcome: the job itself, its content
+// hash, and the full metrics snapshot. Results serialize to JSON for
+// the on-disk cache; the live *core.Metrics is rebuilt lazily so
+// consumers see the same object regardless of where the result came
+// from.
+type Result struct {
+	Job      Job                  `json:"job"`
+	Hash     string               `json:"hash"`
+	Snapshot core.MetricsSnapshot `json:"metrics"`
+
+	once    sync.Once
+	metrics *core.Metrics
+}
+
+// newResult wraps freshly computed metrics.
+func newResult(job Job, hash string, m *core.Metrics) *Result {
+	return &Result{Job: job, Hash: hash, Snapshot: m.Snapshot(), metrics: m}
+}
+
+// Metrics returns the live metrics, rebuilding them from the snapshot
+// when the result was loaded from disk. The same pointer is returned
+// on every call.
+func (r *Result) Metrics() *core.Metrics {
+	r.once.Do(func() {
+		if r.metrics == nil {
+			r.metrics = r.Snapshot.Metrics()
+		}
+	})
+	return r.metrics
+}
+
+// CanonicalMetrics returns the deterministic serialized form of the
+// result's metrics — the bytes the determinism regression compares
+// across worker counts and cache states.
+func (r *Result) CanonicalMetrics() []byte {
+	b, err := json.Marshal(r.Snapshot)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: canonicalize metrics: %v", err))
+	}
+	return b
+}
+
+// Summary holds the headline quantities the paper plots, derived from
+// the snapshot for convenience in tables and progress output.
+type Summary struct {
+	ProcUtil      float64 `json:"proc_util"`
+	NetworkUtil   float64 `json:"network_util"`
+	MissLatencyNS float64 `json:"miss_latency_ns"`
+	ExecTimeUS    float64 `json:"exec_time_us"`
+}
+
+// Summary derives the headline quantities.
+func (r *Result) Summary() Summary {
+	m := r.Metrics()
+	return Summary{
+		ProcUtil:      m.ProcUtil(),
+		NetworkUtil:   m.NetworkUtil,
+		MissLatencyNS: m.MissLatency.Value(),
+		ExecTimeUS:    m.ExecTime.Nanoseconds() / 1000,
+	}
+}

@@ -20,6 +20,13 @@ type SuiteOptions struct {
 	DataRefsPerCPU int
 	// Seed makes the whole suite reproducible (default fixed).
 	Seed uint64
+	// Workers sizes the simulation worker pool (default
+	// runtime.NumCPU()). Results are identical for any worker count.
+	Workers int
+	// CacheDir, when set, persists simulation results to a
+	// content-addressed on-disk cache, so a rerun of the suite replays
+	// instead of recomputing.
+	CacheDir string
 }
 
 // NewSuite returns an evaluation suite.
@@ -27,7 +34,49 @@ func NewSuite(opts SuiteOptions) *Suite {
 	return &Suite{r: experiments.NewRunner(experiments.Options{
 		DataRefsPerCPU: opts.DataRefsPerCPU,
 		Seed:           opts.Seed,
+		Workers:        opts.Workers,
+		CacheDir:       opts.CacheDir,
 	})}
+}
+
+// SweepStats is the suite's work accounting: how many calibration
+// simulations ran, how many were served from the memoization cache,
+// and the aggregate simulation throughput.
+type SweepStats struct {
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// Done counts finished jobs (including cache hits); CacheHits,
+	// DiskHits, Computed and Errors partition it.
+	Done      int `json:"done"`
+	CacheHits int `json:"cache_hits"`
+	DiskHits  int `json:"disk_hits"`
+	Computed  int `json:"computed"`
+	Errors    int `json:"errors"`
+	// ExecWallNS is total wall clock spent computing jobs (summed
+	// across workers); MeanJobWallNS is the mean per computed job.
+	ExecWallNS    int64 `json:"exec_wall_ns"`
+	MeanJobWallNS int64 `json:"mean_job_wall_ns"`
+	// SimulatedNS is total simulated time produced; SimNSPerSec is
+	// simulated nanoseconds per wall-clock second of execution.
+	SimulatedNS int64   `json:"simulated_ns"`
+	SimNSPerSec float64 `json:"sim_ns_per_sec"`
+}
+
+// SweepStats snapshots the suite's simulation-engine counters.
+func (s *Suite) SweepStats() SweepStats {
+	st := s.r.SweepStats()
+	return SweepStats{
+		Workers:       st.Workers,
+		Done:          st.Done,
+		CacheHits:     st.CacheHits,
+		DiskHits:      st.DiskHits,
+		Computed:      st.Computed,
+		Errors:        st.Errors,
+		ExecWallNS:    st.ExecWall.Nanoseconds(),
+		MeanJobWallNS: st.MeanJobWall.Nanoseconds(),
+		SimulatedNS:   st.SimulatedPS / 1000,
+		SimNSPerSec:   st.SimNSPerSec,
+	}
 }
 
 // Table1 renders the ring-traversal distribution comparison (full-map
