@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -53,10 +56,16 @@ type benchReport struct {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C / SIGTERM cancel the context: undispatched calibration
+	// sweeps are abandoned, the current experiment finishes its
+	// in-progress simulations into the cache, and the run stops at the
+	// next experiment boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -73,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	s := repro.NewSuite(repro.SuiteOptions{
+		Context:        ctx,
 		DataRefsPerCPU: *refs,
 		Seed:           *seed,
 		Workers:        *workers,
@@ -159,6 +169,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		matched = true
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(stderr, "ringbench: interrupted:", err)
+			return 1
+		}
 		before := s.SweepStats()
 		start := time.Now()
 		out := e.run()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,7 +13,7 @@ import (
 func TestRunOneExperimentWritesReport(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_1.json")
 	var out, errb bytes.Buffer
-	code := run([]string{"-only", "table1", "-refs", "300", "-json", jsonPath}, &out, &errb)
+	code := run(context.Background(), []string{"-only", "table1", "-refs", "300", "-json", jsonPath}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
@@ -40,9 +41,21 @@ func TestRunOneExperimentWritesReport(t *testing.T) {
 	}
 }
 
+func TestRunCancelledContextStopsAtExperimentBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	if code := run(ctx, []string{"-only", "table1", "-refs", "300", "-json", ""}, &out, &errb); code != 1 {
+		t.Fatalf("cancelled run exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-only", "nope", "-json", ""}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-only", "nope", "-json", ""}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "unknown experiment") {

@@ -1,0 +1,211 @@
+// Command ringload drives a running ringserved instance with a
+// closed-loop job workload and reports serving throughput, latency
+// percentiles, and the cache-hit rate the memoizing engine achieved.
+//
+// The workload is a pool of -jobs distinct simulation points cycled
+// round-robin across -requests total submissions from -concurrency
+// workers. With requests >> jobs the steady state is cache-hit
+// dominated, which is exactly the serving economics the layer exists
+// for; -out writes the measurements as a BENCH artifact.
+//
+// Usage:
+//
+//	ringload -url http://localhost:8080 -requests 200 -jobs 8
+//	ringload -url http://localhost:8080 -concurrency 16 -out BENCH_2.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the JSON artifact ringload emits: one load-test run
+// against one server.
+type report struct {
+	URL          string  `json:"url"`
+	Jobs         int     `json:"distinct_jobs"`
+	Requests     int     `json:"requests"`
+	Concurrency  int     `json:"concurrency"`
+	Errors       int     `json:"errors"`
+	WallNS       int64   `json:"wall_ns"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MaxMS        float64 `json:"max_ms"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url         = fs.String("url", "http://localhost:8080", "ringserved base URL")
+		requests    = fs.Int("requests", 200, "total job submissions")
+		jobs        = fs.Int("jobs", 8, "distinct jobs in the workload pool")
+		concurrency = fs.Int("concurrency", 8, "concurrent client workers")
+		bench       = fs.String("bench", "MP3D", "benchmark for generated jobs")
+		cpus        = fs.Int("cpus", 8, "processors per generated job")
+		refs        = fs.Int("refs", 500, "data references per processor")
+		deadlineMS  = fs.Int("deadline", 0, "per-request deadline_ms (0 = none)")
+		out         = fs.String("out", "", "write the report JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *requests <= 0 || *jobs <= 0 || *concurrency <= 0 {
+		fmt.Fprintln(stderr, "ringload: requests, jobs and concurrency must be positive")
+		return 1
+	}
+
+	// The workload pool: distinct points along the paper's processor
+	// cycle axis, so each job is a different simulation.
+	pool := make([][]byte, *jobs)
+	for i := range pool {
+		j := sweep.Job{
+			Benchmark:      *bench,
+			CPUs:           *cpus,
+			DataRefsPerCPU: *refs,
+			ProcCyclePS:    int64(2+2*(i%10)) * 1000,
+			Seed:           uint64(1 + i/10),
+		}
+		body, err := json.Marshal(j)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		pool[i] = body
+	}
+
+	target := *url + "/v1/jobs"
+	if *deadlineMS > 0 {
+		target = fmt.Sprintf("%s?deadline_ms=%d", target, *deadlineMS)
+	}
+
+	var (
+		next      atomic.Int64
+		errCount  atomic.Int64
+		hitCount  atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+	)
+	client := &http.Client{}
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(*requests) || ctx.Err() != nil {
+					return
+				}
+				body := pool[n%int64(len(pool))]
+				reqBegin := time.Now()
+				ok, cached := submit(ctx, client, target, body)
+				lat := time.Since(reqBegin)
+				if !ok {
+					errCount.Add(1)
+					continue
+				}
+				if cached {
+					hitCount.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, lat.Seconds())
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "ringload: interrupted")
+		return 1
+	}
+	if len(latencies) == 0 {
+		fmt.Fprintln(stderr, "ringload: every request failed; is ringserved running at", *url, "?")
+		return 1
+	}
+
+	rep := report{
+		URL:          *url,
+		Jobs:         *jobs,
+		Requests:     *requests,
+		Concurrency:  *concurrency,
+		Errors:       int(errCount.Load()),
+		WallNS:       wall.Nanoseconds(),
+		ReqPerSec:    float64(len(latencies)) / wall.Seconds(),
+		CacheHitRate: float64(hitCount.Load()) / float64(len(latencies)),
+		P50MS:        1000 * stats.Percentile(latencies, 0.50),
+		P95MS:        1000 * stats.Percentile(latencies, 0.95),
+		P99MS:        1000 * stats.Percentile(latencies, 0.99),
+		MaxMS:        1000 * stats.Percentile(latencies, 1.0),
+	}
+
+	fmt.Fprintf(stdout, "ringload: %d ok / %d errors in %v (%.1f req/s)\n",
+		len(latencies), rep.Errors, wall.Round(time.Millisecond), rep.ReqPerSec)
+	fmt.Fprintf(stdout, "          cache-hit rate %.3f, latency p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
+		rep.CacheHitRate, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "ringload:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "          wrote %s\n", *out)
+	}
+	return 0
+}
+
+// submit posts one job and reports success plus whether the server
+// answered it from cache.
+func submit(ctx context.Context, client *http.Client, target string, body []byte) (ok, cached bool) {
+	req, err := http.NewRequestWithContext(ctx, "POST", target, bytes.NewReader(body))
+	if err != nil {
+		return false, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false, false
+	}
+	var jr struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return false, false
+	}
+	return true, jr.Cached
+}

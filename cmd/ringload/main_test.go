@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// fastExecutor fabricates metrics so the load test measures the
+// serving layer, not the simulator.
+func fastExecutor(j sweep.Job) (*core.Metrics, error) {
+	m := &core.Metrics{
+		ExecTime: sim.Time(int64(j.CPUs) * 1000),
+		BusyTime: sim.Time(int64(j.CPUs) * 500),
+		DataRefs: uint64(j.CPUs * j.DataRefsPerCPU),
+	}
+	m.MissLatency.Observe(600)
+	return m, nil
+}
+
+func startRingserved(t *testing.T) string {
+	t.Helper()
+	eng := sweep.New(sweep.Options{
+		Workers:   4,
+		Executors: map[string]sweep.Executor{"": fastExecutor},
+	})
+	ts := httptest.NewServer(serve.New(serve.Options{Engine: eng}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestLoadRunReportsHitsAndPercentiles(t *testing.T) {
+	url := startRingserved(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", url,
+		"-requests", "120",
+		"-jobs", "4",
+		"-concurrency", "6",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bad artifact %s: %v", data, err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("report has %d errors", rep.Errors)
+	}
+	// 120 requests over 4 distinct jobs: at most 4 cold computes, so
+	// the hit rate must clear the acceptance bar comfortably.
+	if rep.CacheHitRate < 0.95 {
+		t.Errorf("cache-hit rate %.3f, want >= 0.95", rep.CacheHitRate)
+	}
+	if rep.P50MS <= 0 || rep.P95MS < rep.P50MS || rep.P99MS < rep.P95MS || rep.MaxMS < rep.P99MS {
+		t.Errorf("implausible percentiles: %+v", rep)
+	}
+	if rep.ReqPerSec <= 0 || rep.Requests != 120 || rep.Jobs != 4 {
+		t.Errorf("bad report bookkeeping: %+v", rep)
+	}
+}
+
+func TestLoadRunFailsCleanlyWithoutServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", "http://127.0.0.1:1", // nothing listens on port 1
+		"-requests", "3",
+		"-jobs", "1",
+		"-concurrency", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("no diagnostic on stderr")
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-requests", "0"}, &out, &out); code != 1 {
+		t.Errorf("zero requests exit %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-bogus"}, &out, &out); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+}

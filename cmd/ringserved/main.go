@@ -1,0 +1,119 @@
+// Command ringserved runs the simulation-as-a-service HTTP layer: a
+// long-lived daemon that accepts sweep jobs, batches, and named paper
+// experiments over HTTP/JSON, schedules them through one shared
+// memoizing engine, and streams progress as Server-Sent Events.
+//
+// Usage:
+//
+//	ringserved -addr :8080 -cachedir .servecache
+//	ringserved -queue 128 -inflight 8 -discipline sjf
+//
+// Routes (see DESIGN.md §9):
+//
+//	POST /v1/jobs                submit one simulation point
+//	POST /v1/sweeps              submit a batch
+//	GET  /v1/experiments         list named experiments
+//	POST /v1/experiments/{name}  run a named experiment
+//	GET  /v1/results/{hash}      idempotent lookup by content hash
+//	GET  /v1/events              live progress stream (SSE)
+//	GET  /healthz, /metrics      liveness and Prometheus metrics
+//
+// SIGINT/SIGTERM begin a graceful drain: new submissions receive 503
+// while queued and in-flight requests run to completion (bounded by
+// -draintimeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ringserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "engine worker pool size (0 = all CPUs)")
+		cacheDir     = fs.String("cachedir", "", "persist results to this content-addressed cache directory")
+		queueDepth   = fs.Int("queue", 64, "admission queue depth (overflow returns 429)")
+		maxInFlight  = fs.Int("inflight", 0, "max concurrently executing requests (0 = all CPUs)")
+		discipline   = fs.String("discipline", "fcfs", "admission queue discipline: fcfs | sjf")
+		maxDeadline  = fs.Duration("maxdeadline", 2*time.Minute, "cap on client-requested deadlines")
+		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max wait for in-flight work on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	disc, err := serve.ParseDiscipline(*discipline)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringserved:", err)
+		return 1
+	}
+
+	eng := sweep.New(sweep.Options{Workers: *workers, CacheDir: *cacheDir})
+	srv := serve.New(serve.Options{
+		Engine:      eng,
+		QueueDepth:  *queueDepth,
+		MaxInFlight: *maxInFlight,
+		Discipline:  disc,
+		MaxDeadline: *maxDeadline,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringserved:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "ringserved: listening on %s (%d workers, queue %d, %s)\n",
+		ln.Addr(), eng.Workers(), *queueDepth, disc)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "ringserved:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new work, finish what was admitted, then
+	// close the listener and exit.
+	fmt.Fprintln(stdout, "ringserved: draining")
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "ringserved: drain:", err)
+		httpSrv.Close()
+		return 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "ringserved: shutdown:", err)
+		return 1
+	}
+	st := eng.Stats()
+	fmt.Fprintf(stdout, "ringserved: drained (%d jobs done, %d computed, %.0f%% cache hits)\n",
+		st.Done, st.Computed, 100*st.HitRate())
+	return 0
+}

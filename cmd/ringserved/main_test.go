@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run() writes from the
+// serving goroutine while the test polls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+:\d+)`)
+
+// startServer runs the daemon on an ephemeral port and returns its
+// base URL, a cancel that delivers the shutdown signal, and the exit
+// channel.
+func startServer(t *testing.T, args ...string) (string, context.CancelFunc, <-chan int, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), stdout, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			return "http://" + m[1], cancel, exit, stdout
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("server exited %d before listening\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never listened\nstdout: %s\nstderr: %s", stdout, stderr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeSubmitAndShutdown(t *testing.T) {
+	url, cancel, exit, stdout := startServer(t, "-workers", "2")
+	defer cancel()
+
+	body := strings.NewReader(`{"benchmark":"MP3D","cpus":8,"data_refs_per_cpu":100}`)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr struct {
+		Hash   string `json:"hash"`
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || jr.Hash == "" || jr.Source != "computed" {
+		t.Fatalf("submit status %d result %+v", resp.StatusCode, jr)
+	}
+
+	// Health and metrics answer.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, r.StatusCode)
+		}
+	}
+
+	// The shutdown signal drains and exits 0.
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d\nstdout: %s", code, stdout)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never exited after signal")
+	}
+	if out := stdout.String(); !strings.Contains(out, "drained") {
+		t.Errorf("shutdown did not report drain:\n%s", out)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-discipline", "lifo"}, &out, &out); code != 1 {
+		t.Errorf("bad discipline exit %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &out); code != 1 {
+		t.Errorf("bad addr exit %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-nonsense"}, &out, &out); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+}
+
+func TestServeJobFieldNames(t *testing.T) {
+	// Guard the JSON contract the test workload depends on: a job
+	// round-trips through the daemon using snake_case field names.
+	url, cancel, exit, _ := startServer(t, "-workers", "1")
+	defer func() { cancel(); <-exit }()
+	payload := fmt.Sprintf(`{"benchmark":%q,"cpus":8,"data_refs_per_cpu":50,"seed":7}`, "MP3D")
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+	}
+}

@@ -21,16 +21,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/sweep"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C / SIGTERM cancel the context, which cancels undispatched
+	// sweep jobs; in-progress simulations finish into the cache.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -101,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng := sweep.New(sweep.Options{Workers: *workers, CacheDir: *cacheDir})
-	results, err := eng.Run(context.Background(), jobs)
+	results, err := eng.Run(ctx, jobs)
 	if err != nil {
 		fmt.Fprintln(stderr, "ringsweep:", err)
 		return 1

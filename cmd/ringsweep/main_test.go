@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestRunCycleSweep(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run([]string{"-param", "cycle", "-from", "5", "-to", "10", "-step", "5",
+	code := run(context.Background(), []string{"-param", "cycle", "-from", "5", "-to", "10", "-step", "5",
 		"-refs", "200", "-cpus", "8"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
@@ -31,7 +32,7 @@ func TestRunCPUSweepWithStatsAndCache(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-param", "cpus", "-bench", "WATER", "-refs", "200",
 		"-cachedir", dir, "-stats"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "engine:") {
@@ -43,7 +44,7 @@ func TestRunCPUSweepWithStatsAndCache(t *testing.T) {
 
 	// A second run against the same cache must agree and hit disk.
 	var out2 bytes.Buffer
-	if code := run(args, &out2, &errb); code != 0 {
+	if code := run(context.Background(), args, &out2, &errb); code != 0 {
 		t.Fatalf("rerun exit %d, stderr: %s", code, errb.String())
 	}
 	strip := func(s string) string { return strings.SplitAfter(s, "engine:")[0] }
@@ -53,9 +54,23 @@ func TestRunCPUSweepWithStatsAndCache(t *testing.T) {
 	}
 }
 
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{"-param", "cycle", "-from", "5", "-to", "10", "-step", "5",
+		"-refs", "200", "-cpus", "8"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("cancelled sweep exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "context canceled") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
 func TestRunRejectsUnknownParam(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-param", "nope"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-param", "nope"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "unknown parameter") {
@@ -65,7 +80,7 @@ func TestRunRejectsUnknownParam(t *testing.T) {
 
 func TestRunRejectsUnknownBenchmark(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-bench", "NOSUCH", "-refs", "100"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-bench", "NOSUCH", "-refs", "100"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }

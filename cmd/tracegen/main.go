@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/trace"
@@ -19,19 +20,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench = flag.String("bench", "MP3D", "benchmark: MP3D | WATER | CHOLESKY | FFT | WEATHER | SIMPLE")
-		cpus  = flag.Int("cpus", 16, "processor count (must match a Table 2 profile)")
-		refs  = flag.Int("refs", 10000, "data references per processor")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("o", "", "output file (omit to only print statistics)")
+		bench = fs.String("bench", "MP3D", "benchmark: MP3D | WATER | CHOLESKY | FFT | WEATHER | SIMPLE")
+		cpus  = fs.Int("cpus", 16, "processor count (must match a Table 2 profile)")
+		refs  = fs.Int("refs", 10000, "data references per processor")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		out   = fs.String("o", "", "output file (omit to only print statistics)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	prof, ok := workload.ProfileFor(*bench, *cpus)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: no profile %s/%d\n", *bench, *cpus)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: no profile %s/%d\n", *bench, *cpus)
+		return 1
 	}
 	gen := workload.NewGenerator(workload.Config{
 		Profile:        prof,
@@ -41,22 +50,23 @@ func main() {
 	tr := workload.Materialize(prof.Name, gen)
 	st := trace.Measure(tr)
 
-	fmt.Printf("%s/%d: %d refs total\n", prof.Name, prof.CPUs, tr.TotalRefs())
-	fmt.Printf("  data refs        : %d\n", st.DataRefs)
-	fmt.Printf("  instr refs       : %d\n", st.InstrRefs)
-	fmt.Printf("  private refs     : %d (%.0f%% writes; paper %.0f%%)\n",
+	fmt.Fprintf(stdout, "%s/%d: %d refs total\n", prof.Name, prof.CPUs, tr.TotalRefs())
+	fmt.Fprintf(stdout, "  data refs        : %d\n", st.DataRefs)
+	fmt.Fprintf(stdout, "  instr refs       : %d\n", st.InstrRefs)
+	fmt.Fprintf(stdout, "  private refs     : %d (%.0f%% writes; paper %.0f%%)\n",
 		st.PrivateRefs, 100*st.PrivateWriteFrac(), 100*prof.PrivateWriteFrac)
-	fmt.Printf("  shared refs      : %d (%.0f%% writes; paper %.0f%%)\n",
+	fmt.Fprintf(stdout, "  shared refs      : %d (%.0f%% writes; paper %.0f%%)\n",
 		st.SharedRefs, 100*st.SharedWriteFrac(), 100*prof.SharedWriteFrac)
 
 	if *out == "" {
-		return
+		return 0
 	}
 	if err := trace.WriteFile(*out, tr); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
 	}
 	if info, err := os.Stat(*out); err == nil {
-		fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", *out, info.Size())
 	}
+	return 0
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunPrintsStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MP3D", "-cpus", "16", "-refs", "2000"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"MP3D/16:", "data refs", "shared refs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWritesReplayableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mp3d.trc.gz")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MP3D", "-cpus", "8", "-refs", "500", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing write confirmation:\n%s", out.String())
+	}
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatalf("written trace does not read back: %v", err)
+	}
+	if tr.TotalRefs() == 0 {
+		t.Error("written trace is empty")
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "MP3D", "-cpus", "3"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no profile") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

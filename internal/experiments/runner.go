@@ -30,6 +30,11 @@ import (
 
 // Options scales the experiment suite.
 type Options struct {
+	// Context cancels in-flight prefetch sweeps (e.g. on SIGINT); nil
+	// means context.Background(). Cancellation abandons undispatched
+	// simulation points; in-progress ones finish into the cache, and
+	// the serial fallback path still computes whatever a driver needs.
+	Context context.Context
 	// DataRefsPerCPU is the calibration-simulation length; larger is
 	// slower but steadier. Default 2000.
 	DataRefsPerCPU int
@@ -49,6 +54,9 @@ type Options struct {
 }
 
 func (o *Options) fill() {
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
 	if o.DataRefsPerCPU == 0 {
 		o.DataRefsPerCPU = 2000
 	}
@@ -289,7 +297,7 @@ func (r *Runner) Prefetch(points ...SimPoint) {
 	for i, p := range points {
 		jobs[i] = r.calJob(p.Proto, p.Bench, p.CPUs)
 	}
-	_, _ = r.eng.Run(context.Background(), jobs)
+	_, _ = r.eng.Run(r.opts.Context, jobs)
 }
 
 // prefetchConfigs fans SimulateAt-style points out over the worker
@@ -305,7 +313,7 @@ func (r *Runner) prefetchConfigs(cfgs []core.Config, bench string, cpus int) {
 			jobs = append(jobs, job)
 		}
 	}
-	_, _ = r.eng.Run(context.Background(), jobs)
+	_, _ = r.eng.Run(r.opts.Context, jobs)
 }
 
 // procCycleForMIPS converts a MIPS rating into a processor cycle time

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors the admission queue reports; the HTTP layer maps them to 429
+// (queue full) and 503 (draining).
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server draining")
+)
+
+// Discipline selects the admission queue's service order — the same
+// trade the paper's interconnect arbitration faces: FCFS is fair,
+// shortest-job-first minimizes mean waiting time at the cost of
+// potentially starving long sweeps under sustained short-job load.
+type Discipline int
+
+const (
+	// FCFS serves queued requests in arrival order.
+	FCFS Discipline = iota
+	// ShortestJob serves the queued request with the smallest cost
+	// estimate first (arrival order breaks ties).
+	ShortestJob
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case FCFS:
+		return "fcfs"
+	case ShortestJob:
+		return "sjf"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}
+
+// ParseDiscipline maps a flag value to a Discipline.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch s {
+	case "fcfs", "":
+		return FCFS, nil
+	case "sjf", "shortest-job":
+		return ShortestJob, nil
+	}
+	return 0, fmt.Errorf("serve: unknown admission discipline %q (want fcfs or sjf)", s)
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	cost      int64
+	seq       uint64
+	ready     chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+// admitter is the bounded admission queue: at most maxInFlight
+// requests hold execution slots, at most depth more wait in the queue,
+// and everything beyond that is rejected immediately — overload sheds
+// at the door rather than collapsing the pool.
+type admitter struct {
+	mu          sync.Mutex
+	idle        sync.Cond
+	maxInFlight int
+	depth       int
+	disc        Discipline
+
+	inflight int
+	queued   int
+	queue    []*waiter
+	seq      uint64
+	draining bool
+}
+
+func newAdmitter(maxInFlight, depth int, disc Discipline) *admitter {
+	a := &admitter{maxInFlight: maxInFlight, depth: depth, disc: disc}
+	a.idle.L = &a.mu
+	return a
+}
+
+// admit blocks until the caller holds an execution slot, the context
+// dies, or the request is rejected. On success the returned release
+// function must be called exactly once when the work completes.
+func (a *admitter) admit(ctx context.Context, cost int64) (release func(), err error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if a.inflight < a.maxInFlight && a.queued == 0 {
+		a.inflight++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if a.queued >= a.depth {
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{cost: cost, seq: a.seq, ready: make(chan struct{})}
+	a.seq++
+	a.queued++
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; the slot is ours and
+			// must be handed back, not leaked.
+			a.mu.Unlock()
+			a.release()
+			return nil, ctx.Err()
+		}
+		w.abandoned = true
+		a.queued--
+		a.idle.Broadcast()
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a slot: the best queued waiter inherits it, or the
+// in-flight gauge drops.
+func (a *admitter) release() {
+	a.mu.Lock()
+	if w := a.pop(); w != nil {
+		w.granted = true
+		a.queued--
+		close(w.ready)
+	} else {
+		a.inflight--
+	}
+	a.idle.Broadcast()
+	a.mu.Unlock()
+}
+
+// pop removes and returns the next waiter per the discipline, skipping
+// and compacting abandoned entries. Callers hold a.mu.
+func (a *admitter) pop() *waiter {
+	best := -1
+	live := a.queue[:0]
+	for _, w := range a.queue {
+		if w.abandoned {
+			continue
+		}
+		live = append(live, w)
+		i := len(live) - 1
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := live[best]
+		switch a.disc {
+		case ShortestJob:
+			if w.cost < b.cost || (w.cost == b.cost && w.seq < b.seq) {
+				best = i
+			}
+		default: // FCFS
+			if w.seq < b.seq {
+				best = i
+			}
+		}
+	}
+	a.queue = live
+	if best == -1 {
+		return nil
+	}
+	w := a.queue[best]
+	a.queue = append(a.queue[:best], a.queue[best+1:]...)
+	return w
+}
+
+// beginDrain stops admitting new work; queued and in-flight requests
+// run to completion.
+func (a *admitter) beginDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// drainWait blocks until no request is in flight or queued, or the
+// context dies.
+func (a *admitter) drainWait(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Taking the lock first guarantees the waiter is parked in
+			// Wait (not between its ctx check and Wait), so the wakeup
+			// cannot be lost.
+			a.mu.Lock()
+			a.idle.Broadcast()
+			a.mu.Unlock()
+		case <-done:
+		}
+	}()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.inflight > 0 || a.queued > 0 {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.idle.Wait()
+	}
+	return nil
+}
+
+// gauges reports the current queue depth and in-flight count.
+func (a *admitter) gauges() (queued, inflight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.inflight
+}

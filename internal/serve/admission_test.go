@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueued spins until the admitter's queue holds n requests.
+func waitQueued(t *testing.T, a *admitter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, _ := a.gauges(); q == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			q, f := a.gauges()
+			t.Fatalf("queue never reached %d (queued=%d inflight=%d)", n, q, f)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// grantOrder fills the queue with waiters of the given costs (arrival
+// order = slice order) while one request holds the only slot, then
+// releases it and reports the order waiters were granted.
+func grantOrder(t *testing.T, disc Discipline, costs []int64) []int64 {
+	t.Helper()
+	a := newAdmitter(1, len(costs), disc)
+	hold, err := a.admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int64
+	var wg sync.WaitGroup
+	for i, c := range costs {
+		wg.Add(1)
+		go func(c int64) {
+			defer wg.Done()
+			release, err := a.admit(context.Background(), c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, c)
+			mu.Unlock()
+			release()
+		}(c)
+		waitQueued(t, a, i+1) // fix arrival order
+	}
+	hold()
+	wg.Wait()
+	return order
+}
+
+func TestAdmitFCFSOrder(t *testing.T) {
+	order := grantOrder(t, FCFS, []int64{30, 10, 20})
+	want := []int64{30, 10, 20}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FCFS grant order %v, want arrival order %v", order, want)
+		}
+	}
+}
+
+func TestAdmitShortestJobOrder(t *testing.T) {
+	order := grantOrder(t, ShortestJob, []int64{30, 10, 20})
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("SJF grant order %v, want cost order %v", order, want)
+		}
+	}
+}
+
+func TestAdmitQueueOverflow(t *testing.T) {
+	a := newAdmitter(1, 1, FCFS)
+	hold, err := a.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedDone := make(chan struct{})
+	go func() {
+		defer close(queuedDone)
+		release, err := a.admit(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		release()
+	}()
+	waitQueued(t, a, 1)
+	if _, err := a.admit(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	hold()
+	<-queuedDone
+	if q, f := a.gauges(); q != 0 || f != 0 {
+		t.Errorf("admitter did not settle: queued=%d inflight=%d", q, f)
+	}
+}
+
+func TestAdmitAbandonsCancelledWaiter(t *testing.T) {
+	a := newAdmitter(1, 4, FCFS)
+	hold, err := a.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx, 1)
+		errCh <- err
+	}()
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	if q, _ := a.gauges(); q != 0 {
+		t.Errorf("abandoned waiter still counted queued (%d)", q)
+	}
+	// The slot must not be handed to the abandoned waiter.
+	granted := make(chan struct{})
+	go func() {
+		release, err := a.admit(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+		} else {
+			release()
+		}
+		close(granted)
+	}()
+	waitQueued(t, a, 1)
+	hold()
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("live waiter never granted after abandoned one")
+	}
+}
+
+func TestDrainRejectsAndWaits(t *testing.T) {
+	a := newAdmitter(2, 4, FCFS)
+	release, err := a.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.beginDrain()
+	if _, err := a.admit(context.Background(), 1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining admit err = %v, want ErrDraining", err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- a.drainWait(context.Background()) }()
+	select {
+	case <-waited:
+		t.Fatal("drainWait returned while work in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drainWait never returned after release")
+	}
+}
+
+func TestDrainWaitHonorsContext(t *testing.T) {
+	a := newAdmitter(1, 4, FCFS)
+	release, err := a.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.drainWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drainWait err = %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// ExperimentParams scale a named experiment. Zero values mean the
+// paper defaults (MP3D, 16 CPUs, 2000 refs, seed 1).
+type ExperimentParams struct {
+	Bench string
+	CPUs  int
+	Refs  int
+	Seed  uint64
+}
+
+func (p ExperimentParams) fill() ExperimentParams {
+	if p.Bench == "" {
+		p.Bench = "MP3D"
+	}
+	if p.CPUs == 0 {
+		p.CPUs = 16
+	}
+	if p.Refs == 0 {
+		p.Refs = 2000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+func (p ExperimentParams) baseJob() sweep.Job {
+	return sweep.Job{
+		Benchmark:      p.Bench,
+		CPUs:           p.CPUs,
+		DataRefsPerCPU: p.Refs,
+		Seed:           p.Seed,
+	}
+}
+
+// experiment is one named, parameterized job set.
+type experiment struct {
+	desc string
+	jobs func(p ExperimentParams) []sweep.Job
+}
+
+// cycleSweep expands a processor-cycle sweep (2–20 ns in 2 ns steps,
+// the x-axis of Figures 3, 4 and 6) for each protocol.
+func cycleSweep(p ExperimentParams, protocols ...string) []sweep.Job {
+	var jobs []sweep.Job
+	for _, proto := range protocols {
+		for cyc := int64(2); cyc <= 20; cyc += 2 {
+			j := p.baseJob()
+			j.Protocol = proto
+			j.ProcCyclePS = cyc * 1000
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// namedExperiments is the serving layer's experiment catalog: each
+// entry expands to the simulation points behind one of the paper's
+// headline comparisons.
+var namedExperiments = map[string]experiment{
+	"calibration": {
+		desc: "every protocol at the 50 MIPS calibration point",
+		jobs: func(p ExperimentParams) []sweep.Job {
+			var jobs []sweep.Job
+			for _, proto := range []string{"snoop-ring", "directory-ring", "sci-ring", "snoop-bus"} {
+				j := p.baseJob()
+				j.Protocol = proto
+				jobs = append(jobs, j)
+			}
+			return jobs
+		},
+	},
+	"figure3": {
+		desc: "snooping vs directory ring across processor speeds (Figure 3)",
+		jobs: func(p ExperimentParams) []sweep.Job {
+			return cycleSweep(p, "snoop-ring", "directory-ring")
+		},
+	},
+	"figure6": {
+		desc: "ring vs split-transaction bus across processor speeds (Figure 6)",
+		jobs: func(p ExperimentParams) []sweep.Job {
+			return cycleSweep(p, "snoop-ring", "snoop-bus")
+		},
+	},
+	"scaling": {
+		desc: "snooping ring at every profiled system size of the benchmark",
+		jobs: func(p ExperimentParams) []sweep.Job {
+			var jobs []sweep.Job
+			for _, prof := range workload.Profiles() {
+				if prof.Name != p.Bench {
+					continue
+				}
+				j := p.baseJob()
+				j.CPUs = prof.CPUs
+				jobs = append(jobs, j)
+			}
+			return jobs
+		},
+	},
+}
+
+// ExperimentNames lists the catalog in sorted order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(namedExperiments))
+	for name := range namedExperiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExpandExperiment returns the job set for one named experiment.
+func ExpandExperiment(name string, p ExperimentParams) ([]sweep.Job, error) {
+	exp, ok := namedExperiments[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown experiment %q", name)
+	}
+	jobs := exp.jobs(p.fill())
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("serve: experiment %q is empty for %+v (unknown benchmark?)", name, p.fill())
+	}
+	return jobs, nil
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metricsRegistry tracks per-endpoint request counts and latency
+// histograms and renders them in the Prometheus text exposition
+// format. It is deliberately tiny — the module has no Prometheus
+// client dependency, and the text format is a stable contract.
+type metricsRegistry struct {
+	mu       sync.Mutex
+	requests map[requestKey]uint64
+	latency  map[string]*stats.ExpHistogram
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		requests: make(map[requestKey]uint64),
+		latency:  make(map[string]*stats.ExpHistogram),
+	}
+}
+
+// observe records one served request.
+func (m *metricsRegistry) observe(endpoint string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{endpoint, code}]++
+	h, ok := m.latency[endpoint]
+	if !ok {
+		// 100 µs up to ~1.7 min in ×2 steps: simulation requests span
+		// sub-millisecond cache hits to multi-second cold sweeps.
+		h = stats.NewExpHistogram(100e-6, 2, 20)
+		m.latency[endpoint] = h
+	}
+	h.Observe(dur.Seconds())
+}
+
+// render writes every series. Output order is deterministic so the
+// endpoint is diffable and testable.
+func (m *metricsRegistry) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP ringserved_requests_total Served requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE ringserved_requests_total counter")
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "ringserved_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+			k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP ringserved_request_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE ringserved_request_seconds histogram")
+	endpoints := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		h := m.latency[ep]
+		bounds, counts := h.Buckets()
+		var cum uint64
+		for i, b := range bounds {
+			cum += counts[i]
+			fmt.Fprintf(w, "ringserved_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, b, cum)
+		}
+		cum += counts[len(counts)-1]
+		fmt.Fprintf(w, "ringserved_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "ringserved_request_seconds_sum{endpoint=%q} %g\n", ep, h.Sum())
+		fmt.Fprintf(w, "ringserved_request_seconds_count{endpoint=%q} %d\n", ep, h.N())
+	}
+}

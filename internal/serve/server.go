@@ -1,0 +1,589 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// front end over the sweep engine. Clients submit simulation points
+// (single jobs, batches, or named paper experiments); the server
+// schedules them through a shared engine, so concurrent clients get
+// the same singleflight and memoization economics a single sweep does
+// — identical jobs compute once, repeats are cache hits, results are
+// addressable by job content hash.
+//
+// The layer adds what a network service needs on top: bounded
+// admission with FCFS or shortest-job-first queueing (429 on
+// overflow), per-request deadlines propagated as context cancellation
+// into the engine (504 on expiry), idempotent GET-by-hash lookup
+// backed by the on-disk cache, Server-Sent-Events progress streaming,
+// Prometheus metrics, and graceful drain.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the shared sweep engine; nil constructs a default one.
+	Engine *sweep.Engine
+	// QueueDepth bounds the admission queue (default 64); requests
+	// beyond it receive 429.
+	QueueDepth int
+	// MaxInFlight bounds concurrently executing requests (default
+	// runtime.NumCPU()).
+	MaxInFlight int
+	// Discipline selects the admission queue's service order.
+	Discipline Discipline
+	// MaxDeadline caps client-requested deadlines (default 2 minutes).
+	MaxDeadline time.Duration
+}
+
+// Server is the HTTP serving layer. Construct with New; it is safe
+// for concurrent use.
+type Server struct {
+	eng         *sweep.Engine
+	adm         *admitter
+	met         *metricsRegistry
+	mux         *http.ServeMux
+	maxDeadline time.Duration
+	start       time.Time
+
+	drainOnce sync.Once
+	drainCh   chan struct{}
+}
+
+// New returns a Server over the engine.
+func New(opts Options) *Server {
+	eng := opts.Engine
+	if eng == nil {
+		eng = sweep.New(sweep.Options{})
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	inflight := opts.MaxInFlight
+	if inflight <= 0 {
+		inflight = runtime.NumCPU()
+	}
+	maxDeadline := opts.MaxDeadline
+	if maxDeadline <= 0 {
+		maxDeadline = 2 * time.Minute
+	}
+	s := &Server{
+		eng:         eng,
+		adm:         newAdmitter(inflight, depth, opts.Discipline),
+		met:         newMetricsRegistry(),
+		mux:         http.NewServeMux(),
+		maxDeadline: maxDeadline,
+		start:       time.Now(),
+		drainCh:     make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweeps", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
+	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument("experiments", s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/results/{hash}", s.instrument("results", s.handleResult))
+	s.mux.HandleFunc("GET /v1/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the shared sweep engine.
+func (s *Server) Engine() *sweep.Engine { return s.eng }
+
+// BeginDrain stops admitting new work: submissions receive 503 and
+// event streams close. Queued and in-flight requests run to
+// completion. Safe to call more than once.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
+		s.adm.beginDrain()
+		close(s.drainCh)
+	})
+}
+
+// Drain blocks until every admitted request has finished, or the
+// context dies.
+func (s *Server) Drain(ctx context.Context) error { return s.adm.drainWait(ctx) }
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// statusWriter captures the response code for metrics and preserves
+// http.Flusher for the SSE endpoint.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with latency and status-code accounting.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.met.observe(endpoint, sw.code, time.Since(begin))
+	}
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// requestContext derives the job context: the client's disconnect
+// context plus an optional deadline from ?deadline_ms= or the
+// X-Deadline-Ms header, capped at Options.MaxDeadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	raw := r.URL.Query().Get("deadline_ms")
+	if raw == "" {
+		raw = r.Header.Get("X-Deadline-Ms")
+	}
+	if raw == "" {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad deadline_ms %q", raw)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.maxDeadline {
+		d = s.maxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// JobResult is one job's serialized outcome.
+type JobResult struct {
+	Hash    string                `json:"hash"`
+	Job     sweep.Job             `json:"job"`
+	Source  string                `json:"source"`
+	Cached  bool                  `json:"cached"`
+	Summary sweep.Summary         `json:"summary"`
+	Metrics *core.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+func jobResult(res *sweep.Result, src sweep.Source, full bool) JobResult {
+	jr := JobResult{
+		Hash:    res.Hash,
+		Job:     res.Job,
+		Source:  src.String(),
+		Cached:  src != sweep.SourceComputed,
+		Summary: res.Summary(),
+	}
+	if full {
+		snap := res.Snapshot
+		jr.Metrics = &snap
+	}
+	return jr
+}
+
+// SweepResponse is the batch (and named-experiment) response.
+type SweepResponse struct {
+	Experiment string      `json:"experiment,omitempty"`
+	Jobs       int         `json:"jobs"`
+	Computed   int         `json:"computed"`
+	CacheHits  int         `json:"cache_hits"`
+	DiskHits   int         `json:"disk_hits"`
+	WallNS     int64       `json:"wall_ns"`
+	Results    []JobResult `json:"results"`
+}
+
+// jobCost estimates one job's work for the shortest-job discipline:
+// simulated references scale with processors times stream length.
+func jobCost(jobs []sweep.Job) int64 {
+	var cost int64
+	for _, j := range jobs {
+		j = j.Normalize()
+		cost += int64(j.CPUs) * int64(j.DataRefsPerCPU)
+	}
+	return cost
+}
+
+// runAdmitted schedules jobs through admission control and the engine,
+// honoring ctx as the request deadline. The engine call runs in its
+// own goroutine: when the deadline fires mid-run the handler answers
+// 504 immediately while undispatched jobs are cancelled and
+// in-progress ones finish into the cache (work conservation).
+func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, jobs []sweep.Job) ([]*sweep.Result, []sweep.Source, bool) {
+	release, err := s.adm.admit(ctx, jobCost(jobs))
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, "admission queue full (%d queued)", func() int { q, _ := s.adm.gauges(); return q }())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "server draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "deadline expired while queued; job cancelled")
+		default:
+			writeError(w, http.StatusServiceUnavailable, "admission: %v", err)
+		}
+		return nil, nil, false
+	}
+
+	type outcome struct {
+		results []*sweep.Result
+		sources []sweep.Source
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		results, sources, err := s.eng.RunEach(ctx, jobs)
+		ch <- outcome{results, sources, err}
+	}()
+
+	select {
+	case o := <-ch:
+		switch {
+		case errors.Is(o.err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
+			return nil, nil, false
+		case errors.Is(o.err, context.Canceled):
+			// Client went away; nothing useful to write.
+			return nil, nil, false
+		case o.err != nil:
+			writeError(w, http.StatusBadRequest, "%v", o.err)
+			return nil, nil, false
+		}
+		return o.results, o.sources, true
+	case <-ctx.Done():
+		// The engine keeps draining in the background; its release fires
+		// when the last in-progress job completes.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
+		}
+		return nil, nil, false
+	}
+}
+
+// handleJob serves POST /v1/jobs: one simulation point.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var job sweep.Job
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	results, sources, ok := s.runAdmitted(ctx, w, []sweep.Job{job})
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResult(results[0], sources[0], r.URL.Query().Get("full") == "1"))
+}
+
+// sweepRequest is the batch submission body.
+type sweepRequest struct {
+	Jobs []sweep.Job `json:"jobs"`
+}
+
+// handleSweep serves POST /v1/sweeps: a batch of points.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep has no jobs")
+		return
+	}
+	s.serveSweep(w, r, "", req.Jobs)
+}
+
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, name string, jobs []sweep.Job) {
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	begin := time.Now()
+	results, sources, ok := s.runAdmitted(ctx, w, jobs)
+	if !ok {
+		return
+	}
+	resp := SweepResponse{
+		Experiment: name,
+		Jobs:       len(jobs),
+		WallNS:     time.Since(begin).Nanoseconds(),
+	}
+	full := r.URL.Query().Get("full") == "1"
+	for i, res := range results {
+		switch sources[i] {
+		case sweep.SourceMemory:
+			resp.CacheHits++
+		case sweep.SourceDisk:
+			resp.DiskHits++
+		default:
+			resp.Computed++
+		}
+		resp.Results = append(resp.Results, jobResult(res, sources[i], full))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// experimentInfo is one catalog listing entry.
+type experimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Jobs        int    `json:"jobs"`
+}
+
+// handleExperimentList serves GET /v1/experiments.
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	var infos []experimentInfo
+	for _, name := range ExperimentNames() {
+		jobs, _ := ExpandExperiment(name, ExperimentParams{})
+		infos = append(infos, experimentInfo{
+			Name:        name,
+			Description: namedExperiments[name].desc,
+			Jobs:        len(jobs),
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleExperiment serves POST /v1/experiments/{name}: a named paper
+// experiment, parameterized by ?bench=&cpus=&refs=&seed=.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p := ExperimentParams{Bench: q.Get("bench")}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{{"cpus", &p.CPUs}, {"refs", &p.Refs}} {
+		if raw := q.Get(f.key); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, "bad %s %q", f.key, raw)
+				return
+			}
+			*f.dst = v
+		}
+	}
+	if raw := q.Get("seed"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q", raw)
+			return
+		}
+		p.Seed = v
+	}
+	name := r.PathValue("name")
+	jobs, err := ExpandExperiment(name, p)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.serveSweep(w, r, name, jobs)
+}
+
+// handleResult serves GET /v1/results/{hash}: the idempotent lookup
+// path, backed by the in-memory and on-disk caches. It never computes.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	res, src, ok := s.eng.Lookup(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for hash %s", hash)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResult(res, src, r.URL.Query().Get("full") == "1"))
+}
+
+// sseEvent is the JSON payload of one progress event.
+type sseEvent struct {
+	Type   string    `json:"type"`
+	Label  string    `json:"label"`
+	Hash   string    `json:"hash"`
+	Job    sweep.Job `json:"job"`
+	WallNS int64     `json:"wall_ns,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// handleEvents serves GET /v1/events: the engine's live progress
+// stream as Server-Sent Events. The stream closes when the client
+// disconnects or the server begins draining.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	if s.draining() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	events, cancel := s.eng.Subscribe(256)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": ringserved event stream\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev := <-events:
+			payload := sseEvent{
+				Type:   ev.Type.String(),
+				Label:  ev.Job.String(),
+				Hash:   ev.Hash,
+				Job:    ev.Job,
+				WallNS: ev.Wall.Nanoseconds(),
+			}
+			if ev.Err != nil {
+				payload.Error = ev.Err.Error()
+			}
+			data, err := json.Marshal(payload)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", payload.Type, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status   string  `json:"status"`
+	UptimeS  float64 `json:"uptime_s"`
+	Workers  int     `json:"workers"`
+	Queued   int     `json:"queue_depth"`
+	InFlight int     `json:"in_flight"`
+}
+
+// handleHealthz serves GET /healthz. A draining server still answers
+// 200 — it is alive and finishing work — but reports status
+// "draining" so load balancers can steer away.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining() {
+		status = "draining"
+	}
+	queued, inflight := s.adm.gauges()
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:   status,
+		UptimeS:  time.Since(s.start).Seconds(),
+		Workers:  s.eng.Workers(),
+		Queued:   queued,
+		InFlight: inflight,
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	queued, inflight := s.adm.gauges()
+	st := s.eng.Stats()
+	fmt.Fprintln(w, "# HELP ringserved_queue_depth Requests waiting for admission.")
+	fmt.Fprintln(w, "# TYPE ringserved_queue_depth gauge")
+	fmt.Fprintf(w, "ringserved_queue_depth %d\n", queued)
+	fmt.Fprintln(w, "# HELP ringserved_in_flight Requests holding execution slots.")
+	fmt.Fprintln(w, "# TYPE ringserved_in_flight gauge")
+	fmt.Fprintf(w, "ringserved_in_flight %d\n", inflight)
+	fmt.Fprintln(w, "# HELP ringserved_draining Whether the server is draining.")
+	fmt.Fprintln(w, "# TYPE ringserved_draining gauge")
+	fmt.Fprintf(w, "ringserved_draining %d\n", map[bool]int{false: 0, true: 1}[s.draining()])
+
+	fmt.Fprintln(w, "# HELP ringserved_engine_jobs_total Engine job outcomes over the server lifetime.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_jobs_total counter")
+	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"queued\"} %d\n", st.Queued)
+	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"done\"} %d\n", st.Done)
+	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"computed\"} %d\n", st.Computed)
+	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"cache_hits\"} %d\n", st.CacheHits)
+	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"disk_hits\"} %d\n", st.DiskHits)
+	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"errors\"} %d\n", st.Errors)
+	fmt.Fprintln(w, "# HELP ringserved_engine_running Jobs executing in the engine right now.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_running gauge")
+	fmt.Fprintf(w, "ringserved_engine_running %d\n", st.Running)
+	fmt.Fprintln(w, "# HELP ringserved_engine_cache_hit_ratio Lifetime fraction of jobs served from cache.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_cache_hit_ratio gauge")
+	fmt.Fprintf(w, "ringserved_engine_cache_hit_ratio %g\n", st.HitRate())
+	fmt.Fprintln(w, "# HELP ringserved_engine_exec_seconds_total Wall clock spent executing jobs, summed across workers.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_exec_seconds_total counter")
+	fmt.Fprintf(w, "ringserved_engine_exec_seconds_total %g\n", st.ExecWall.Seconds())
+	fmt.Fprintln(w, "# HELP ringserved_engine_simulated_ns_total Simulated nanoseconds produced by computed jobs.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_simulated_ns_total counter")
+	fmt.Fprintf(w, "ringserved_engine_simulated_ns_total %d\n", st.SimulatedPS/1000)
+
+	s.met.render(w)
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpHistogramBuckets(t *testing.T) {
+	h := NewExpHistogram(1, 2, 4) // bounds 1, 2, 4, 8 + overflow
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 5 {
+		t.Fatalf("shape = %d bounds / %d counts, want 4/5", len(bounds), len(counts))
+	}
+	// le semantics: 0.5 and 1 land in the first bucket (<= 1).
+	want := []uint64{2, 1, 1, 0, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.N() != 5 || h.Sum() != 106 {
+		t.Errorf("n/sum = %d/%g, want 5/106", h.N(), h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-106.0/5) > 1e-12 {
+		t.Errorf("mean = %g", got)
+	}
+	// Mutating the returned slices must not affect the histogram.
+	counts[0] = 99
+	if _, c2 := h.Buckets(); c2[0] != 2 {
+		t.Error("Buckets returned aliased storage")
+	}
+}
+
+func TestExpHistogramQuantile(t *testing.T) {
+	h := NewExpHistogram(0.001, 2, 20)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.010) // all samples in one bucket
+	}
+	q := h.Quantile(0.5)
+	// 0.010 lies in the (0.008, 0.016] bucket; the interpolated median
+	// must land inside it.
+	if q <= 0.008 || q > 0.016 {
+		t.Errorf("median %g outside its bucket", q)
+	}
+	h.Observe(1e9) // overflow reports the largest finite bound
+	if got := h.Quantile(1); got != 0.001*math.Pow(2, 19) {
+		t.Errorf("overflow quantile = %g", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.9, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if samples[0] != 5 {
+		t.Error("Percentile sorted its input")
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton percentile = %g", got)
+	}
+}

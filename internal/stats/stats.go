@@ -137,6 +137,114 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
+// ExpHistogram counts samples in exponentially growing buckets — the
+// shape latency distributions want, and the shape Prometheus histogram
+// export expects: bucket i covers (bounds[i-1], bounds[i]], the last
+// implicit bucket is unbounded. The zero value is not usable;
+// construct with NewExpHistogram.
+type ExpHistogram struct {
+	bounds []float64
+	counts []uint64
+	n      uint64
+	sum    float64
+}
+
+// NewExpHistogram returns a histogram whose finite bucket upper bounds
+// are start, start*factor, ..., for n buckets (plus the implicit
+// overflow bucket). start must be positive and factor > 1.
+func NewExpHistogram(start, factor float64, n int) *ExpHistogram {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("stats: invalid exponential histogram shape")
+	}
+	bounds := make([]float64, n)
+	b := start
+	for i := range bounds {
+		bounds[i] = b
+		b *= factor
+	}
+	return &ExpHistogram{bounds: bounds, counts: make([]uint64, n+1)}
+}
+
+// Observe adds one sample.
+func (h *ExpHistogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+}
+
+// N returns the number of samples.
+func (h *ExpHistogram) N() uint64 { return h.n }
+
+// Sum returns the sum of all samples.
+func (h *ExpHistogram) Sum() float64 { return h.sum }
+
+// Mean returns the mean of all samples, or zero with none.
+func (h *ExpHistogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Buckets returns the finite bucket upper bounds and the per-bucket
+// counts; counts has one extra trailing element, the overflow bucket.
+// Both slices are copies.
+func (h *ExpHistogram) Buckets() (bounds []float64, counts []uint64) {
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1), assuming
+// samples are uniform within a bucket; overflow samples report the
+// largest finite bound.
+func (h *ExpHistogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (target - cum) / float64(c)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Percentile returns the exact q-quantile (0 <= q <= 1) of the samples
+// by nearest-rank interpolation. The input is not modified; it panics
+// on an empty slice.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		panic("stats: Percentile of no samples")
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
 // Distribution tallies discrete outcomes (e.g. "misses needing k ring
 // traversals") and reports percentage shares.
 type Distribution struct {

@@ -8,14 +8,33 @@ import (
 	"sync"
 )
 
-// cacheSource says where a lookup was satisfied.
-type cacheSource int
+// Source says where a result came from. The zero value, SourceComputed,
+// doubles as "cache miss" inside the cache: a missed lookup is about to
+// be computed.
+type Source int
 
 const (
-	cacheMiss cacheSource = iota
-	cacheMem
-	cacheDisk
+	// SourceComputed marks a freshly executed job (a cache miss).
+	SourceComputed Source = iota
+	// SourceMemory marks a hit in the process-local result map,
+	// including results shared with a concurrent in-flight computation.
+	SourceMemory
+	// SourceDisk marks a result replayed from the on-disk cache.
+	SourceDisk
 )
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceComputed:
+		return "computed"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
 
 // cache is the two-level result store: a process-local map keyed by
 // job hash, backed by an optional content-addressed directory of
@@ -38,34 +57,37 @@ func (c *resultCache) path(hash string) string {
 }
 
 // get looks a hash up in memory, then on disk. Disk hits are promoted
-// into memory so repeated lookups return the same *Result.
-func (c *resultCache) get(hash string) (*Result, cacheSource) {
+// into memory so repeated lookups return the same *Result. A
+// truncated, corrupt, or mislabeled artifact is treated as a miss and
+// deleted; the recompute's put rewrites it atomically.
+func (c *resultCache) get(hash string) (*Result, Source) {
 	c.mu.RLock()
 	r, ok := c.mem[hash]
 	c.mu.RUnlock()
 	if ok {
-		return r, cacheMem
+		return r, SourceMemory
 	}
 	if c.dir == "" {
-		return nil, cacheMiss
+		return nil, SourceComputed
 	}
 	raw, err := os.ReadFile(c.path(hash))
 	if err != nil {
-		return nil, cacheMiss
+		return nil, SourceComputed
 	}
 	var res Result
 	if err := json.Unmarshal(raw, &res); err != nil || res.Hash != hash {
-		return nil, cacheMiss
+		os.Remove(c.path(hash))
+		return nil, SourceComputed
 	}
 	c.mu.Lock()
 	if prior, ok := c.mem[hash]; ok {
 		// Another worker promoted it first; keep one canonical object.
 		c.mu.Unlock()
-		return prior, cacheMem
+		return prior, SourceMemory
 	}
 	c.mem[hash] = &res
 	c.mu.Unlock()
-	return &res, cacheDisk
+	return &res, SourceDisk
 }
 
 // put stores a result in memory and, when configured, on disk via an

@@ -93,8 +93,12 @@ func (b BatchStats) HitRate() float64 {
 type Stats struct {
 	// Workers is the configured pool size.
 	Workers int `json:"workers"`
-	// Queued/Running/Done track job states across the engine lifetime;
-	// Done includes cache hits.
+	// Queued counts jobs ever submitted (monotone non-decreasing,
+	// minus jobs abandoned undispatched by a cancelled Run); Running
+	// is the in-flight gauge; Done counts finished jobs including
+	// cache hits. At every instant Queued >= Running + Done: a job is
+	// counted queued before it runs and stays counted after it
+	// finishes, so Queued - Done is the current backlog.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
 	Done    int `json:"done"`
@@ -146,6 +150,10 @@ type Engine struct {
 	mu     sync.Mutex
 	flight map[string]*inflight
 	stats  Stats
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
 }
 
 // New returns an engine. The default executor (Job.Kind == "") runs a
@@ -166,6 +174,7 @@ func New(opts Options) *Engine {
 		execs:   execs,
 		onEvent: opts.OnEvent,
 		flight:  make(map[string]*inflight),
+		subs:    make(map[int]chan Event),
 	}
 	e.stats.Workers = w
 	return e
@@ -192,6 +201,55 @@ func (e *Engine) emit(ev Event) {
 	if e.onEvent != nil {
 		e.onEvent(ev)
 	}
+	e.subMu.Lock()
+	for _, ch := range e.subs {
+		select {
+		case ch <- ev:
+		default:
+			// A slow subscriber drops events rather than stalling the
+			// workers; live progress streams tolerate gaps.
+		}
+	}
+	e.subMu.Unlock()
+}
+
+// Subscribe attaches a progress-event listener and returns its channel
+// plus a cancel function. Events are delivered best-effort: a
+// subscriber that falls more than buf events behind misses the
+// overflow instead of blocking the worker pool. Cancel closes the
+// channel; it is safe to call more than once.
+func (e *Engine) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Event, buf)
+	e.subMu.Lock()
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = ch
+	e.subMu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			e.subMu.Lock()
+			delete(e.subs, id)
+			e.subMu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Lookup returns the cached result for a job content hash, consulting
+// memory then the on-disk cache, without computing anything or
+// touching the engine's counters. It is the idempotent GET-by-hash
+// path of the serving layer.
+func (e *Engine) Lookup(hash string) (*Result, Source, bool) {
+	res, src := e.cache.get(hash)
+	if res == nil {
+		return nil, SourceComputed, false
+	}
+	return res, src, true
 }
 
 // Run executes jobs over the worker pool and returns their results in
@@ -201,9 +259,24 @@ func (e *Engine) emit(ev Event) {
 // undispatched slots are left nil. If an executor fails, the first
 // error is returned alongside the results that did complete.
 func (e *Engine) Run(ctx context.Context, jobs []Job) ([]*Result, error) {
+	results, _, err := e.RunEach(ctx, jobs)
+	return results, err
+}
+
+// RunEach is Run plus provenance: the second slice reports, per job,
+// whether the result was computed fresh, shared from memory, or
+// replayed from disk. Slots for jobs a cancelled context left
+// undispatched hold a nil result and SourceComputed.
+func (e *Engine) RunEach(ctx context.Context, jobs []Job) ([]*Result, []Source, error) {
 	results := make([]*Result, len(jobs))
+	sources := make([]Source, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, sources, nil
+	}
+	// A context that is already dead admits no work at all: callers
+	// with an expired deadline must not charge the pool.
+	if err := ctx.Err(); err != nil {
+		return results, sources, err
 	}
 
 	e.mu.Lock()
@@ -231,6 +304,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]*Result, error) {
 			for i := range idx {
 				res, src, err := e.do(jobs[i])
 				results[i] = res
+				sources[i] = src
 				batchMu.Lock()
 				switch {
 				case err != nil:
@@ -238,9 +312,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]*Result, error) {
 					if firstEr == nil {
 						firstEr = err
 					}
-				case src == cacheMem:
+				case src == SourceMemory:
 					batch.CacheHits++
-				case src == cacheDisk:
+				case src == SourceDisk:
 					batch.DiskHits++
 				default:
 					batch.Computed++
@@ -251,10 +325,18 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]*Result, error) {
 	}
 
 	var ctxErr error
+	dispatched := 0
 dispatch:
 	for i := range jobs {
+		// Check cancellation with priority: when the context is already
+		// dead, never race it against a ready worker.
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break dispatch
+		}
 		select {
 		case idx <- i:
+			dispatched++
 		case <-ctx.Done():
 			ctxErr = ctx.Err()
 			break dispatch
@@ -265,35 +347,50 @@ dispatch:
 
 	batch.Wall = time.Since(start)
 	e.mu.Lock()
-	e.stats.Queued -= len(jobs)
-	if e.stats.Queued < 0 {
-		e.stats.Queued = 0
-	}
+	// Jobs the cancellation left undispatched leave the system without
+	// running; uncount them so Queued keeps meaning "entered the pool".
+	e.stats.Queued -= len(jobs) - dispatched
 	e.stats.LastBatch = batch
 	e.mu.Unlock()
 
 	if ctxErr != nil {
-		return results, ctxErr
+		return results, sources, ctxErr
 	}
-	return results, firstEr
+	return results, sources, firstEr
 }
 
 // RunOne computes (or recalls) a single job on the calling goroutine.
 func (e *Engine) RunOne(job Job) (*Result, error) {
-	res, _, err := e.do(job)
+	res, _, err := e.RunOneCtx(context.Background(), job)
 	return res, err
+}
+
+// RunOneCtx computes (or recalls) a single job on the calling
+// goroutine, reporting the result's provenance. A context that is
+// already cancelled or past its deadline returns immediately without
+// executing; once execution has begun it runs to completion (the
+// simulators are not preemptible) and the result is cached for the
+// next request.
+func (e *Engine) RunOneCtx(ctx context.Context, job Job) (*Result, Source, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, SourceComputed, err
+	}
+	e.mu.Lock()
+	e.stats.Queued++
+	e.mu.Unlock()
+	return e.do(job)
 }
 
 // do is the memoized single-job path: cache lookup, in-flight
 // coalescing, then execution.
-func (e *Engine) do(job Job) (*Result, cacheSource, error) {
+func (e *Engine) do(job Job) (*Result, Source, error) {
 	job = job.Normalize()
 	hash := job.Hash()
 
 	if res, src := e.cache.get(hash); res != nil {
 		e.mu.Lock()
 		e.stats.Done++
-		if src == cacheDisk {
+		if src == SourceDisk {
 			e.stats.DiskHits++
 		} else {
 			e.stats.CacheHits++
@@ -317,9 +414,10 @@ func (e *Engine) do(job Job) (*Result, cacheSource, error) {
 		}
 		e.mu.Unlock()
 		if fl.err != nil {
-			return nil, cacheMiss, fl.err
+			return nil, SourceComputed, fl.err
 		}
-		return fl.res, cacheMem, nil
+		e.emit(Event{Type: EventHit, Job: job, Hash: hash})
+		return fl.res, SourceMemory, nil
 	}
 	fl := &inflight{done: make(chan struct{})}
 	e.flight[hash] = fl
@@ -339,7 +437,7 @@ func (e *Engine) do(job Job) (*Result, cacheSource, error) {
 	}
 	e.mu.Unlock()
 	close(fl.done)
-	return res, cacheMiss, err
+	return res, SourceComputed, err
 }
 
 // compute runs the job's executor and stores the result.

@@ -1,0 +1,285 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRunsEmitConsistentEvents drives several overlapping
+// Run calls over one engine and checks the event-stream bookkeeping:
+// every distinct job starts and finishes exactly once (singleflight),
+// every other request for it is a hit, and starts never outnumber the
+// distinct job set.
+func TestConcurrentRunsEmitConsistentEvents(t *testing.T) {
+	var starts, dones, hits, errs atomic.Int64
+	e := New(Options{Workers: 4, OnEvent: func(ev Event) {
+		switch ev.Type {
+		case EventStart:
+			starts.Add(1)
+		case EventDone:
+			dones.Add(1)
+		case EventHit:
+			hits.Add(1)
+		case EventError:
+			errs.Add(1)
+		}
+	}})
+
+	jobs := testGrid()
+	const callers = 4
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Run(context.Background(), jobs); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	distinct := int64(len(jobs))
+	if starts.Load() != distinct || dones.Load() != distinct {
+		t.Errorf("starts/dones = %d/%d, want %d/%d (singleflight violated)",
+			starts.Load(), dones.Load(), distinct, distinct)
+	}
+	total := int64(callers) * distinct
+	if got := dones.Load() + hits.Load(); got != total {
+		t.Errorf("done+hit = %d, want %d", got, total)
+	}
+	if errs.Load() != 0 {
+		t.Errorf("unexpected error events: %d", errs.Load())
+	}
+	s := e.Stats()
+	if int64(s.Done) != total || int64(s.Computed) != distinct {
+		t.Errorf("stats done/computed = %d/%d, want %d/%d", s.Done, s.Computed, total, distinct)
+	}
+}
+
+// TestStatsInvariantUnderConcurrency samples Stats() while several
+// Run calls race and asserts the accounting invariant the serving
+// layer's metrics rely on: queued >= running + done at every instant,
+// and queued/done never move backwards.
+func TestStatsInvariantUnderConcurrency(t *testing.T) {
+	e := New(Options{Workers: 4})
+	stop := make(chan struct{})
+	violations := make(chan string, 1)
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		var lastQueued, lastDone int
+		for {
+			s := e.Stats()
+			switch {
+			case s.Queued < s.Running+s.Done:
+				select {
+				case violations <- "queued < running+done":
+				default:
+				}
+			case s.Queued < lastQueued:
+				select {
+				case violations <- "queued moved backwards":
+				default:
+				}
+			case s.Done < lastDone:
+				select {
+				case violations <- "done moved backwards":
+				default:
+				}
+			}
+			lastQueued, lastDone = s.Queued, s.Done
+			select {
+			case <-stop:
+				return
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	jobs := testGrid()
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			local := make([]Job, len(jobs))
+			copy(local, jobs)
+			for i := range local {
+				local[i].Seed = seed
+			}
+			if _, err := e.Run(context.Background(), local); err != nil {
+				t.Error(err)
+			}
+		}(uint64(c + 1))
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	select {
+	case v := <-violations:
+		t.Fatalf("stats invariant violated: %s (final %+v)", v, e.Stats())
+	default:
+	}
+	if s := e.Stats(); s.Running != 0 || s.Queued != s.Done {
+		t.Errorf("engine did not settle: %+v", s)
+	}
+}
+
+func TestSubscribeStreamsEvents(t *testing.T) {
+	e := New(Options{Workers: 2})
+	ch, cancel := e.Subscribe(256)
+	defer cancel()
+
+	jobs := testGrid()[:3]
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	var starts, dones int
+	timeout := time.After(5 * time.Second)
+	for starts < len(jobs) || dones < len(jobs) {
+		select {
+		case ev := <-ch:
+			switch ev.Type {
+			case EventStart:
+				starts++
+			case EventDone:
+				dones++
+				if ev.Wall <= 0 {
+					t.Error("done event without wall clock")
+				}
+			}
+		case <-timeout:
+			t.Fatalf("timed out: starts=%d dones=%d", starts, dones)
+		}
+	}
+	cancel()
+	cancel() // idempotent
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	// The channel is closed after cancel; draining must terminate.
+	for range ch {
+	}
+}
+
+func TestRunEachReportsSources(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testGrid()[:3]
+	e1 := New(Options{Workers: 2, CacheDir: dir})
+	_, src1, err := e1.RunEach(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range src1 {
+		if s != SourceComputed {
+			t.Errorf("cold job %d source = %v, want computed", i, s)
+		}
+	}
+	_, src2, err := e1.RunEach(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range src2 {
+		if s != SourceMemory {
+			t.Errorf("warm job %d source = %v, want memory", i, s)
+		}
+	}
+	// A fresh engine sharing the directory replays from disk.
+	e2 := New(Options{Workers: 2, CacheDir: dir})
+	_, src3, err := e2.RunEach(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range src3 {
+		if s != SourceDisk {
+			t.Errorf("replayed job %d source = %v, want disk", i, s)
+		}
+	}
+}
+
+func TestRunOneCtxHonorsExpiredContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Options{Workers: 1})
+	res, _, err := e.RunOneCtx(ctx, testGrid()[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled RunOneCtx returned a result")
+	}
+	if s := e.Stats(); s.Queued != 0 || s.Done != 0 {
+		t.Errorf("cancelled job leaked into stats: %+v", s)
+	}
+}
+
+func TestLookupFindsCachedResultsOnly(t *testing.T) {
+	e := New(Options{Workers: 1})
+	job := testGrid()[0]
+	if _, _, ok := e.Lookup(job.Normalize().Hash()); ok {
+		t.Fatal("lookup hit before any computation")
+	}
+	res, err := e.RunOne(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, src, ok := e.Lookup(res.Hash)
+	if !ok || src != SourceMemory || got != res {
+		t.Errorf("lookup = (%p, %v, %v), want the computed result from memory", got, src, ok)
+	}
+	if s := e.Stats(); s.Done != 1 || s.CacheHits != 0 {
+		t.Errorf("Lookup must not touch counters: %+v", s)
+	}
+}
+
+// TestCorruptDiskArtifactIsRecomputed truncates and garbles cached
+// artifacts and checks the engine treats them as misses: the job is
+// recomputed and the artifact atomically rewritten, never an error.
+func TestCorruptDiskArtifactIsRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	job := testGrid()[0]
+	e1 := New(Options{Workers: 1, CacheDir: dir})
+	res, err := e1.RunOne(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/" + res.Hash + ".json"
+	want := res.CanonicalMetrics()
+
+	for name, garble := range map[string][]byte{
+		"truncated":  []byte(`{"job":{"protocol":"snoop-ri`),
+		"empty":      {},
+		"wrong-hash": []byte(`{"job":{},"hash":"deadbeef","metrics":{}}`),
+		"not-json":   []byte("\x00\x01\x02"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, garble, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			e := New(Options{Workers: 1, CacheDir: dir})
+			got, src, err := e.RunOneCtx(context.Background(), job)
+			if err != nil {
+				t.Fatalf("corrupt artifact failed the sweep: %v", err)
+			}
+			if src != SourceComputed {
+				t.Errorf("source = %v, want computed (corrupt artifact treated as hit?)", src)
+			}
+			if string(got.CanonicalMetrics()) != string(want) {
+				t.Error("recomputed metrics differ from original")
+			}
+			// The artifact was rewritten and is valid again.
+			e2 := New(Options{Workers: 1, CacheDir: dir})
+			if _, src, ok := e2.Lookup(got.Hash); !ok || src != SourceDisk {
+				t.Errorf("rewritten artifact not replayable: ok=%v src=%v", ok, src)
+			}
+		})
+	}
+}

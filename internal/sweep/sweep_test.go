@@ -123,7 +123,7 @@ func TestRepeatedSweepHitsCache(t *testing.T) {
 	if r1[0].Metrics() != r2.Metrics() {
 		t.Error("cache hit returned a different metrics object")
 	}
-	if s.Done != 2*len(jobs) || s.Running != 0 || s.Queued != 0 {
+	if s.Done != 2*len(jobs) || s.Running != 0 || s.Queued != 2*len(jobs) {
 		t.Errorf("lifetime stats off: %+v", s)
 	}
 }

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
@@ -14,6 +16,9 @@ type Suite struct {
 
 // SuiteOptions scales the evaluation.
 type SuiteOptions struct {
+	// Context cancels in-flight calibration sweeps (e.g. on SIGINT);
+	// nil means context.Background().
+	Context context.Context
 	// DataRefsPerCPU is the calibration-simulation length per
 	// processor (default 2000). Larger values cost time and tighten
 	// the statistics.
@@ -32,6 +37,7 @@ type SuiteOptions struct {
 // NewSuite returns an evaluation suite.
 func NewSuite(opts SuiteOptions) *Suite {
 	return &Suite{r: experiments.NewRunner(experiments.Options{
+		Context:        opts.Context,
 		DataRefsPerCPU: opts.DataRefsPerCPU,
 		Seed:           opts.Seed,
 		Workers:        opts.Workers,
