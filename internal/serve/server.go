@@ -37,7 +37,10 @@ type Options struct {
 	// beyond it receive 429.
 	QueueDepth int
 	// MaxInFlight bounds concurrently executing requests (default
-	// runtime.NumCPU()).
+	// runtime.NumCPU()). Simulation concurrency is bounded separately:
+	// however many requests hold slots, the shared engine executes at
+	// most Engine.Workers jobs at once, so MaxInFlight x Workers never
+	// oversubscribes the host.
 	MaxInFlight int
 	// Discipline selects the admission queue's service order.
 	Discipline Discipline
@@ -126,12 +129,17 @@ func (s *Server) draining() bool {
 	}
 }
 
-// statusWriter captures the response code for metrics and preserves
-// http.Flusher for the SSE endpoint.
+// statusWriter captures the response code for metrics. It deliberately
+// does not implement http.Flusher itself: instead it exposes Unwrap so
+// http.NewResponseController (and canFlush) reach the underlying
+// writer's Flush — a writer that cannot flush stays detectable.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
 }
+
+// Unwrap exposes the wrapped writer for http.NewResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.code == 0 {
@@ -147,9 +155,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-func (w *statusWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
+// canFlush walks the Unwrap chain looking for a writer that really
+// implements http.Flusher, so the SSE endpoint can refuse up front
+// instead of buffering forever behind a non-flushing wrapper.
+func canFlush(w http.ResponseWriter) bool {
+	for {
+		switch v := w.(type) {
+		case http.Flusher:
+			return true
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = v.Unwrap()
+		default:
+			return false
+		}
 	}
 }
 
@@ -196,8 +214,8 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 		return ctx, cancel, nil
 	}
 	ms, err := strconv.ParseInt(raw, 10, 64)
-	if err != nil {
-		return nil, nil, fmt.Errorf("bad deadline_ms %q", raw)
+	if err != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("bad deadline_ms %q: want a positive integer", raw)
 	}
 	d := time.Duration(ms) * time.Millisecond
 	if d > s.maxDeadline {
@@ -446,6 +464,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // path, backed by the in-memory and on-disk caches. It never computes.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
+	// ServeMux matches the escaped path, so {hash} can carry "../"
+	// after unescaping; reject anything that is not a well-formed
+	// content hash before it goes near the on-disk cache.
+	if !sweep.ValidHash(hash) {
+		writeError(w, http.StatusBadRequest, "bad hash %q: want 64 lowercase hex characters", hash)
+		return
+	}
 	res, src, ok := s.eng.Lookup(hash)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no result for hash %s", hash)
@@ -468,11 +493,11 @@ type sseEvent struct {
 // stream as Server-Sent Events. The stream closes when the client
 // disconnects or the server begins draining.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
+	if !canFlush(w) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	flusher := http.NewResponseController(w)
 	if s.draining() {
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
@@ -508,12 +533,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", payload.Type, data); err != nil {
 				return
 			}
-			flusher.Flush()
+			if err := flusher.Flush(); err != nil {
+				return
+			}
 		case <-heartbeat.C:
 			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
 				return
 			}
-			flusher.Flush()
+			if err := flusher.Flush(); err != nil {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		case <-s.drainCh:

@@ -7,6 +7,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -197,7 +199,7 @@ func TestRestartServedFromDiskCache(t *testing.T) {
 		t.Errorf("GET result = %+v, err %v", got, err)
 	}
 
-	if r404, err := http.Get(ts2.URL + "/v1/results/no-such-hash"); err == nil {
+	if r404, err := http.Get(ts2.URL + "/v1/results/" + strings.Repeat("0", 64)); err == nil {
 		if r404.StatusCode != http.StatusNotFound {
 			t.Errorf("unknown hash status %d, want 404", r404.StatusCode)
 		}
@@ -205,20 +207,73 @@ func TestRestartServedFromDiskCache(t *testing.T) {
 	}
 }
 
-func TestExpiredDeadlineReturns504(t *testing.T) {
+// TestResultHashValidation probes GET /v1/results/{hash} with
+// malformed and path-traversal hashes: every one must be rejected with
+// 400 before touching disk, and a traversal target the daemon could
+// write must survive — the cache's corrupt-artifact recovery deletes
+// files, so an unvalidated hash would let a GET remove arbitrary
+// *.json files.
+func TestResultHashValidation(t *testing.T) {
+	dir := t.TempDir()
+	victim := filepath.Join(dir, "victim.json")
+	if err := os.WriteFile(victim, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	fake := &fakeExecutor{}
-	_, ts := newTestServer(t, fake, Options{})
+	eng := sweep.New(sweep.Options{Workers: 2, CacheDir: filepath.Join(dir, "cache"),
+		Executors: map[string]sweep.Executor{"": fake.run}})
+	_, ts := newTestServer(t, fake, Options{Engine: eng})
 
-	// Deadline already expired at admission: nothing may compute.
-	resp, raw := postJob(t, ts.URL, testJob(9), "?deadline_ms=0")
+	for _, h := range []string{
+		"..%2Fvictim",           // unescapes to ../victim: dir/victim.json
+		"..%2F..%2Fvictim",      // deeper traversal
+		"no-such-hash",          // not hex
+		strings.Repeat("a", 63), // wrong length
+		strings.Repeat("A", 64), // uppercase hex is not Job.Hash output
+		strings.Repeat("g", 64), // non-hex at the right length
+		strings.Repeat("a", 31) + "%00" + strings.Repeat("a", 31), // embedded NUL
+	} {
+		req, err := http.NewRequest("GET", ts.URL+"/v1/results/"+h, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("hash %q: status %d, want 400", h, resp.StatusCode)
+		}
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Errorf("traversal lookup deleted the victim file: %v", err)
+	}
+}
+
+func TestExpiredDeadlineReturns504(t *testing.T) {
+	fake := &fakeExecutor{delay: 400 * time.Millisecond, started: make(chan struct{})}
+	_, ts := newTestServer(t, fake, Options{MaxInFlight: 1})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postJob(t, ts.URL, testJob(8), "")
+	}()
+	<-fake.started // first request holds the only slot
+
+	// This request's deadline expires while it waits in the admission
+	// queue: 504, and its job never computes.
+	resp, raw := postJob(t, ts.URL, testJob(9), "?deadline_ms=30")
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", resp.StatusCode, raw)
 	}
 	if !strings.Contains(string(raw), "cancelled") {
 		t.Errorf("504 body should mention cancellation: %s", raw)
 	}
-	if n := fake.computes.Load(); n != 0 {
-		t.Errorf("expired-deadline request computed %d jobs", n)
+	<-done
+	if n := fake.computes.Load(); n != 1 {
+		t.Errorf("computed %d jobs, want 1 (expired request must not compute)", n)
 	}
 }
 
@@ -493,6 +548,14 @@ func TestBadRequests(t *testing.T) {
 		{"bad deadline", func() (*http.Response, error) {
 			body, _ := json.Marshal(testJob(1))
 			return http.Post(ts.URL+"/v1/jobs?deadline_ms=soon", "application/json", bytes.NewReader(body))
+		}, http.StatusBadRequest},
+		{"zero deadline", func() (*http.Response, error) {
+			body, _ := json.Marshal(testJob(1))
+			return http.Post(ts.URL+"/v1/jobs?deadline_ms=0", "application/json", bytes.NewReader(body))
+		}, http.StatusBadRequest},
+		{"negative deadline", func() (*http.Response, error) {
+			body, _ := json.Marshal(testJob(1))
+			return http.Post(ts.URL+"/v1/jobs?deadline_ms=-50", "application/json", bytes.NewReader(body))
 		}, http.StatusBadRequest},
 		{"wrong method", func() (*http.Response, error) {
 			return http.Get(ts.URL + "/v1/jobs")

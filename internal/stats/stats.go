@@ -222,8 +222,8 @@ func (h *ExpHistogram) Quantile(q float64) float64 {
 }
 
 // Percentile returns the exact q-quantile (0 <= q <= 1) of the samples
-// by nearest-rank interpolation. The input is not modified; it panics
-// on an empty slice.
+// by linear interpolation between adjacent order statistics. The input
+// is not modified; it panics on an empty slice.
 func Percentile(samples []float64, q float64) float64 {
 	if len(samples) == 0 {
 		panic("stats: Percentile of no samples")

@@ -67,7 +67,10 @@ func (c *resultCache) get(hash string) (*Result, Source) {
 	if ok {
 		return r, SourceMemory
 	}
-	if c.dir == "" {
+	// ValidHash gates every disk touch: get both reads and (on a corrupt
+	// artifact) removes c.path(hash), so a malformed externally supplied
+	// hash must never become a path component.
+	if c.dir == "" || !ValidHash(hash) {
 		return nil, SourceComputed
 	}
 	raw, err := os.ReadFile(c.path(hash))

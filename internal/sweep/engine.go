@@ -57,7 +57,10 @@ type Event struct {
 
 // Options configures an Engine.
 type Options struct {
-	// Workers is the pool size; zero means runtime.NumCPU().
+	// Workers is the pool size; zero means runtime.NumCPU(). The bound
+	// is engine-global: concurrent Run calls share one execution
+	// semaphore, so at most Workers jobs compute at once no matter how
+	// many callers are in flight.
 	Workers int
 	// CacheDir enables the on-disk content-addressed result cache.
 	CacheDir string
@@ -143,6 +146,11 @@ type inflight struct {
 // regardless of worker count or scheduling order.
 type Engine struct {
 	workers int
+	// sem bounds concurrently executing jobs engine-wide. Each Run call
+	// spawns its own dispatch goroutines, but every executor invocation
+	// first takes a slot here, so overlapping Run/RunOneCtx callers
+	// share the Workers budget instead of multiplying it.
+	sem     chan struct{}
 	cache   *resultCache
 	execs   map[string]Executor
 	onEvent func(Event)
@@ -170,6 +178,7 @@ func New(opts Options) *Engine {
 	}
 	e := &Engine{
 		workers: w,
+		sem:     make(chan struct{}, w),
 		cache:   newCache(opts.CacheDir),
 		execs:   execs,
 		onEvent: opts.OnEvent,
@@ -440,7 +449,10 @@ func (e *Engine) do(job Job) (*Result, Source, error) {
 	return res, SourceComputed, err
 }
 
-// compute runs the job's executor and stores the result.
+// compute runs the job's executor and stores the result. The
+// engine-wide semaphore is taken around the executor call (never while
+// waiting on another job), so it cannot deadlock: holders only do
+// finite local work.
 func (e *Engine) compute(job Job, hash string) (*Result, error) {
 	exec, ok := e.execs[job.Kind]
 	if !ok {
@@ -448,6 +460,8 @@ func (e *Engine) compute(job Job, hash string) (*Result, error) {
 		e.emit(Event{Type: EventError, Job: job, Hash: hash, Err: err})
 		return nil, err
 	}
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
 	e.emit(Event{Type: EventStart, Job: job, Hash: hash})
 	start := time.Now()
 	m, err := exec(job)

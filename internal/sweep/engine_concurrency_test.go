@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // TestConcurrentRunsEmitConsistentEvents drives several overlapping
@@ -237,6 +239,82 @@ func TestLookupFindsCachedResultsOnly(t *testing.T) {
 	}
 	if s := e.Stats(); s.Done != 1 || s.CacheHits != 0 {
 		t.Errorf("Lookup must not touch counters: %+v", s)
+	}
+}
+
+// TestConcurrentRunsShareWorkerBound checks that Workers is an
+// engine-global execution bound: overlapping Run calls with distinct
+// jobs never push concurrent executor invocations past the pool size,
+// so a serving layer admitting many requests cannot oversubscribe the
+// host at MaxInFlight x Workers.
+func TestConcurrentRunsShareWorkerBound(t *testing.T) {
+	const workers = 2
+	var cur, peak atomic.Int64
+	exec := func(j Job) (*core.Metrics, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		cur.Add(-1)
+		return &core.Metrics{ExecTime: 1000, DataRefs: 1}, nil
+	}
+	e := New(Options{Workers: workers, Executors: map[string]Executor{"": exec}})
+
+	const callers = 4
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			jobs := testGrid()[:4]
+			for i := range jobs {
+				jobs[i].Seed = seed // distinct hashes: no coalescing across callers
+			}
+			if _, err := e.Run(context.Background(), jobs); err != nil {
+				t.Error(err)
+			}
+		}(uint64(c + 1))
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak executor concurrency %d exceeds Workers=%d", p, workers)
+	}
+}
+
+// TestLookupRejectsMalformedHash feeds traversal-style and otherwise
+// malformed hashes through the cache's external lookup path: all must
+// miss without touching the filesystem — get deletes corrupt
+// artifacts, so an unvalidated hash would turn a lookup into an
+// arbitrary *.json delete.
+func TestLookupRejectsMalformedHash(t *testing.T) {
+	dir := t.TempDir()
+	victim := dir + "/victim.json"
+	if err := os.WriteFile(victim, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 1, CacheDir: dir + "/cache"})
+	for _, h := range []string{
+		"../victim",
+		"../../victim",
+		"",
+		"short",
+		"DEADBEEFDEADBEEFDEADBEEFDEADBEEFDEADBEEFDEADBEEFDEADBEEFDEADBEEF", // uppercase
+		"gggggggggggggggggggggggggggggggggggggggggggggggggggggggggggggggg", // non-hex
+	} {
+		if _, _, ok := e.Lookup(h); ok {
+			t.Errorf("malformed hash %q produced a hit", h)
+		}
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Errorf("malformed-hash lookup deleted the victim file: %v", err)
+	}
+
+	if !ValidHash(Job{Benchmark: "MP3D", CPUs: 8, DataRefsPerCPU: 100}.Hash()) {
+		t.Error("ValidHash rejects a real Job.Hash")
 	}
 }
 

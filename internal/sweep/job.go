@@ -122,6 +122,24 @@ func (j Job) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// ValidHash reports whether s is a well-formed job content hash as
+// produced by Job.Hash: exactly 64 lowercase hex characters. The
+// cache and the serving layer reject anything else before it reaches
+// the filesystem, so an externally supplied hash can never form a
+// path outside the cache directory.
+func ValidHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // RNGSeed derives the job's effective simulation seed from its content
 // hash. Deriving rather than sharing a stream is what makes sweep
 // results independent of worker count and completion order; covering
