@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -69,16 +71,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		refs     = fs.Int("refs", 2000, "data references per CPU in calibration simulations")
-		seed     = fs.Uint64("seed", 1993, "random seed for the whole suite")
-		only     = fs.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations")
-		plot     = fs.Bool("plot", false, "render figures as ASCII line charts instead of data tables")
-		workers  = fs.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
-		cacheDir = fs.String("cachedir", "", "persist simulation results to this directory")
-		jsonOut  = fs.String("json", "BENCH_1.json", "write the machine-readable benchmark report here (empty to disable)")
+		refs       = fs.Int("refs", 2000, "data references per CPU in calibration simulations")
+		seed       = fs.Uint64("seed", 1993, "random seed for the whole suite")
+		only       = fs.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations")
+		plot       = fs.Bool("plot", false, "render figures as ASCII line charts instead of data tables")
+		workers    = fs.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
+		cacheDir   = fs.String("cachedir", "", "persist simulation results to this directory")
+		jsonOut    = fs.String("json", "BENCH_1.json", "write the machine-readable benchmark report here (empty to disable)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringbench: creating cpu profile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "ringbench: starting cpu profile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "ringbench: creating mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "ringbench: writing mem profile:", err)
+			}
+		}()
 	}
 
 	s := repro.NewSuite(repro.SuiteOptions{

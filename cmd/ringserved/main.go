@@ -31,6 +31,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		discipline   = fs.String("discipline", "fcfs", "admission queue discipline: fcfs | sjf")
 		maxDeadline  = fs.Duration("maxdeadline", 2*time.Minute, "cap on client-requested deadlines")
 		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max wait for in-flight work on shutdown")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +79,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Discipline:  disc,
 		MaxDeadline: *maxDeadline,
 	})
+
+	// The profiling endpoints live on their own listener so the service
+	// port never exposes them: the main handler uses a dedicated mux,
+	// leaving the DefaultServeMux (where net/http/pprof registers) to
+	// this debug server only.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringserved: pprof:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "ringserved: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(stderr, "ringserved: pprof:", err)
+			}
+		}()
+		defer pln.Close()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

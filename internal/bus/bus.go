@@ -145,9 +145,10 @@ type Bus struct {
 	k   *sim.Kernel
 	res *sim.Resource
 
-	tenures [numTenures]uint64
-	waitSum sim.Time
-	grants  uint64
+	tenures   [numTenures]uint64
+	waitSum   sim.Time
+	grants    uint64
+	snoopFree *snoopSweep // recycled snoop fan-outs (zero-alloc steady state)
 
 	// Round-robin arbiter state.
 	rrPending [][]pendingTenure
@@ -251,16 +252,66 @@ func (b *Bus) serve(src int, kind TenureKind, snoop func(node int, at sim.Time),
 	grant := b.k.Now()
 	b.grants++
 	b.tenures[kind]++
-	if kind == Request && snoop != nil {
-		for n := 0; n < b.Geo.Nodes; n++ {
-			if n == src {
-				continue
-			}
-			n := n
-			b.k.At(grant, func() { snoop(n, grant) })
+	if kind == Request && snoop != nil && b.Geo.Nodes > 1 {
+		// One pooled record chains through the N-1 snooping nodes in
+		// index order; the reserved sequence numbers replay the exact
+		// FIFO positions the per-node closures used to occupy, so the
+		// dispatch order is unchanged.
+		s := b.snoopFree
+		if s == nil {
+			s = &snoopSweep{}
+		} else {
+			b.snoopFree = s.next
+			s.next = nil
 		}
+		s.b, s.snoop, s.grant, s.src, s.idx = b, snoop, grant, src, 0
+		s.node = 0
+		if src == 0 {
+			s.node = 1
+		}
+		s.baseSeq = b.k.ReserveSeq(b.Geo.Nodes - 1)
+		b.k.AtReserved(grant, s.baseSeq, s)
 	}
 	b.k.After(b.Geo.TenureTime(kind), func() { finish(b.k.Now()) })
+}
+
+// snoopSweep delivers one Request tenure's address broadcast: the same
+// pooled record fires once per snooping node, re-arming itself with the
+// next reserved FIFO slot until every node other than the source has
+// observed the address.
+type snoopSweep struct {
+	b       *Bus
+	snoop   func(node int, at sim.Time)
+	grant   sim.Time
+	src     int
+	node    int // next node to deliver to
+	idx     int // reserved-seq offset of that delivery
+	baseSeq uint64
+	next    *snoopSweep
+}
+
+// OnEvent delivers the snoop to the current node and chains to the next.
+// On the last delivery the record is recycled before the callback runs,
+// so a snoop handler that triggers another bus transaction can reuse it.
+func (s *snoopSweep) OnEvent(at sim.Time) {
+	node := s.node
+	nxt := node + 1
+	if nxt == s.src {
+		nxt++
+	}
+	s.idx++
+	snoop, grant := s.snoop, s.grant
+	if nxt < s.b.Geo.Nodes {
+		s.node = nxt
+		s.b.k.AtReserved(grant, s.baseSeq+uint64(s.idx), s)
+		snoop(node, grant)
+		return
+	}
+	b := s.b
+	s.snoop = nil
+	s.next = b.snoopFree
+	b.snoopFree = s
+	snoop(node, grant)
 }
 
 // Tenures reports how many tenures of the kind completed or are in

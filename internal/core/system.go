@@ -175,6 +175,14 @@ type Metrics struct {
 
 	// NetworkUtil is the ring slot (or bus) utilization at completion.
 	NetworkUtil float64
+
+	// EventsFired is the number of kernel events dispatched by the run
+	// and EventSlab the kernel's event-record high-water mark — the
+	// simulation engine's unit of work and allocation footprint,
+	// reported for perf observability. Excluded from MetricsSnapshot:
+	// they describe the simulator, not the simulated machine.
+	EventsFired uint64
+	EventSlab   int
 }
 
 // ProcUtil returns the average processor utilization: busy over
@@ -222,15 +230,30 @@ type System struct {
 	blockBytes int
 }
 
-// proc is one blocking processor.
+// proc is one blocking processor. It doubles as the sim.EventHandler
+// for its own issue events: the blocking pipeline has at most one
+// scheduled event per processor (the next data access or the stream
+// end), so the pending reference lives in the proc record and the hot
+// loop schedules through the kernel's zero-allocation path.
 type proc struct {
 	id         int
+	sys        *System
 	busy       sim.Time
 	stall      sim.Time
 	done       bool
 	finish     sim.Time
 	dataIssued int
 	warm       bool
+	// Pending issue event state: the data reference to access when the
+	// compute cycles elapse, or eol when the stream is exhausted.
+	ref   trace.Ref
+	write bool
+	eol   bool
+	start sim.Time
+	// accessDone is the engine completion callback for blocking
+	// accesses, built once per proc so the steady state allocates no
+	// closures.
+	accessDone func(at sim.Time, res coherence.Result)
 	// Write-buffer state for the non-blocking-stores model. The buffer
 	// coalesces stores to a block already being acquired, as real write
 	// buffers and MSHRs do.
@@ -308,13 +331,22 @@ func NewSystem(cfg Config, src workload.Source) *System {
 	}
 	s.procs = make([]*proc, n)
 	for i := range s.procs {
-		s.procs[i] = &proc{
+		p := &proc{
 			id:            i,
+			sys:           s,
 			warm:          cfg.WarmupDataRefs == 0,
 			pendingBlocks: make(map[uint64]bool),
 			waiters:       make(map[uint64][]func()),
 		}
-		if s.procs[i].warm {
+		p.accessDone = func(at sim.Time, res coherence.Result) {
+			s.record(p, p.ref, at-p.start, res)
+			if !p.warm && p.dataIssued >= s.cfg.WarmupDataRefs {
+				s.crossWarmup(p)
+			}
+			s.advance(p)
+		}
+		s.procs[i] = p
+		if p.warm {
 			s.warmed++
 		}
 	}
@@ -395,6 +427,8 @@ func (s *System) Run() *Metrics {
 		}
 	}
 	s.m.WriteBacks = s.scrapeWriteBacks() - s.wbBase
+	s.m.EventsFired = s.k.Fired()
+	s.m.EventSlab = s.k.SlabSize()
 	return &s.m
 }
 
@@ -403,7 +437,9 @@ func (s *System) Metrics() *Metrics { return &s.m }
 
 // advance consumes references for p until its next data reference (or
 // stream end), charging one processor cycle per reference, then issues
-// the data access after those compute cycles elapse.
+// the data access after those compute cycles elapse. The issue event is
+// the proc itself (see OnEvent), so the per-reference loop schedules
+// without allocating.
 func (s *System) advance(p *proc) {
 	cyc := s.cfg.ProcCycle
 	var cycles sim.Time
@@ -411,15 +447,8 @@ func (s *System) advance(p *proc) {
 		ref, ok := s.src.Next(p.id)
 		if !ok {
 			p.busy += cycles * cyc
-			s.k.After(cycles*cyc, func() {
-				// The write buffer must drain before the processor can
-				// retire; finishProc fires now or at the last store's
-				// completion.
-				p.draining = true
-				if p.pendingStores == 0 {
-					s.finishProc(p)
-				}
-			})
+			p.eol = true
+			s.k.AfterEvent(cycles*cyc, p)
 			return
 		}
 		cycles++
@@ -439,70 +468,83 @@ func (s *System) advance(p *proc) {
 				s.m.SharedRefs++
 			}
 		}
-		write := ref.Op == coherence.Store
-		r := ref
-		s.k.After(cycles*cyc, func() {
-			start := s.k.Now()
-			if s.cfg.NonBlockingStores {
-				block := r.Addr &^ uint64(s.blockBytes-1)
-				if p.pendingBlocks[block] && !write && !s.engine.HasBlock(p.id, r.Addr) {
-					// The block's data is absent and already being
-					// acquired by a buffered store: merge into it
-					// (MSHR semantics) rather than duplicating the
-					// miss. A load during an in-flight *upgrade*
-					// bypasses instead — the RS copy is readable under
-					// weak ordering — and falls through to the normal
-					// path, where it simply hits.
-					p.waiters[block] = append(p.waiters[block], func() {
-						if p.warm {
-							s.m.Hits++
-							p.stall += s.k.Now() - start
-						}
-						s.advance(p)
-					})
-					return
-				}
-			}
-			if write && s.cfg.NonBlockingStores && p.pendingStores < s.cfg.WriteBufferDepth {
-				// Weak ordering: the store retires into the write
-				// buffer and the processor continues immediately. A
-				// store to a block already being acquired coalesces
-				// into the pending entry at no cost.
-				block := r.Addr &^ uint64(s.blockBytes-1)
-				if !p.pendingBlocks[block] {
-					p.pendingStores++
-					p.pendingBlocks[block] = true
-					s.engine.Access(p.id, r.Addr, true, func(at sim.Time, res coherence.Result) {
-						s.recordNonBlocking(p, r, at-start, res)
-						p.pendingStores--
-						delete(p.pendingBlocks, block)
-						if ws := p.waiters[block]; len(ws) > 0 {
-							delete(p.waiters, block)
-							for _, w := range ws {
-								w()
-							}
-						}
-						if p.draining && p.pendingStores == 0 {
-							s.finishProc(p)
-						}
-					})
-				}
-				if !p.warm && p.dataIssued >= s.cfg.WarmupDataRefs {
-					s.crossWarmup(p)
-				}
-				s.advance(p)
-				return
-			}
-			s.engine.Access(p.id, r.Addr, write, func(at sim.Time, res coherence.Result) {
-				s.record(p, r, at-start, res)
-				if !p.warm && p.dataIssued >= s.cfg.WarmupDataRefs {
-					s.crossWarmup(p)
+		p.ref = ref
+		p.write = ref.Op == coherence.Store
+		s.k.AfterEvent(cycles*cyc, p)
+		return
+	}
+}
+
+// OnEvent fires p's pending issue event: the stream-end drain, or the
+// data access whose compute cycles just elapsed. Blocking accesses
+// complete through p.accessDone; the non-blocking-store paths keep
+// per-call closures (they can have several accesses in flight), which
+// only the latency-tolerance ablation pays for.
+func (p *proc) OnEvent(at sim.Time) {
+	s := p.sys
+	if p.eol {
+		// The write buffer must drain before the processor can retire;
+		// finishProc fires now or at the last store's completion.
+		p.draining = true
+		if p.pendingStores == 0 {
+			s.finishProc(p)
+		}
+		return
+	}
+	r := p.ref
+	write := p.write
+	start := at
+	p.start = at
+	if s.cfg.NonBlockingStores {
+		block := r.Addr &^ uint64(s.blockBytes-1)
+		if p.pendingBlocks[block] && !write && !s.engine.HasBlock(p.id, r.Addr) {
+			// The block's data is absent and already being acquired by
+			// a buffered store: merge into it (MSHR semantics) rather
+			// than duplicating the miss. A load during an in-flight
+			// *upgrade* bypasses instead — the RS copy is readable
+			// under weak ordering — and falls through to the normal
+			// path, where it simply hits.
+			p.waiters[block] = append(p.waiters[block], func() {
+				if p.warm {
+					s.m.Hits++
+					p.stall += s.k.Now() - start
 				}
 				s.advance(p)
 			})
-		})
+			return
+		}
+	}
+	if write && s.cfg.NonBlockingStores && p.pendingStores < s.cfg.WriteBufferDepth {
+		// Weak ordering: the store retires into the write buffer and
+		// the processor continues immediately. A store to a block
+		// already being acquired coalesces into the pending entry at
+		// no cost.
+		block := r.Addr &^ uint64(s.blockBytes-1)
+		if !p.pendingBlocks[block] {
+			p.pendingStores++
+			p.pendingBlocks[block] = true
+			s.engine.Access(p.id, r.Addr, true, func(at sim.Time, res coherence.Result) {
+				s.recordNonBlocking(p, r, at-start, res)
+				p.pendingStores--
+				delete(p.pendingBlocks, block)
+				if ws := p.waiters[block]; len(ws) > 0 {
+					delete(p.waiters, block)
+					for _, w := range ws {
+						w()
+					}
+				}
+				if p.draining && p.pendingStores == 0 {
+					s.finishProc(p)
+				}
+			})
+		}
+		if !p.warm && p.dataIssued >= s.cfg.WarmupDataRefs {
+			s.crossWarmup(p)
+		}
+		s.advance(p)
 		return
 	}
+	s.engine.Access(p.id, r.Addr, write, p.accessDone)
 }
 
 // finishProc retires one processor and folds its times into the run

@@ -100,8 +100,19 @@ func (r *Runner) Table2() *stats.Table {
 	for _, p := range workload.Profiles() {
 		wcfg, _ := r.workloadFor(p.Name, p.CPUs)
 		gen := workload.NewGenerator(wcfg)
-		tr := workload.Materialize(p.Name, gen)
-		s := trace.Measure(tr)
+		// Measure the stream as it is generated: materializing these
+		// traces costs hundreds of megabytes of allocation for
+		// statistics that are a running sum.
+		s := trace.Stats{Name: p.Name, CPUs: gen.NumCPUs()}
+		for cpu := 0; cpu < gen.NumCPUs(); cpu++ {
+			for {
+				ref, ok := gen.Next(cpu)
+				if !ok {
+					break
+				}
+				s.Observe(ref)
+			}
+		}
 		_, m := r.Simulate(core.DirectoryRing, p.Name, p.CPUs)
 		t.AddRow(p.Name, fmt.Sprintf("%d", p.CPUs),
 			fmt.Sprintf("%.0f", 100*s.PrivateWriteFrac()),

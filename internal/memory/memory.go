@@ -103,13 +103,22 @@ type Line struct {
 	// Maintained in parallel with the full map so that the linked-list
 	// protocol comparison (Table 1) shares one directory store.
 	Head int
-	// next[i] is node i's successor in the sharing list, -1 at the tail.
-	next map[int]int
+	// next[i] is node i's successor in the sharing list, -1 at the
+	// tail. A fixed array (valid only for present sharers) rather than
+	// a map: it keeps Line pointer-free, so directory storage is
+	// invisible to the garbage collector.
+	next [64]int8
 }
+
+// lineChunkSize is how many Lines a directory allocates at once; lines
+// are handed out of chunks so each block record is not an individual
+// heap object.
+const lineChunkSize = 256
 
 // Directory is the home-node directory for all blocks homed at one node.
 type Directory struct {
 	lines map[uint64]*Line
+	chunk []Line // current allocation chunk (pointers into it are stable)
 }
 
 // NewDirectory returns an empty directory.
@@ -122,7 +131,12 @@ func NewDirectory() *Directory {
 func (d *Directory) Line(block uint64) *Line {
 	ln := d.lines[block]
 	if ln == nil {
-		ln = &Line{Head: -1, next: make(map[int]int)}
+		if len(d.chunk) == 0 {
+			d.chunk = make([]Line, lineChunkSize)
+		}
+		ln = &d.chunk[0]
+		d.chunk = d.chunk[1:]
+		ln.Head = -1
 		d.lines[block] = ln
 	}
 	return ln
@@ -157,7 +171,7 @@ func (l *Line) AddSharer(node int) {
 		return
 	}
 	l.presence |= 1 << uint(node)
-	l.next[node] = l.Head
+	l.next[node] = int8(l.Head)
 	l.Head = node
 }
 
@@ -169,27 +183,27 @@ func (l *Line) RemoveSharer(node int) {
 	}
 	l.presence &^= 1 << uint(node)
 	if l.Head == node {
-		l.Head = l.next[node]
+		l.Head = int(l.next[node])
 	} else {
-		for cur := l.Head; cur >= 0; cur = l.next[cur] {
-			if l.next[cur] == node {
+		for cur := l.Head; cur >= 0; cur = int(l.next[cur]) {
+			if int(l.next[cur]) == node {
 				l.next[cur] = l.next[node]
 				break
 			}
 		}
 	}
-	delete(l.next, node)
 	if l.Dirty && l.Owner == node {
 		l.Dirty = false
 	}
 }
 
-// ClearSharers resets the block to uncached-clean.
+// ClearSharers resets the block to uncached-clean. Stale next entries
+// need no clearing: the list is only reachable through Head and the
+// presence bits.
 func (l *Line) ClearSharers() {
 	l.presence = 0
 	l.Dirty = false
 	l.Head = -1
-	l.next = make(map[int]int)
 }
 
 // SetDirty marks node as the exclusive dirty owner: the presence vector
@@ -204,7 +218,7 @@ func (l *Line) SetDirty(node int) {
 // List returns the sharing list in SCI order (head first).
 func (l *Line) List() []int {
 	var out []int
-	for cur := l.Head; cur >= 0; cur = l.next[cur] {
+	for cur := l.Head; cur >= 0; cur = int(l.next[cur]) {
 		out = append(out, cur)
 		if len(out) > 64 {
 			panic("memory: sharing list cycle")

@@ -42,8 +42,13 @@ type Ring struct {
 	Geo   Geometry
 	k     *sim.Kernel
 	slots []slot
-	stats [NumSlotClasses]classStats
-	start sim.Time
+	// byClass[c] lists the indices of class-c slots in ascending order,
+	// so a reservation scan touches only candidate slots (the batched
+	// advancement of quiescent spans: slots of other classes cost zero).
+	byClass [NumSlotClasses][]int32
+	pool    msgPool
+	stats   [NumSlotClasses]classStats
+	start   sim.Time
 }
 
 // New returns a ring with the given configuration attached to k.
@@ -52,6 +57,9 @@ func New(k *sim.Kernel, cfg Config) *Ring {
 	r := &Ring{Geo: g, k: k, slots: make([]slot, g.NumSlots()), start: k.Now()}
 	for i := range r.slots {
 		r.slots[i].lastRemover = -2 // no remover yet
+	}
+	for i, c := range g.slotClass {
+		r.byClass[c] = append(r.byClass[c], int32(i))
 	}
 	return r
 }
@@ -126,19 +134,19 @@ func (r *Ring) Send(src, dst int, class SlotClass, visit func(node int, at sim.T
 	}
 	now := r.k.Now()
 
-	// Reserve the slot of this class with the earliest grab.
-	best, bestAt := -1, sim.Time(0)
-	for i := range r.slots {
-		if g.slotClass[i] != class {
-			continue
-		}
-		t := r.earliestGrab(i, src, now)
-		if best == -1 || t < bestAt {
+	// Reserve the slot of this class with the earliest grab. The scan
+	// covers every candidate (not just until a same-pass hit) because
+	// the anti-starvation accounting in earliestGrab is per-slot.
+	cand := r.byClass[class]
+	if len(cand) == 0 {
+		panic(fmt.Sprintf("ring: no slots of class %v configured", class))
+	}
+	best, bestAt := int(cand[0]), r.earliestGrab(int(cand[0]), src, now)
+	for _, ci := range cand[1:] {
+		i := int(ci)
+		if t := r.earliestGrab(i, src, now); t < bestAt {
 			best, bestAt = i, t
 		}
-	}
-	if best == -1 {
-		panic(fmt.Sprintf("ring: no slots of class %v configured", class))
 	}
 	grab = bestAt
 
@@ -160,25 +168,7 @@ func (r *Ring) Send(src, dst int, class SlotClass, visit func(node int, at sim.T
 	st.waitSum += grab - now
 	st.transit += removal - grab
 
-	if visit != nil {
-		last := g.Nodes // broadcast: everyone but src
-		if dst != Broadcast {
-			last = g.DistStages(src, dst) // only nodes strictly before dst
-		}
-		for m := 1; m < g.Nodes; m++ {
-			node := (src + m) % g.Nodes
-			d := g.DistStages(src, node)
-			if dst != Broadcast && d >= last {
-				continue
-			}
-			at := grab + sim.Time(d)*g.ClockPS
-			n := node
-			r.k.At(at, func() { visit(n, at) })
-		}
-	}
-	if done != nil {
-		r.k.At(removal, func() { done(removal) })
-	}
+	launchSweep(r.k, &r.pool, g, src, dst, grab, removal, visit, done)
 	return grab, removal
 }
 

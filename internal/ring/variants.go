@@ -45,6 +45,7 @@ type TokenRing struct {
 	// completes; the token is then at tokenAt.
 	busyUntil sim.Time
 	tokenAt   int
+	pool      msgPool
 	messages  uint64
 	waitSum   sim.Time
 	transit   sim.Time
@@ -89,21 +90,7 @@ func (t *TokenRing) Send(src, dst int, class SlotClass, visit func(node int, at 
 	t.waitSum += grab - now
 	t.transit += removal - grab
 
-	if visit != nil {
-		for m := 1; m < g.Nodes; m++ {
-			node := (src + m) % g.Nodes
-			d := g.DistStages(src, node)
-			if dst != Broadcast && d >= g.DistStages(src, dst) {
-				continue
-			}
-			at := grab + sim.Time(d)*g.ClockPS
-			n := node
-			t.k.At(at, func() { visit(n, at) })
-		}
-	}
-	if done != nil {
-		t.k.At(removal, func() { done(removal) })
-	}
+	launchSweep(t.k, &t.pool, g, src, dst, grab, removal, visit, done)
 	return grab, removal
 }
 

@@ -613,6 +613,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP ringserved_engine_simulated_ns_total Simulated nanoseconds produced by computed jobs.")
 	fmt.Fprintln(w, "# TYPE ringserved_engine_simulated_ns_total counter")
 	fmt.Fprintf(w, "ringserved_engine_simulated_ns_total %d\n", st.SimulatedPS/1000)
+	fmt.Fprintln(w, "# HELP ringserved_engine_events_fired_total Kernel events dispatched by computed jobs.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_events_fired_total counter")
+	fmt.Fprintf(w, "ringserved_engine_events_fired_total %d\n", st.EventsFired)
+	fmt.Fprintln(w, "# HELP ringserved_engine_events_per_second Event dispatch rate over execution wall clock.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_events_per_second gauge")
+	fmt.Fprintf(w, "ringserved_engine_events_per_second %g\n", st.EventsPerSec)
+	fmt.Fprintln(w, "# HELP ringserved_engine_events_per_job Mean kernel events per computed job.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_events_per_job gauge")
+	fmt.Fprintf(w, "ringserved_engine_events_per_job %g\n", st.MeanJobEvents)
+	fmt.Fprintln(w, "# HELP ringserved_engine_event_slab_max Largest event-record pool any job's kernel allocated.")
+	fmt.Fprintln(w, "# TYPE ringserved_engine_event_slab_max gauge")
+	fmt.Fprintf(w, "ringserved_engine_event_slab_max %d\n", st.EventSlabMax)
 
 	s.met.render(w)
 }

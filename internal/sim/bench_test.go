@@ -1,0 +1,143 @@
+package sim
+
+import "testing"
+
+// The zero-allocation guards below are ordinary tests (not benchmarks)
+// so they run in every `go test` and in the CI bench-smoke step: a
+// change that reintroduces a per-event heap allocation fails the build,
+// not just a benchmark comparison.
+
+type countHandler struct{ n int }
+
+func (h *countHandler) OnEvent(at Time) { h.n++ }
+
+func TestAtEventDispatchZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	h := &countHandler{}
+	// Warm the slab, wheel buckets and free list.
+	for i := 0; i < 64; i++ {
+		k.AfterEvent(Duration(i), h)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterEvent(100, h)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("AtEvent schedule+dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAtDispatchZeroAlloc(t *testing.T) {
+	// The closure path is also allocation-free once the closure itself
+	// exists: the kernel stores fn in a recycled slab record.
+	k := NewKernel()
+	fired := 0
+	fn := func() { fired++ }
+	for i := 0; i < 64; i++ {
+		k.After(Duration(i), fn)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.After(100, fn)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("At schedule+dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestScheduleCancelZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	h := &countHandler{}
+	for i := 0; i < 64; i++ {
+		k.AfterEvent(Duration(i), h)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := k.Schedule(k.Now()+50, h)
+		if !k.Cancel(id) {
+			t.Fatal("Cancel failed on a pending event")
+		}
+		k.Run() // reclaims the canceled record lazily
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestResourceUseZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	res := NewResource(k, "bank", 1)
+	done := func() {}
+	for i := 0; i < 8; i++ {
+		res.Use(10, done)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(500, func() {
+		res.Use(10, done)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Resource.Use allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkAtEventDispatch(b *testing.B) {
+	k := NewKernel()
+	h := &countHandler{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.AfterEvent(100, h)
+		k.Run()
+	}
+}
+
+func BenchmarkAtClosureDispatch(b *testing.B) {
+	k := NewKernel()
+	fired := 0
+	fn := func() { fired++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(100, fn)
+		k.Run()
+	}
+}
+
+// churnState keeps a fixed population of in-flight events, each firing
+// rescheduling one successor at a randomly chosen horizon: sub-bucket,
+// mid-wheel, or past the wheel span (overflow tier + base jumps). This
+// is the calendar's steady-state shape under the ring models.
+type churnState struct {
+	k    *Kernel
+	rng  *Rand
+	left int
+}
+
+func (c *churnState) OnEvent(at Time) {
+	if c.left <= 0 {
+		return
+	}
+	c.left--
+	var d Duration
+	switch c.rng.Intn(3) {
+	case 0:
+		d = Duration(c.rng.Intn(int(bucketWidth)))
+	case 1:
+		d = Duration(c.rng.Intn(32 * int(bucketWidth)))
+	default:
+		d = Duration(c.rng.Intn(2 * wheelLen * int(bucketWidth)))
+	}
+	c.k.AfterEvent(d, c)
+}
+
+func BenchmarkCalendarChurn(b *testing.B) {
+	k := NewKernel()
+	c := &churnState{k: k, rng: NewRand(1993), left: b.N}
+	for i := 0; i < 256; i++ {
+		k.AfterEvent(Duration(i), c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}

@@ -16,11 +16,22 @@ type Resource struct {
 	resetAt  Time // start of the current statistics window
 	grants   uint64
 	waitSum  Time
+	useFree  *useOp // recycled Use operations (zero-alloc steady state)
 }
 
 type waiter struct {
 	since Time
 	fn    func()
+	h     Granted
+}
+
+// Granted is the allocation-free counterpart of Acquire's callback:
+// pooled objects implement it to receive the slot grant without a
+// per-request closure.
+type Granted interface {
+	// OnGrant runs exactly when Acquire's fn would: synchronously on a
+	// free slot, otherwise when Release hands the slot over.
+	OnGrant()
 }
 
 // NewResource returns a resource with the given number of service slots.
@@ -47,6 +58,19 @@ func (r *Resource) Acquire(fn func()) {
 	r.waiters = append(r.waiters, waiter{since: r.k.Now(), fn: fn})
 }
 
+// AcquireEvent is Acquire for pooled Granted objects — the
+// zero-allocation acquisition path.
+func (r *Resource) AcquireEvent(h Granted) {
+	if r.busy < r.servers {
+		r.mark()
+		r.busy++
+		r.grants++
+		h.OnGrant()
+		return
+	}
+	r.waiters = append(r.waiters, waiter{since: r.k.Now(), h: h})
+}
+
 // Release frees one service slot. If anyone is waiting, the slot passes
 // directly to the oldest waiter, whose callback runs synchronously.
 func (r *Resource) Release() {
@@ -55,26 +79,61 @@ func (r *Resource) Release() {
 	}
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
+		r.waiters[0] = waiter{}
 		r.waiters = r.waiters[1:]
 		r.grants++
 		r.waitSum += r.k.Now() - w.since
-		w.fn()
+		if w.fn != nil {
+			w.fn()
+		} else {
+			w.h.OnGrant()
+		}
 		return
 	}
 	r.mark()
 	r.busy--
 }
 
+// useOp is a pooled hold-then-release operation backing Use. One record
+// per in-flight Use; recycled through Resource.useFree, so the steady
+// state allocates nothing.
+type useOp struct {
+	r    *Resource
+	d    Duration
+	done func()
+	next *useOp
+}
+
+// OnGrant (Granted) starts the service interval once the slot is ours.
+func (u *useOp) OnGrant() {
+	u.r.k.AfterEvent(u.d, u)
+}
+
+// OnEvent (EventHandler) ends the service interval: release the slot and
+// run the completion callback. The record returns to the pool first, so
+// the callback may start another Use without growing it.
+func (u *useOp) OnEvent(at Time) {
+	r, done := u.r, u.done
+	u.r, u.done = nil, nil
+	u.next = r.useFree
+	r.useFree = u
+	r.Release()
+	if done != nil {
+		done()
+	}
+}
+
 // Use acquires a slot, holds it for d, then releases it and runs done.
 func (r *Resource) Use(d Duration, done func()) {
-	r.Acquire(func() {
-		r.k.After(d, func() {
-			r.Release()
-			if done != nil {
-				done()
-			}
-		})
-	})
+	u := r.useFree
+	if u == nil {
+		u = &useOp{}
+	} else {
+		r.useFree = u.next
+		u.next = nil
+	}
+	u.r, u.d, u.done = r, d, done
+	r.AcquireEvent(u)
 }
 
 // QueueLen reports the number of requests waiting for a slot.

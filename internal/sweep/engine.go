@@ -120,6 +120,16 @@ type Stats struct {
 	// per wall-clock second of execution.
 	SimulatedPS int64   `json:"simulated_ps"`
 	SimNSPerSec float64 `json:"sim_ns_per_sec"`
+	// EventsFired is the total kernel events dispatched by computed
+	// jobs (cache hits fire none); EventsPerSec is the aggregate
+	// dispatch rate over execution wall clock, and MeanJobEvents the
+	// mean per computed job.
+	EventsFired   uint64  `json:"events_fired"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	MeanJobEvents float64 `json:"mean_job_events"`
+	// EventSlabMax is the largest event-record pool any computed job's
+	// kernel grew to — the event core's allocation high-water mark.
+	EventSlabMax int `json:"event_slab_max"`
 	// LastBatch summarizes the most recent Run call; a repeated sweep
 	// shows its cache hit rate here.
 	LastBatch BatchStats `json:"last_batch"`
@@ -199,8 +209,10 @@ func (e *Engine) Stats() Stats {
 	s := e.stats
 	if s.Computed > 0 {
 		s.MeanJobWall = s.ExecWall / time.Duration(s.Computed)
+		s.MeanJobEvents = float64(s.EventsFired) / float64(s.Computed)
 		if secs := s.ExecWall.Seconds(); secs > 0 {
 			s.SimNSPerSec = float64(s.SimulatedPS) / 1000 / secs
+			s.EventsPerSec = float64(s.EventsFired) / secs
 		}
 	}
 	return s
@@ -478,6 +490,10 @@ func (e *Engine) compute(job Job, hash string) (*Result, error) {
 	e.mu.Lock()
 	e.stats.ExecWall += wall
 	e.stats.SimulatedPS += int64(m.ExecTime)
+	e.stats.EventsFired += m.EventsFired
+	if m.EventSlab > e.stats.EventSlabMax {
+		e.stats.EventSlabMax = m.EventSlab
+	}
 	e.mu.Unlock()
 	e.emit(Event{Type: EventDone, Job: job, Hash: hash, Wall: wall})
 	return res, nil

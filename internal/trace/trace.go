@@ -98,29 +98,36 @@ func (s Stats) String() string {
 		s.SharedRefs, 100*s.SharedWriteFrac())
 }
 
+// Observe folds one reference into the statistics. It lets callers
+// measure a reference stream as it is generated, without materializing
+// the trace in memory.
+func (s *Stats) Observe(r Ref) {
+	switch r.Op {
+	case coherence.Ifetch:
+		s.InstrRefs++
+	case coherence.Load, coherence.Store:
+		s.DataRefs++
+		w := r.Op == coherence.Store
+		if r.Shared {
+			s.SharedRefs++
+			if w {
+				s.SharedWrites++
+			}
+		} else {
+			s.PrivateRefs++
+			if w {
+				s.PrivateWrites++
+			}
+		}
+	}
+}
+
 // Measure computes Table 2-style characteristics for a trace.
 func Measure(t *Trace) Stats {
 	s := Stats{Name: t.Name, CPUs: t.NumCPUs()}
 	for _, stream := range t.Streams {
 		for _, r := range stream {
-			switch r.Op {
-			case coherence.Ifetch:
-				s.InstrRefs++
-			case coherence.Load, coherence.Store:
-				s.DataRefs++
-				w := r.Op == coherence.Store
-				if r.Shared {
-					s.SharedRefs++
-					if w {
-						s.SharedWrites++
-					}
-				} else {
-					s.PrivateRefs++
-					if w {
-						s.PrivateWrites++
-					}
-				}
-			}
+			s.Observe(r)
 		}
 	}
 	return s

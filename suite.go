@@ -66,6 +66,10 @@ type SweepStats struct {
 	// simulated nanoseconds per wall-clock second of execution.
 	SimulatedNS int64   `json:"simulated_ns"`
 	SimNSPerSec float64 `json:"sim_ns_per_sec"`
+	// EventsFired is total kernel events dispatched by computed jobs;
+	// EventsPerSec is the dispatch rate over execution wall clock.
+	EventsFired  uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // SweepStats snapshots the suite's simulation-engine counters.
@@ -82,6 +86,8 @@ func (s *Suite) SweepStats() SweepStats {
 		MeanJobWallNS: st.MeanJobWall.Nanoseconds(),
 		SimulatedNS:   st.SimulatedPS / 1000,
 		SimNSPerSec:   st.SimNSPerSec,
+		EventsFired:   st.EventsFired,
+		EventsPerSec:  st.EventsPerSec,
 	}
 }
 
