@@ -1,6 +1,10 @@
 // Command ringload drives a running ringserved instance with a
 // closed-loop job workload and reports serving throughput, latency
 // percentiles, and the cache-hit rate the memoizing engine achieved.
+// It scrapes the server's /metrics endpoint before and after the run,
+// so the report carries both views of the same load: client-observed
+// latency and the server-side ringsim_serve_request_seconds histogram
+// delta (plus span counters when the server traces its jobs).
 //
 // The workload is a pool of -jobs distinct simulation points cycled
 // round-robin across -requests total submissions from -concurrency
@@ -15,15 +19,21 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -54,6 +64,24 @@ type report struct {
 	P95MS        float64 `json:"p95_ms"`
 	P99MS        float64 `json:"p99_ms"`
 	MaxMS        float64 `json:"max_ms"`
+
+	// Server holds the server-side view of the same run, from /metrics
+	// histogram deltas. Nil when the server's /metrics was unreachable.
+	Server *serverView `json:"server,omitempty"`
+}
+
+// serverView is what the server itself measured over the load run:
+// the delta of its ringsim_serve_request_seconds{endpoint="jobs"}
+// histogram between the before and after scrapes, plus observability
+// span counters when the engine runs with tracing enabled.
+type serverView struct {
+	Requests     uint64  `json:"requests"`
+	MeanMS       float64 `json:"mean_ms"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	SpansObs     uint64  `json:"obs_spans,omitempty"`
+	SpansSampled uint64  `json:"obs_spans_sampled,omitempty"`
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -110,6 +138,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		latencies []float64
 	)
 	client := &http.Client{}
+	before, scrapeErr := scrapeMetrics(ctx, client, *url)
 	begin := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
@@ -163,11 +192,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		P99MS:        1000 * stats.Percentile(latencies, 0.99),
 		MaxMS:        1000 * stats.Percentile(latencies, 1.0),
 	}
+	if scrapeErr == nil {
+		if after, err := scrapeMetrics(ctx, client, *url); err == nil {
+			rep.Server = serverDelta(before, after)
+		}
+	}
 
 	fmt.Fprintf(stdout, "ringload: %d ok / %d errors in %v (%.1f req/s)\n",
 		len(latencies), rep.Errors, wall.Round(time.Millisecond), rep.ReqPerSec)
 	fmt.Fprintf(stdout, "          cache-hit rate %.3f, latency p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
 		rep.CacheHitRate, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	if rep.Server != nil {
+		fmt.Fprintf(stdout, "          server view: %d requests, mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			rep.Server.Requests, rep.Server.MeanMS, rep.Server.P50MS, rep.Server.P95MS, rep.Server.P99MS)
+		if rep.Server.SpansObs > 0 {
+			fmt.Fprintf(stdout, "          server spans: %d observed, %d sampled\n",
+				rep.Server.SpansObs, rep.Server.SpansSampled)
+		}
+	} else {
+		fmt.Fprintln(stdout, "          server view unavailable (/metrics scrape failed)")
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -182,6 +226,156 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "          wrote %s\n", *out)
 	}
 	return 0
+}
+
+// metricsSnapshot is the slice of the server's /metrics output that
+// ringload compares across a run: the jobs-endpoint latency histogram
+// and the observability span counters.
+type metricsSnapshot struct {
+	les    []float64 // sorted bucket upper bounds, +Inf last
+	cum    []uint64  // cumulative counts aligned with les
+	sum    float64   // histogram _sum (seconds)
+	count  uint64    // histogram _count
+	spans  uint64    // ringsim_obs_spans_total
+	sample uint64    // ringsim_obs_spans_sampled_total
+}
+
+var jobsBucketRE = regexp.MustCompile(
+	`^ringsim_serve_request_seconds_bucket\{endpoint="jobs",le="([^"]+)"\} ([0-9]+)$`)
+
+// scrapeMetrics fetches and parses the server's /metrics page.
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (*metricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("ringload: /metrics status %d", resp.StatusCode)
+	}
+
+	snap := &metricsSnapshot{}
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bucket
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := jobsBucketRE.FindStringSubmatch(line); m != nil {
+			le := math.Inf(1)
+			if m[1] != "+Inf" {
+				if le, err = strconv.ParseFloat(m[1], 64); err != nil {
+					continue
+				}
+			}
+			n, _ := strconv.ParseUint(m[2], 10, 64)
+			buckets = append(buckets, bucket{le, n})
+			continue
+		}
+		var f float64
+		switch {
+		case scanValue(line, `ringsim_serve_request_seconds_sum{endpoint="jobs"}`, &f):
+			snap.sum = f
+		case scanValue(line, `ringsim_serve_request_seconds_count{endpoint="jobs"}`, &f):
+			snap.count = uint64(f)
+		case scanValue(line, "ringsim_obs_spans_total", &f):
+			snap.spans = uint64(f)
+		case scanValue(line, "ringsim_obs_spans_sampled_total", &f):
+			snap.sample = uint64(f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for _, b := range buckets {
+		snap.les = append(snap.les, b.le)
+		snap.cum = append(snap.cum, b.cum)
+	}
+	return snap, nil
+}
+
+// scanValue parses a `name value` exposition line for an exact
+// unlabeled-or-fully-labeled series name.
+func scanValue(line, name string, out *float64) bool {
+	rest, ok := strings.CutPrefix(line, name+" ")
+	if !ok {
+		return false
+	}
+	f, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return false
+	}
+	*out = f
+	return true
+}
+
+// serverDelta subtracts two snapshots and summarizes what the server
+// measured in between. Buckets absent before the run count from zero
+// (the before scrape may predate the endpoint's first request).
+func serverDelta(before, after *metricsSnapshot) *serverView {
+	prev := make(map[float64]uint64, len(before.les))
+	for i, le := range before.les {
+		prev[le] = before.cum[i]
+	}
+	les := make([]float64, 0, len(after.les))
+	cum := make([]uint64, 0, len(after.les))
+	for i, le := range after.les {
+		les = append(les, le)
+		cum = append(cum, after.cum[i]-prev[le])
+	}
+	n := after.count - before.count
+	v := &serverView{
+		Requests:     n,
+		SpansObs:     after.spans - before.spans,
+		SpansSampled: after.sample - before.sample,
+	}
+	if n > 0 {
+		v.MeanMS = 1000 * (after.sum - before.sum) / float64(n)
+		v.P50MS = 1000 * histQuantile(les, cum, 0.50)
+		v.P95MS = 1000 * histQuantile(les, cum, 0.95)
+		v.P99MS = 1000 * histQuantile(les, cum, 0.99)
+	}
+	return v
+}
+
+// histQuantile estimates a quantile from cumulative histogram buckets
+// the way Prometheus histogram_quantile does: find the bucket holding
+// the rank and interpolate linearly inside it. Ranks landing in the
+// +Inf bucket clamp to the highest finite bound.
+func histQuantile(les []float64, cum []uint64, q float64) float64 {
+	if len(les) == 0 || cum[len(cum)-1] == 0 {
+		return 0
+	}
+	rank := q * float64(cum[len(cum)-1])
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		upper := les[i]
+		if math.IsInf(upper, 1) {
+			if i == 0 {
+				return 0
+			}
+			return les[i-1]
+		}
+		lower, prev := 0.0, uint64(0)
+		if i > 0 {
+			lower, prev = les[i-1], cum[i-1]
+		}
+		if c == prev {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-float64(prev))/float64(c-prev)
+	}
+	return les[len(les)-1]
 }
 
 // submit posts one job and reports success plus whether the server

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -74,6 +75,66 @@ func TestLoadRunReportsHitsAndPercentiles(t *testing.T) {
 	}
 	if rep.ReqPerSec <= 0 || rep.Requests != 120 || rep.Jobs != 4 {
 		t.Errorf("bad report bookkeeping: %+v", rep)
+	}
+
+	// The server-side view comes from /metrics deltas: it must see
+	// exactly the 120 job submissions this run made, with plausible
+	// latency percentiles.
+	if rep.Server == nil {
+		t.Fatal("report has no server-side view")
+	}
+	if rep.Server.Requests != 120 {
+		t.Errorf("server-side requests = %d, want 120", rep.Server.Requests)
+	}
+	if rep.Server.P50MS <= 0 || rep.Server.P95MS < rep.Server.P50MS || rep.Server.P99MS < rep.Server.P95MS {
+		t.Errorf("implausible server percentiles: %+v", *rep.Server)
+	}
+	if rep.Server.MeanMS <= 0 {
+		t.Errorf("server mean = %v, want > 0", rep.Server.MeanMS)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	// Buckets (0,1], (1,2], (2,+Inf] with 10, 10, 0 samples: cumulative
+	// 10, 20, 20.
+	les := []float64{1, 2, math.Inf(1)}
+	cum := []uint64{10, 20, 20}
+	if q := histQuantile(les, cum, 0.5); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	if q := histQuantile(les, cum, 0.75); q != 1.5 {
+		t.Errorf("p75 = %v, want 1.5", q)
+	}
+	if q := histQuantile(les, cum, 1.0); q != 2 {
+		t.Errorf("p100 = %v, want 2", q)
+	}
+	// Rank in the +Inf bucket clamps to the last finite bound.
+	if q := histQuantile(les, []uint64{10, 20, 25}, 0.95); q != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want 2", q)
+	}
+	if q := histQuantile(nil, nil, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestServerDeltaCountsOnlyTheRun(t *testing.T) {
+	before := &metricsSnapshot{
+		les: []float64{1, math.Inf(1)}, cum: []uint64{5, 5},
+		sum: 2.5, count: 5, spans: 100, sample: 10,
+	}
+	after := &metricsSnapshot{
+		les: []float64{1, math.Inf(1)}, cum: []uint64{15, 15},
+		sum: 7.5, count: 15, spans: 300, sample: 30,
+	}
+	v := serverDelta(before, after)
+	if v.Requests != 10 {
+		t.Errorf("requests = %d, want 10", v.Requests)
+	}
+	if v.MeanMS != 500 {
+		t.Errorf("mean = %v ms, want 500", v.MeanMS)
+	}
+	if v.SpansObs != 200 || v.SpansSampled != 20 {
+		t.Errorf("spans = %d/%d, want 200/20", v.SpansObs, v.SpansSampled)
 	}
 }
 

@@ -10,13 +10,14 @@
 //
 // Routes (see DESIGN.md §9):
 //
-//	POST /v1/jobs                submit one simulation point
-//	POST /v1/sweeps              submit a batch
-//	GET  /v1/experiments         list named experiments
-//	POST /v1/experiments/{name}  run a named experiment
-//	GET  /v1/results/{hash}      idempotent lookup by content hash
-//	GET  /v1/events              live progress stream (SSE)
-//	GET  /healthz, /metrics      liveness and Prometheus metrics
+//	POST /v1/jobs                  submit one simulation point
+//	POST /v1/sweeps                submit a batch
+//	GET  /v1/experiments           list named experiments
+//	POST /v1/experiments/{name}    run a named experiment
+//	GET  /v1/results/{hash}        idempotent lookup by content hash
+//	GET  /v1/results/{hash}/trace  Perfetto trace of a traced run (needs -tracesample)
+//	GET  /v1/events                live progress stream (SSE)
+//	GET  /healthz, /metrics        liveness and Prometheus metrics
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions receive 503
 // while queued and in-flight requests run to completion (bounded by
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -60,6 +62,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxDeadline  = fs.Duration("maxdeadline", 2*time.Minute, "cap on client-requested deadlines")
 		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max wait for in-flight work on shutdown")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		traceSample  = fs.Int("tracesample", 0, "trace computed jobs, recording every k-th transaction span (0 = tracing off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,7 +74,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	eng := sweep.New(sweep.Options{Workers: *workers, CacheDir: *cacheDir})
+	eng := sweep.New(sweep.Options{
+		Workers:  *workers,
+		CacheDir: *cacheDir,
+		Trace:    obs.Config{SampleEvery: *traceSample},
+	})
 	srv := serve.New(serve.Options{
 		Engine:      eng,
 		QueueDepth:  *queueDepth,

@@ -7,6 +7,7 @@
 //
 //	ringsim -protocol snoop-ring -bench MP3D -cpus 16 -cycle 5
 //	ringsim -protocol snoop-bus  -bench WATER -cpus 32 -busmhz 100
+//	ringsim -bench MP3D -cpus 16 -trace-out trace.json   # Perfetto trace
 package main
 
 import (
@@ -37,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		list     = fs.Bool("list", false, "list available benchmark profiles and exit")
 		traceIn  = fs.String("trace", "", "replay a recorded trace file (from tracegen) instead of a synthetic workload")
+		traceOut = fs.String("trace-out", "", "write a Perfetto/Chrome trace of coherence transactions to this file (load at ui.perfetto.dev)")
+		traceSmp = fs.Int("trace-sample", 0, "record every k-th transaction as a full span (0 = 64 when -trace-out is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +63,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BusMHz:         *busMHz,
 		DataRefsPerCPU: *refs,
 		Seed:           *seed,
+		TraceSample:    *traceSmp,
+	}
+	if *traceOut != "" && cfg.TraceSample == 0 {
+		cfg.TraceSample = 64
+	}
+	if *traceOut == "" && cfg.TraceSample != 0 {
+		fmt.Fprintln(stderr, "ringsim: -trace-sample requires -trace-out")
+		return 2
 	}
 	var res *repro.Result
 	var err error
@@ -87,5 +98,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  shared miss rate      : %6.2f %%\n", 100*res.SharedMissRate)
 	fmt.Fprintf(stdout, "  total miss rate       : %6.2f %%\n", 100*res.TotalMissRate)
 	fmt.Fprintf(stdout, "  misses / upgrades     : %d / %d\n", res.Misses, res.Upgrades)
+
+	if *traceOut != "" {
+		if err := writeTrace(res, *traceOut); err != nil {
+			fmt.Fprintln(stderr, "ringsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s (1 in %d transactions sampled); open at https://ui.perfetto.dev\n",
+			*traceOut, cfg.TraceSample)
+		for _, c := range res.SpanClasses() {
+			fmt.Fprintf(stdout, "  %-17s %6d spans  mean %7.0f ns  p95 %7.0f ns\n",
+				c.Class, c.Spans, c.MeanNS, c.P95NS)
+		}
+	}
 	return 0
+}
+
+func writeTrace(res *repro.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

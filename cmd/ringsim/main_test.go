@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -34,6 +37,46 @@ func TestRunList(t *testing.T) {
 		if !strings.Contains(out.String(), bench) {
 			t.Errorf("-list output missing %s:\n%s", bench, out.String())
 		}
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "MP3D", "-cpus", "8", "-refs", "800",
+		"-trace-out", path, "-trace-sample", "16"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trace written to "+path) {
+		t.Errorf("output missing trace summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "spans") {
+		t.Errorf("output missing per-class span summary:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+}
+
+func TestRunTraceSampleRequiresTraceOut(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-trace-sample", "8"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-trace-out") {
+		t.Errorf("stderr: %s", errb.String())
 	}
 }
 

@@ -31,6 +31,9 @@ const (
 	numTenures
 )
 
+// NumTenureKinds is the number of distinct tenure kinds.
+const NumTenureKinds = int(numTenures)
+
 // String names the tenure kind.
 func (k TenureKind) String() string {
 	switch k {
@@ -142,6 +145,11 @@ func (g *Geometry) MissCycles() int { return g.RequestCycles + g.ResponseCycles 
 // Bus is a live split-transaction bus attached to a simulation kernel.
 type Bus struct {
 	Geo Geometry
+	// OnTenure, when non-nil, observes every granted tenure with its
+	// kind, grant time and end time — the occupancy feed for the obs
+	// tracer's bus timeline. The nil default costs serve one branch.
+	OnTenure func(kind TenureKind, grant, end sim.Time)
+
 	k   *sim.Kernel
 	res *sim.Resource
 
@@ -252,6 +260,9 @@ func (b *Bus) serve(src int, kind TenureKind, snoop func(node int, at sim.Time),
 	grant := b.k.Now()
 	b.grants++
 	b.tenures[kind]++
+	if b.OnTenure != nil {
+		b.OnTenure(kind, grant, grant+b.Geo.TenureTime(kind))
+	}
 	if kind == Request && snoop != nil && b.Geo.Nodes > 1 {
 		// One pooled record chains through the N-1 snooping nodes in
 		// index order; the reserved sequence numbers replay the exact

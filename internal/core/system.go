@@ -18,6 +18,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/hier"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/scilist"
 	"repro/internal/sim"
@@ -124,6 +125,13 @@ type Config struct {
 	// WriteBufferDepth bounds outstanding non-blocking stores
 	// (default 8).
 	WriteBufferDepth int
+	// Trace enables transaction-level tracing (zero: disabled, and the
+	// hot paths pay only nil-check branches). With SampleEvery = k > 0
+	// every warm coherence transaction feeds the per-class latency
+	// histograms and every k-th gets a full span record in the trace
+	// ring buffers; ring and bus occupancy timelines are captured for
+	// the whole measured window.
+	Trace obs.Config
 }
 
 // Metrics aggregates one run's results.
@@ -183,6 +191,13 @@ type Metrics struct {
 	// they describe the simulator, not the simulated machine.
 	EventsFired uint64
 	EventSlab   int
+
+	// Trace is the run's tracer when Config.Trace enabled it, nil
+	// otherwise. Like EventsFired/EventSlab it is excluded from
+	// MetricsSnapshot: span records are a sampled observability artifact
+	// of the run, not part of the deterministic simulated-machine
+	// results.
+	Trace *obs.Tracer
 }
 
 // ProcUtil returns the average processor utilization: busy over
@@ -220,6 +235,7 @@ type System struct {
 	engine Engine
 	ring   *ring.Ring
 	bus    *bus.Bus
+	tracer *obs.Tracer
 	procs  []*proc
 	m      Metrics
 
@@ -290,6 +306,8 @@ func NewSystem(cfg Config, src workload.Source) *System {
 	home := memory.NewHomeMap(n, pageBytes, sim.NewRand(cfg.Seed))
 	home.SetHint(workload.HomeHint)
 
+	s.tracer = obs.New(cfg.Trace, n)
+
 	switch cfg.Protocol {
 	case SnoopRing, DirectoryRing, SCIRing:
 		rc := cfg.Ring
@@ -298,11 +316,23 @@ func NewSystem(cfg Config, src workload.Source) *System {
 		s.ring = r
 		switch cfg.Protocol {
 		case SnoopRing:
-			s.engine = snoop.New(r, snoop.Options{Cache: cfg.Cache, Home: home})
+			s.engine = snoop.New(r, snoop.Options{Cache: cfg.Cache, Home: home, Tracer: s.tracer})
 		case DirectoryRing:
-			s.engine = directory.New(r, directory.Options{Cache: cfg.Cache, Home: home})
+			s.engine = directory.New(r, directory.Options{Cache: cfg.Cache, Home: home, Tracer: s.tracer})
 		case SCIRing:
 			s.engine = scilist.New(r, scilist.Options{Cache: cfg.Cache, Home: home})
+		}
+		if s.tracer != nil {
+			// One occupancy track per slot class, fed from the ring's
+			// per-message observer.
+			var tracks [ring.NumSlotClasses]*obs.Track
+			for c := 0; c < ring.NumSlotClasses; c++ {
+				cl := ring.SlotClass(c)
+				tracks[c] = s.tracer.NewTrack("ring "+cl.String(), r.Geo.SlotsOfClass(cl))
+			}
+			r.OnMessage = func(class ring.SlotClass, grab, removal sim.Time) {
+				tracks[class].Message(grab, removal)
+			}
 		}
 	case SnoopBus:
 		bc := cfg.Bus
@@ -310,6 +340,17 @@ func NewSystem(cfg Config, src workload.Source) *System {
 		b := bus.New(k, bc)
 		s.bus = b
 		s.engine = bussnoop.New(b, bussnoop.Options{Cache: cfg.Cache, Home: home})
+		if s.tracer != nil {
+			// One occupancy track per tenure kind; the bus is a single
+			// shared resource, so each track has one "slot".
+			var tracks [bus.NumTenureKinds]*obs.Track
+			for kd := 0; kd < bus.NumTenureKinds; kd++ {
+				tracks[kd] = s.tracer.NewTrack("bus "+bus.TenureKind(kd).String(), 1)
+			}
+			b.OnTenure = func(kind bus.TenureKind, grant, end sim.Time) {
+				tracks[kind].Message(grant, end)
+			}
+		}
 	case HierRing:
 		clusters := cfg.Clusters
 		if clusters == 0 {
@@ -348,6 +389,7 @@ func NewSystem(cfg Config, src workload.Source) *System {
 		s.procs[i] = p
 		if p.warm {
 			s.warmed++
+			s.tracer.SetWarm(i)
 		}
 	}
 	return s
@@ -361,6 +403,7 @@ func (s *System) crossWarmup(p *proc) {
 	p.busy = 0
 	p.stall = 0
 	s.warmed++
+	s.tracer.SetWarm(p.id)
 	if s.warmed == len(s.procs) {
 		if s.ring != nil {
 			s.ring.ResetStats()
@@ -368,6 +411,7 @@ func (s *System) crossWarmup(p *proc) {
 		if s.bus != nil {
 			s.bus.ResetStats()
 		}
+		s.tracer.ResetNet(s.k.Now())
 		if rs, ok := s.engine.(interface{ ResetNetStats() }); ok {
 			rs.ResetNetStats()
 		}
@@ -429,6 +473,8 @@ func (s *System) Run() *Metrics {
 	s.m.WriteBacks = s.scrapeWriteBacks() - s.wbBase
 	s.m.EventsFired = s.k.Fired()
 	s.m.EventSlab = s.k.SlabSize()
+	s.tracer.Finish(s.k.Now())
+	s.m.Trace = s.tracer
 	return &s.m
 }
 

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// missTxns are the transaction classes counted as misses by the
+// aggregates (everything on the access critical path except upgrades).
+var missTxns = []coherence.Txn{
+	coherence.ReadMissClean, coherence.ReadMissDirty,
+	coherence.WriteMissClean, coherence.WriteMissDirty,
+}
+
+// TestTracingAgreesWithAggregates is the acceptance check for the obs
+// layer: the per-class latency histograms observe every warm
+// transaction (sampling gates only the span records), so their counts
+// and means must agree with the run's Metrics exactly — not just
+// within the 1% the acceptance criterion allows.
+func TestTracingAgreesWithAggregates(t *testing.T) {
+	prof := workload.MustProfile("MP3D", 8)
+	for _, p := range []Protocol{SnoopRing, DirectoryRing} {
+		gen := workload.NewGenerator(workload.Config{Profile: prof, DataRefsPerCPU: 1200, Seed: 7})
+		s := NewSystem(Config{
+			Protocol:       p,
+			Seed:           5,
+			WarmupDataRefs: 200,
+			Trace:          obs.Config{SampleEvery: 64},
+		}, gen)
+		m := s.Run()
+		tr := m.Trace
+		if tr == nil {
+			t.Fatalf("%v: tracing enabled but Metrics.Trace is nil", p)
+		}
+
+		// Span population == measured transaction population, per class.
+		for txn := coherence.Txn(0); int(txn) < coherence.NumTxn; txn++ {
+			if txn == coherence.WriteBack {
+				continue // write-backs are off the critical path, not in TxnCount
+			}
+			if got, want := tr.ClassCount(txn), m.TxnCount[txn]; got != want {
+				t.Errorf("%v: %v spans = %d, metrics count = %d", p, txn, got, want)
+			}
+		}
+		if tr.ClassCount(coherence.WriteBack) != m.WriteBacks {
+			t.Errorf("%v: write-back spans = %d, metrics = %d",
+				p, tr.ClassCount(coherence.WriteBack), m.WriteBacks)
+		}
+
+		// Mean miss latency from the histograms == MissLatency mean.
+		var n uint64
+		var sum float64
+		for _, txn := range missTxns {
+			h := tr.ClassLatency(txn)
+			n += h.N()
+			sum += h.Sum()
+		}
+		if n != m.MissLatency.N() {
+			t.Fatalf("%v: histogram miss samples = %d, aggregate = %d", p, n, m.MissLatency.N())
+		}
+		hmean := sum / float64(n)
+		amean := m.MissLatency.Value()
+		if rel := math.Abs(hmean-amean) / amean; rel > 1e-9 {
+			t.Errorf("%v: histogram mean %.4f ns vs aggregate %.4f ns (rel %.2e)",
+				p, hmean, amean, rel)
+		}
+		if h := tr.ClassLatency(coherence.Invalidation); h.N() != m.InvLatency.N() {
+			t.Errorf("%v: invalidation samples = %d, aggregate = %d", p, h.N(), m.InvLatency.N())
+		}
+
+		if tr.SpansSampled() == 0 {
+			t.Errorf("%v: no spans sampled at 1/64", p)
+		}
+
+		// The trace export must be well-formed JSON with events.
+		var buf bytes.Buffer
+		if err := tr.WriteTrace(&buf); err != nil {
+			t.Fatalf("%v: WriteTrace: %v", p, err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%v: trace is not valid JSON: %v", p, err)
+		}
+		if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) == 0 {
+			t.Errorf("%v: trace has no events", p)
+		}
+	}
+}
+
+// TestTracingDisabledLeavesNoTracer checks the off switch: a zero
+// Trace config must leave Metrics.Trace nil and install no ring
+// observer.
+func TestTracingDisabledLeavesNoTracer(t *testing.T) {
+	prof := workload.MustProfile("MP3D", 8)
+	gen := workload.NewGenerator(workload.Config{Profile: prof, DataRefsPerCPU: 300, Seed: 7})
+	s := NewSystem(Config{Protocol: SnoopRing, Seed: 5}, gen)
+	if s.ring.OnMessage != nil {
+		t.Fatal("tracing disabled but ring observer installed")
+	}
+	if m := s.Run(); m.Trace != nil {
+		t.Fatal("tracing disabled but Metrics.Trace set")
+	}
+}
+
+// TestTracingColdWindowExcluded checks warmup gating: with tracing on,
+// spans cover only warm-window transactions, so the totals match the
+// (warmup-excluded) aggregates rather than the raw access stream.
+func TestTracingColdWindowExcluded(t *testing.T) {
+	prof := workload.MustProfile("MP3D", 8)
+	gen := workload.NewGenerator(workload.Config{Profile: prof, DataRefsPerCPU: 600, Seed: 9})
+	s := NewSystem(Config{
+		Protocol:       SnoopRing,
+		Seed:           5,
+		WarmupDataRefs: 300,
+		Trace:          obs.Config{SampleEvery: 1},
+	}, gen)
+	m := s.Run()
+	var want uint64
+	for txn := coherence.Txn(0); int(txn) < coherence.NumTxn; txn++ {
+		if txn != coherence.WriteBack {
+			want += m.TxnCount[txn]
+		}
+	}
+	want += m.WriteBacks
+	if got := m.Trace.SpansObserved(); got != want {
+		t.Fatalf("spans observed = %d, warm transactions = %d", got, want)
+	}
+}

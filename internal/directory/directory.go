@@ -20,6 +20,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -40,6 +41,9 @@ type Options struct {
 	// (e.g. one with private-data hints); PageBytes and Seed are then
 	// ignored.
 	Home *memory.HomeMap
+	// Tracer, when non-nil, records coherence transactions as obs
+	// spans with phase annotations.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -56,6 +60,7 @@ type Engine struct {
 	banks  []*memory.Bank
 	home   *memory.HomeMap
 	dir    *memory.Directory
+	tr     *obs.Tracer
 
 	// WriteBacks counts dirty-eviction block messages.
 	WriteBacks uint64
@@ -73,6 +78,7 @@ func New(r *ring.Ring, opts Options) *Engine {
 		banks:  make([]*memory.Bank, n),
 		home:   homeMapFor(n, opts),
 		dir:    memory.NewDirectory(),
+		tr:     opts.Tracer,
 	}
 	for i := 0; i < n; i++ {
 		e.caches[i] = cache.New(opts.Cache)
@@ -126,6 +132,7 @@ var DebugEvict func(node int, filler, victim uint64)
 // writeBack returns a dirty block to its home, off the critical path.
 func (e *Engine) writeBack(node int, block uint64) {
 	e.WriteBacks++
+	sp := e.tr.Begin(node, e.k.Now())
 	h := e.home.Home(block)
 	land := func() {
 		e.banks[h].Access(func() {
@@ -135,30 +142,35 @@ func (e *Engine) writeBack(node int, block uint64) {
 	}
 	if h == node {
 		land()
+		sp.End(e.k.Now(), coherence.WriteBack)
 		return
 	}
-	e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) { land() })
+	grab, removal := e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) { land() })
+	sp.Mark(obs.PhaseData, grab)
+	sp.End(removal, coherence.WriteBack)
 }
 
 // probe sends a point-to-point probe (request, forward, or ack) in the
-// parity slot of block.
-func (e *Engine) probe(src, dst int, block uint64, arrived func(at sim.Time)) {
+// parity slot of block, returning the slot grab time.
+func (e *Engine) probe(src, dst int, block uint64, arrived func(at sim.Time)) sim.Time {
 	class := e.ring.Geo.ProbeClassFor(block)
-	e.ring.Send(src, dst, class, nil, func(at sim.Time) { arrived(at) })
+	grab, _ := e.ring.Send(src, dst, class, nil, func(at sim.Time) { arrived(at) })
+	return grab
 }
 
 // multicast sends the home's invalidation sweep: a broadcast probe that
 // invalidates every cached copy except keep's, returning after one full
-// traversal.
-func (e *Engine) multicast(h int, block uint64, keep int, returned func(at sim.Time)) {
+// traversal. It reports the probe slot grab time.
+func (e *Engine) multicast(h int, block uint64, keep int, returned func(at sim.Time)) sim.Time {
 	class := e.ring.Geo.ProbeClassFor(block)
-	e.ring.Send(h, ring.Broadcast, class,
+	grab, _ := e.ring.Send(h, ring.Broadcast, class,
 		func(visited int, at sim.Time) {
 			if visited != keep {
 				e.caches[visited].Invalidate(block)
 			}
 		},
 		func(at sim.Time) { returned(at) })
+	return grab
 }
 
 // traversals converts a total downstream path length into ring
@@ -185,21 +197,26 @@ func classifyDirty(trav int) coherence.MissClass {
 // miss services a read or write miss.
 func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
 	h := e.home.Home(block)
+	sp := e.tr.Begin(node, e.k.Now())
 	if h == node {
-		e.localMiss(node, block, write, done)
+		e.localMiss(node, block, write, sp, done)
 		return
 	}
 	// Remote home: request probe to h; all decisions are made at the
 	// home, serialized by its bank.
-	e.probe(node, h, block, func(sim.Time) {
+	grab := e.probe(node, h, block, func(sim.Time) {
 		e.banks[h].Access(func() {
-			e.atHome(node, h, block, write, done)
+			// The home's bank grant is the directory protocol's "ack
+			// observed" waypoint: the request is now being serviced.
+			sp.Mark(obs.PhaseAck, e.k.Now())
+			e.atHome(node, h, block, write, sp, done)
 		})
 	})
+	sp.Mark(obs.PhaseProbeGrab, grab)
 }
 
 // localMiss handles a miss whose home is the requesting node.
-func (e *Engine) localMiss(node int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+func (e *Engine) localMiss(node int, block uint64, write bool, sp obs.Span, done func(sim.Time, coherence.Result)) {
 	e.banks[node].Access(func() {
 		ln := e.dir.Line(block)
 		dirtyRemote := ln.Dirty && ln.Owner != node
@@ -218,36 +235,46 @@ func (e *Engine) localMiss(node int, block uint64, write bool, done func(sim.Tim
 			if write {
 				txn = coherence.WriteMissDirty
 			}
-			e.probe(node, o, block, func(sim.Time) {
+			grab := e.probe(node, o, block, func(sim.Time) {
 				e.ownerSupply(o, node, block, write, func(at sim.Time) {
 					st := coherence.ReadShared
 					if write {
 						st = coherence.WriteExclusive
 					}
 					e.fill(node, block, st)
+					sp.Mark(obs.PhaseData, at)
+					sp.End(at, txn)
 					done(at, coherence.Result{Txn: txn, Class: coherence.OneCycleDirty, Traversals: 1})
 				})
 			})
+			sp.Mark(obs.PhaseProbeGrab, grab)
 		case write && ln.NumSharers() > 0 && !(ln.NumSharers() == 1 && ln.HasSharer(node)):
 			// Local write miss, block shared remotely: multicast and
 			// wait for the sweep to return before completing.
 			ln.SetDirty(node)
-			e.multicast(node, block, node, func(at sim.Time) {
+			grab := e.multicast(node, block, node, func(at sim.Time) {
 				e.fill(node, block, coherence.WriteExclusive)
 				// Latency-wise this is one traversal plus the local
 				// fetch — the clean-remote-miss class.
+				sp.Mark(obs.PhaseAck, at)
+				sp.End(at, coherence.WriteMissClean)
 				done(at, coherence.Result{Txn: coherence.WriteMissClean,
 					Class: coherence.OneCycleClean, Traversals: 1})
 			})
+			sp.Mark(obs.PhaseProbeGrab, grab)
 		default:
 			// Purely local.
 			if write {
 				ln.SetDirty(node)
 				e.fill(node, block, coherence.WriteExclusive)
+				sp.Mark(obs.PhaseData, e.k.Now())
+				sp.End(e.k.Now(), coherence.WriteMissClean)
 				done(e.k.Now(), coherence.Result{Txn: coherence.WriteMissClean, Local: true})
 			} else {
 				ln.AddSharer(node)
 				e.fill(node, block, coherence.ReadShared)
+				sp.Mark(obs.PhaseData, e.k.Now())
+				sp.End(e.k.Now(), coherence.ReadMissClean)
 				done(e.k.Now(), coherence.Result{Txn: coherence.ReadMissClean, Local: true})
 			}
 		}
@@ -256,7 +283,7 @@ func (e *Engine) localMiss(node int, block uint64, write bool, done func(sim.Tim
 
 // atHome runs the home-node directory actions for a remote miss, at the
 // point the home's bank grants the (lookup + fetch) access.
-func (e *Engine) atHome(node, h int, block uint64, write bool, done func(sim.Time, coherence.Result)) {
+func (e *Engine) atHome(node, h int, block uint64, write bool, sp obs.Span, done func(sim.Time, coherence.Result)) {
 	g := &e.ring.Geo
 	ln := e.dir.Line(block)
 	dirtyRemote := ln.Dirty && ln.Owner != node && ln.Owner != h
@@ -287,6 +314,8 @@ func (e *Engine) atHome(node, h int, block uint64, write bool, done func(sim.Tim
 					st = coherence.WriteExclusive
 				}
 				e.fill(node, block, st)
+				sp.Mark(obs.PhaseData, at)
+				sp.End(at, txn)
 				done(at, coherence.Result{Txn: txn, Class: classifyDirty(trav), Traversals: trav})
 			})
 		})
@@ -299,6 +328,8 @@ func (e *Engine) atHome(node, h int, block uint64, write bool, done func(sim.Tim
 		e.multicast(h, block, node, func(sim.Time) {
 			e.sendBlock(h, node, func(at sim.Time) {
 				e.fill(node, block, coherence.WriteExclusive)
+				sp.Mark(obs.PhaseData, at)
+				sp.End(at, coherence.WriteMissClean)
 				done(at, coherence.Result{Txn: coherence.WriteMissClean, Class: coherence.TwoCycle, Traversals: 2})
 			})
 		})
@@ -337,6 +368,8 @@ func (e *Engine) atHome(node, h int, block uint64, write bool, done func(sim.Tim
 				st = coherence.WriteExclusive
 			}
 			e.fill(node, block, st)
+			sp.Mark(obs.PhaseData, at)
+			sp.End(at, txn)
 			done(at, coherence.Result{Txn: txn, Class: class, Traversals: 1})
 		})
 	}
@@ -385,6 +418,7 @@ var DebugMiss func(block uint64, sharers int, dirty bool, owner, node int, write
 // asks the home for write permission.
 func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.Result)) {
 	h := e.home.Home(block)
+	sp := e.tr.Begin(node, e.k.Now())
 	finish := func(at sim.Time, trav int) {
 		if !e.caches[node].Upgrade(block) {
 			// Invalidated by a racing writer while our request was in
@@ -392,14 +426,17 @@ func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.R
 			// directory, so install fresh.
 			e.fill(node, block, coherence.WriteExclusive)
 		}
+		sp.End(at, coherence.Invalidation)
 		done(at, coherence.Result{Txn: coherence.Invalidation, Traversals: trav, Local: trav == 0})
 	}
 	if h == node {
 		e.banks[h].Access(func() {
+			sp.Mark(obs.PhaseAck, e.k.Now())
 			ln := e.dir.Line(block)
 			if sharedElsewhere(ln, node, node) {
 				ln.SetDirty(node)
-				e.multicast(node, block, node, func(at sim.Time) { finish(at, 1) })
+				grab := e.multicast(node, block, node, func(at sim.Time) { finish(at, 1) })
+				sp.Mark(obs.PhaseProbeGrab, grab)
 			} else {
 				ln.SetDirty(node)
 				finish(e.k.Now(), 0)
@@ -407,8 +444,9 @@ func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.R
 		})
 		return
 	}
-	e.probe(node, h, block, func(sim.Time) {
+	grab := e.probe(node, h, block, func(sim.Time) {
 		e.banks[h].Access(func() {
+			sp.Mark(obs.PhaseAck, e.k.Now())
 			ln := e.dir.Line(block)
 			if DebugUpgrade != nil {
 				DebugUpgrade(block, ln.NumSharers(), h, node, sharedElsewhere(ln, node, h))
@@ -426,6 +464,7 @@ func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.R
 			}
 		})
 	})
+	sp.Mark(obs.PhaseProbeGrab, grab)
 }
 
 // homeMapFor returns the configured home map, or builds the default

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+// Span recording must not allocate in the steady state: records live in
+// the per-processor ring buffers and the histograms are allocated at
+// construction. Guarded as tests so the CI bench-smoke step fails on
+// any regression, mirroring the ring/sim guards.
+
+func TestSpanRecordZeroAlloc(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, BufferCap: 64}, 1)
+	tr.SetWarm(0)
+	now := sim.Time(0)
+	span := func() {
+		sp := tr.Begin(0, now)
+		sp.Mark(PhaseProbeGrab, now+10)
+		sp.Mark(PhaseAck, now+500)
+		sp.Mark(PhaseData, now+700)
+		sp.End(now+1000, coherence.ReadMissDirty)
+		now += 2000
+	}
+	// Warm until the buffer has wrapped, so append growth is behind us.
+	for i := 0; i < 256; i++ {
+		span()
+	}
+	if allocs := testing.AllocsPerRun(300, span); allocs != 0 {
+		t.Fatalf("sampled span recording allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSpanUnsampledZeroAlloc(t *testing.T) {
+	tr := New(Config{SampleEvery: 1 << 30, BufferCap: 64}, 1)
+	tr.SetWarm(0)
+	now := sim.Time(0)
+	span := func() {
+		sp := tr.Begin(0, now)
+		sp.Mark(PhaseProbeGrab, now+10)
+		sp.End(now+1000, coherence.WriteMissClean)
+		now += 2000
+	}
+	span() // the first span is always sampled; claim it up front
+	if allocs := testing.AllocsPerRun(300, span); allocs != 0 {
+		t.Fatalf("unsampled span allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer // tracing off: every call is one nil-check branch
+	allocs := testing.AllocsPerRun(300, func() {
+		sp := tr.Begin(0, 0)
+		sp.Mark(PhaseAck, 10)
+		sp.End(20, coherence.ReadMissClean)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTrackMessageZeroAlloc(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, TrackCap: 1024}, 1)
+	track := tr.NewTrack("ring block", 1)
+	// Fill to capacity so the edge slice's backing array is grown, then
+	// reset: the steady state appends into retained capacity.
+	for i := 0; i < 1024; i++ {
+		track.Message(sim.Time(i), sim.Time(i+1))
+	}
+	tr.ResetNet(0)
+	now := sim.Time(0)
+	if allocs := testing.AllocsPerRun(300, func() {
+		track.Message(now, now+5)
+		now += 10
+	}); allocs != 0 {
+		t.Fatalf("track message allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := New(Config{SampleEvery: 1, BufferCap: 4096}, 1)
+	tr.SetWarm(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i) * 2000
+		sp := tr.Begin(0, now)
+		sp.Mark(PhaseProbeGrab, now+10)
+		sp.Mark(PhaseAck, now+500)
+		sp.Mark(PhaseData, now+700)
+		sp.End(now+1000, coherence.ReadMissClean)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i) * 2000
+		sp := tr.Begin(0, now)
+		sp.Mark(PhaseProbeGrab, now+10)
+		sp.End(now+1000, coherence.ReadMissClean)
+	}
+}

@@ -1,0 +1,426 @@
+// Package obs is the simulator's observability layer: sampling-aware
+// transaction tracing with zero overhead when disabled.
+//
+// Coherence transactions become spans. A span opens when the protocol
+// engine starts servicing a miss, upgrade, or write-back, collects
+// phase annotations as the transaction progresses (probe slot acquired,
+// ack observed, data arrived), and closes at fill time. Every span on a
+// measured (post-warmup) processor feeds exact per-class latency
+// histograms; one span in every Config.SampleEvery is additionally
+// recorded into a per-processor ring buffer of fixed-size Records, the
+// raw material for the Chrome-trace/Perfetto exporter in perfetto.go.
+//
+// Hot-path discipline mirrors the event slab (DESIGN.md §10): Records
+// are fixed-size and pooled in per-processor ring buffers, recording a
+// span claims a slot and writes fields in place, and the histograms are
+// allocated up front — the steady state allocates nothing. When tracing
+// is off the Tracer pointer is nil and every method call reduces to a
+// single nil-check branch; the engines are single-goroutine per run, so
+// no locks appear anywhere on the recording path.
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Phase identifies an intermediate waypoint inside a span. Spans open
+// at issue and close at fill; the phases mark the observable protocol
+// steps in between, so a trace decomposes each miss into
+// issue → probe-grab → ack → data → fill segments.
+type Phase uint8
+
+const (
+	// PhaseProbeGrab: the probe slot was physically acquired (the
+	// reservation-to-grab wait ends here).
+	PhaseProbeGrab Phase = iota
+	// PhaseAck: the acknowledgment was observed — the broadcast probe
+	// returned to the requester (snooping) or the home's bank granted
+	// the directory lookup.
+	PhaseAck
+	// PhaseData: the data block reached the requester (or, for a
+	// write-back, the block slot was acquired).
+	PhaseData
+	numPhases
+)
+
+// NumPhases is the number of markable phases.
+const NumPhases = int(numPhases)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseProbeGrab:
+		return "probe-grab"
+	case PhaseAck:
+		return "ack"
+	case PhaseData:
+		return "data"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Config describes a tracer. The zero value means tracing is off.
+type Config struct {
+	// SampleEvery records one of every N spans into the trace buffers;
+	// 0 disables the tracer entirely (every hook compiles to one
+	// branch). 1 records every span. Latency histograms always see
+	// every span regardless of the sampling rate.
+	SampleEvery int
+	// BufferCap bounds the retained span records per processor
+	// (default 4096); once full the buffer wraps, overwriting the
+	// oldest records, so a trace keeps the tail of a long run.
+	BufferCap int
+	// TrackCap bounds the occupancy edges retained per interconnect
+	// track (default 16384 messages); further messages are counted but
+	// not timestamped.
+	TrackCap int
+}
+
+// Enabled reports whether this configuration turns tracing on.
+func (c Config) Enabled() bool { return c.SampleEvery > 0 }
+
+func (c *Config) fill() {
+	if c.BufferCap == 0 {
+		c.BufferCap = 4096
+	}
+	if c.TrackCap == 0 {
+		c.TrackCap = 16384
+	}
+}
+
+// Record is one sampled span, fixed-size by construction so the
+// per-processor buffers never allocate on the recording path. Phase
+// entries are absolute times; zero means the phase was not reached.
+type Record struct {
+	// ID is the buffer's claim counter at the time this record was
+	// claimed (1-based); a Span whose ID no longer matches has been
+	// overwritten by the wrapping buffer and writes nowhere.
+	ID    uint64
+	Start sim.Time
+	End   sim.Time
+	Phase [NumPhases]sim.Time
+	Proc  int32
+	Txn   coherence.Txn
+	// Done marks a completed span; open records are skipped on export.
+	Done bool
+}
+
+// procBuf is one processor's span ring buffer.
+type procBuf struct {
+	recs    []Record // grows to cfg.BufferCap, then wraps
+	claimed uint64
+}
+
+// latencyHist returns the bucket shape shared by all span histograms:
+// 25 ns lower bound doubling 20 times (≈13 ms), wide enough for any
+// geometry the paper sweeps.
+func latencyHist() *stats.ExpHistogram { return stats.NewExpHistogram(25, 2, 20) }
+
+// LatencyHist returns an empty histogram of the tracer's bucket shape,
+// the shape aggregators must use when merging span histograms.
+func LatencyHist() *stats.ExpHistogram { return latencyHist() }
+
+// Tracer records spans and interconnect occupancy for one simulation
+// run. A nil *Tracer is valid and inert: every method is safe to call
+// and does nothing, which is how the "off" switch costs one branch.
+// Tracers are not safe for concurrent use; a run's single event-loop
+// goroutine owns its tracer, and readers (exporters, aggregators) run
+// only after the run completes.
+type Tracer struct {
+	cfg   Config
+	procs []procBuf
+	warm  []bool
+
+	seen    uint64 // spans begun on measured procs, the sampling counter
+	sampled uint64 // spans that claimed a record
+	dropped uint64 // sampled spans overwritten before completing
+
+	classN  [coherence.NumTxn]uint64
+	latency [coherence.NumTxn]*stats.ExpHistogram
+	phase   [coherence.NumTxn][NumPhases]*stats.ExpHistogram
+
+	tracks   []*Track
+	netStart sim.Time
+	finish   sim.Time
+}
+
+// New returns a tracer for a run with the given processor count, or
+// nil when cfg leaves tracing off.
+func New(cfg Config, procs int) *Tracer {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg.fill()
+	t := &Tracer{
+		cfg:   cfg,
+		procs: make([]procBuf, procs),
+		warm:  make([]bool, procs),
+	}
+	for c := 0; c < coherence.NumTxn; c++ {
+		t.latency[c] = latencyHist()
+		for p := 0; p < NumPhases; p++ {
+			t.phase[c][p] = latencyHist()
+		}
+	}
+	return t
+}
+
+// SetWarm marks proc as measured: spans it begins from now on are
+// observed. The core calls this exactly when the processor crosses its
+// warmup threshold, so the span population matches the population
+// behind the run's aggregate miss latencies.
+func (t *Tracer) SetWarm(proc int) {
+	if t == nil {
+		return
+	}
+	t.warm[proc] = true
+}
+
+// ResetNet discards the interconnect occupancy recorded so far and
+// restarts the timelines at now — called alongside Ring.ResetStats at
+// the global warmup crossing so occupancy covers the measured window.
+func (t *Tracer) ResetNet(now sim.Time) {
+	if t == nil {
+		return
+	}
+	t.netStart = now
+	for _, tr := range t.tracks {
+		tr.edges = tr.edges[:0]
+		tr.messages = 0
+		tr.dropped = 0
+	}
+}
+
+// Finish records the run's end time, closing the occupancy window.
+func (t *Tracer) Finish(now sim.Time) {
+	if t == nil {
+		return
+	}
+	t.finish = now
+}
+
+// Span is a live transaction handle. The zero value is inert: Mark and
+// End on it do nothing, so engines can thread spans unconditionally.
+type Span struct {
+	t     *Tracer
+	start sim.Time
+	id    uint64
+	proc  int32
+	slot  int32 // record index, -1 when this span was not sampled
+}
+
+// Begin opens a span for a transaction issued by proc at the given
+// time. Spans on cold (pre-warmup) processors are inert; sampled spans
+// claim a record slot in proc's buffer, overwriting the oldest record
+// once the buffer is full.
+func (t *Tracer) Begin(proc int, at sim.Time) Span {
+	if t == nil || !t.warm[proc] {
+		return Span{}
+	}
+	s := Span{t: t, start: at, proc: int32(proc), slot: -1}
+	t.seen++
+	if (t.seen-1)%uint64(t.cfg.SampleEvery) != 0 {
+		return s
+	}
+	pb := &t.procs[proc]
+	var slot int
+	if len(pb.recs) < t.cfg.BufferCap {
+		pb.recs = append(pb.recs, Record{})
+		slot = len(pb.recs) - 1
+	} else {
+		slot = int(pb.claimed % uint64(t.cfg.BufferCap))
+		if !pb.recs[slot].Done {
+			t.dropped++ // an open sampled span just lost its record
+		}
+	}
+	pb.claimed++
+	pb.recs[slot] = Record{ID: pb.claimed, Start: at, Proc: int32(proc)}
+	t.sampled++
+	s.id = pb.claimed
+	s.slot = int32(slot)
+	return s
+}
+
+// Mark annotates the span with a phase waypoint. Only sampled spans
+// carry phases; a span whose record was overwritten writes nowhere.
+func (s Span) Mark(ph Phase, at sim.Time) {
+	if s.t == nil || s.slot < 0 {
+		return
+	}
+	r := &s.t.procs[s.proc].recs[s.slot]
+	if r.ID != s.id {
+		return
+	}
+	r.Phase[ph] = at
+}
+
+// End closes the span with its final transaction class, feeding the
+// exact per-class latency histogram and, for sampled spans, finalizing
+// the record and the per-phase offset histograms.
+func (s Span) End(at sim.Time, txn coherence.Txn) {
+	t := s.t
+	if t == nil {
+		return
+	}
+	t.classN[txn]++
+	t.latency[txn].Observe((at - s.start).Nanoseconds())
+	if s.slot < 0 {
+		return
+	}
+	r := &t.procs[s.proc].recs[s.slot]
+	if r.ID != s.id {
+		return
+	}
+	r.End = at
+	r.Txn = txn
+	r.Done = true
+	for p := 0; p < NumPhases; p++ {
+		if ts := r.Phase[p]; ts != 0 {
+			t.phase[txn][p].Observe((ts - s.start).Nanoseconds())
+		}
+	}
+}
+
+// Track is an occupancy timeline for one interconnect resource class
+// (the slots of one ring class, or one bus tenure kind). Message
+// appends a +1/-1 edge pair; the exporter integrates the edges into a
+// counter track and a mean occupancy. A nil *Track is valid and inert.
+type Track struct {
+	name     string
+	slots    int // capacity divisor for mean occupancy (≥ 1)
+	capLimit int
+	edges    []occEdge
+	messages uint64
+	dropped  uint64 // messages beyond capLimit, counted but not timed
+}
+
+// occEdge is one occupancy step: +1 at grab, -1 at removal.
+type occEdge struct {
+	at sim.Time
+	d  int32
+}
+
+// NewTrack registers an occupancy track with the given display name
+// and slot capacity (values < 1 are treated as 1). Returns nil on a
+// nil tracer.
+func (t *Tracer) NewTrack(name string, slots int) *Track {
+	if t == nil {
+		return nil
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	tr := &Track{name: name, slots: slots, capLimit: t.cfg.TrackCap}
+	t.tracks = append(t.tracks, tr)
+	return tr
+}
+
+// Message records one message occupying the track's resource from grab
+// to removal time.
+func (tr *Track) Message(grab, removal sim.Time) {
+	if tr == nil {
+		return
+	}
+	tr.messages++
+	if len(tr.edges)+2 > 2*tr.capLimit {
+		tr.dropped++
+		return
+	}
+	tr.edges = append(tr.edges, occEdge{grab, 1}, occEdge{removal, -1})
+}
+
+// SampleEvery reports the tracer's sampling period.
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return t.cfg.SampleEvery
+}
+
+// SpansObserved reports how many spans fed the latency histograms.
+func (t *Tracer) SpansObserved() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range t.classN {
+		n += c
+	}
+	return n
+}
+
+// SpansSampled reports how many spans claimed a trace record.
+func (t *Tracer) SpansSampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled
+}
+
+// SpansDropped reports how many sampled spans lost their record to
+// buffer wrap before completing.
+func (t *Tracer) SpansDropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// ClassCount reports the number of spans that closed with class txn.
+func (t *Tracer) ClassCount(txn coherence.Txn) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.classN[txn]
+}
+
+// ClassLatency returns the exact latency histogram (nanoseconds) for
+// the class, or nil on a nil tracer. The histogram is live: callers
+// must not mutate it and should read it only after the run completes.
+func (t *Tracer) ClassLatency(txn coherence.Txn) *stats.ExpHistogram {
+	if t == nil {
+		return nil
+	}
+	return t.latency[txn]
+}
+
+// PhaseLatency returns the issue→phase offset histogram (nanoseconds)
+// over sampled spans of the class, or nil on a nil tracer.
+func (t *Tracer) PhaseLatency(txn coherence.Txn, ph Phase) *stats.ExpHistogram {
+	if t == nil {
+		return nil
+	}
+	return t.phase[txn][ph]
+}
+
+// Records calls fn for every completed sampled record, in processor
+// order then claim order (oldest surviving first).
+func (t *Tracer) Records(fn func(r Record)) {
+	if t == nil {
+		return
+	}
+	for p := range t.procs {
+		pb := &t.procs[p]
+		n := len(pb.recs)
+		if n == 0 {
+			continue
+		}
+		// The oldest surviving record sits at claimed % cap once the
+		// buffer has wrapped, at 0 otherwise.
+		first := 0
+		if n == t.cfg.BufferCap && pb.claimed > uint64(n) {
+			first = int(pb.claimed % uint64(n))
+		}
+		for i := 0; i < n; i++ {
+			r := pb.recs[(first+i)%n]
+			if r.Done {
+				fn(r)
+			}
+		}
+	}
+}

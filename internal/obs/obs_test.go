@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+// warmTracer returns an enabled tracer with every processor measured.
+func warmTracer(t *testing.T, cfg Config, procs int) *Tracer {
+	t.Helper()
+	tr := New(cfg, procs)
+	if tr == nil {
+		t.Fatal("New returned nil for an enabled config")
+	}
+	for p := 0; p < procs; p++ {
+		tr.SetWarm(p)
+	}
+	return tr
+}
+
+func TestNewDisabled(t *testing.T) {
+	if tr := New(Config{}, 4); tr != nil {
+		t.Fatal("zero Config should produce a nil (disabled) tracer")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	if !(Config{SampleEvery: 1}).Enabled() {
+		t.Fatal("SampleEvery=1 should report Enabled")
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	// Every method on a nil tracer must be callable and inert.
+	tr.SetWarm(0)
+	tr.ResetNet(0)
+	tr.Finish(0)
+	sp := tr.Begin(0, 10)
+	sp.Mark(PhaseAck, 20)
+	sp.End(30, coherence.ReadMissClean)
+	var track *Track
+	track = tr.NewTrack("x", 1)
+	if track != nil {
+		t.Fatal("NewTrack on nil tracer should return nil")
+	}
+	track.Message(0, 10)
+	if tr.SpansObserved() != 0 || tr.SpansSampled() != 0 || tr.SpansDropped() != 0 {
+		t.Fatal("nil tracer reports nonzero counters")
+	}
+	if tr.ClassLatency(coherence.ReadMissClean) != nil {
+		t.Fatal("nil tracer returned a histogram")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace on nil tracer: %v", err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil-tracer trace is not valid JSON: %v", err)
+	}
+	if _, ok := f["traceEvents"]; !ok {
+		t.Fatal("nil-tracer trace lacks traceEvents")
+	}
+}
+
+func TestSamplingPeriod(t *testing.T) {
+	tr := warmTracer(t, Config{SampleEvery: 4}, 1)
+	for i := 0; i < 16; i++ {
+		start := sim.Time(i) * 100 * sim.Nanosecond
+		sp := tr.Begin(0, start)
+		sp.End(start+50*sim.Nanosecond, coherence.ReadMissClean)
+	}
+	if got := tr.SpansObserved(); got != 16 {
+		t.Fatalf("SpansObserved = %d, want 16 (histograms see every span)", got)
+	}
+	if got := tr.SpansSampled(); got != 4 {
+		t.Fatalf("SpansSampled = %d, want 4 at 1/4 sampling", got)
+	}
+	var recs int
+	tr.Records(func(Record) { recs++ })
+	if recs != 4 {
+		t.Fatalf("Records visited %d, want 4", recs)
+	}
+	// The exact histogram mean covers all 16 spans: 50 ns each.
+	if mean := tr.ClassLatency(coherence.ReadMissClean).Mean(); mean != 50 {
+		t.Fatalf("class mean = %v ns, want 50", mean)
+	}
+}
+
+func TestColdProcessorNotObserved(t *testing.T) {
+	tr := New(Config{SampleEvery: 1}, 2)
+	tr.SetWarm(1)
+	spCold := tr.Begin(0, 0)
+	spCold.End(100, coherence.ReadMissClean)
+	spWarm := tr.Begin(1, 0)
+	spWarm.End(100, coherence.ReadMissClean)
+	if got := tr.SpansObserved(); got != 1 {
+		t.Fatalf("SpansObserved = %d, want 1 (cold proc excluded)", got)
+	}
+	if got := tr.SpansSampled(); got != 1 {
+		t.Fatalf("SpansSampled = %d, want 1", got)
+	}
+}
+
+func TestBufferWrapKeepsTail(t *testing.T) {
+	tr := warmTracer(t, Config{SampleEvery: 1, BufferCap: 4}, 1)
+	for i := 0; i < 10; i++ {
+		sp := tr.Begin(0, sim.Time(i*1000))
+		sp.Mark(PhaseData, sim.Time(i*1000+10))
+		sp.End(sim.Time(i*1000+20), coherence.WriteMissClean)
+	}
+	var starts []sim.Time
+	tr.Records(func(r Record) { starts = append(starts, r.Start) })
+	if len(starts) != 4 {
+		t.Fatalf("got %d surviving records, want 4", len(starts))
+	}
+	// Oldest-first: spans 6..9 survive.
+	for i, want := range []sim.Time{6000, 7000, 8000, 9000} {
+		if starts[i] != want {
+			t.Fatalf("record %d start = %v, want %v", i, starts[i], want)
+		}
+	}
+	if tr.SpansDropped() != 0 {
+		t.Fatalf("dropped = %d, want 0 (all overwritten records were complete)", tr.SpansDropped())
+	}
+}
+
+func TestOverwrittenOpenSpanDropsAndDetaches(t *testing.T) {
+	tr := warmTracer(t, Config{SampleEvery: 1, BufferCap: 2}, 1)
+	old := tr.Begin(0, 0) // left open
+	for i := 0; i < 2; i++ {
+		sp := tr.Begin(0, sim.Time(1000+i))
+		sp.End(sim.Time(2000+i), coherence.ReadMissClean)
+	}
+	if tr.SpansDropped() != 1 {
+		t.Fatalf("dropped = %d, want 1 (open span overwritten)", tr.SpansDropped())
+	}
+	// The stale handle must not corrupt the record that took its slot.
+	old.Mark(PhaseAck, 123)
+	old.End(456, coherence.WriteBack)
+	done := 0
+	tr.Records(func(r Record) {
+		done++
+		if r.Txn == coherence.WriteBack || r.Phase[PhaseAck] == 123 {
+			t.Fatal("stale span handle wrote into a reused record")
+		}
+	})
+	if done != 2 {
+		t.Fatalf("got %d completed records, want 2", done)
+	}
+}
+
+func TestPhaseHistogramsSampledOnly(t *testing.T) {
+	tr := warmTracer(t, Config{SampleEvery: 2}, 1)
+	for i := 0; i < 4; i++ {
+		sp := tr.Begin(0, sim.Time(i*1000))
+		sp.Mark(PhaseProbeGrab, sim.Time(i*1000+100))
+		sp.End(sim.Time(i*1000+500), coherence.Invalidation)
+	}
+	if n := tr.PhaseLatency(coherence.Invalidation, PhaseProbeGrab).N(); n != 2 {
+		t.Fatalf("phase histogram saw %d samples, want 2 (sampled spans only)", n)
+	}
+	if n := tr.ClassLatency(coherence.Invalidation).N(); n != 4 {
+		t.Fatalf("class histogram saw %d samples, want 4", n)
+	}
+}
+
+func TestTrackCapSaturates(t *testing.T) {
+	tr := warmTracer(t, Config{SampleEvery: 1, TrackCap: 3}, 1)
+	track := tr.NewTrack("ring block", 2)
+	for i := 0; i < 5; i++ {
+		track.Message(sim.Time(i*10), sim.Time(i*10+5))
+	}
+	if track.messages != 5 {
+		t.Fatalf("messages = %d, want 5", track.messages)
+	}
+	if track.dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 beyond the cap", track.dropped)
+	}
+	if len(track.edges) != 6 {
+		t.Fatalf("edges = %d, want 6 (3 messages kept)", len(track.edges))
+	}
+}
+
+func TestResetNetClearsTracks(t *testing.T) {
+	tr := warmTracer(t, Config{SampleEvery: 1}, 1)
+	track := tr.NewTrack("bus request", 1)
+	track.Message(0, 100)
+	tr.ResetNet(500)
+	if len(track.edges) != 0 || track.messages != 0 {
+		t.Fatal("ResetNet did not clear the track")
+	}
+	track.Message(600, 700)
+	tr.Finish(1500)
+	// Mean occupancy over [500, 1500] with 100 ps busy = 0.1.
+	sum := tr.summary()
+	if len(sum.Tracks) != 1 {
+		t.Fatalf("got %d track summaries, want 1", len(sum.Tracks))
+	}
+	if got := sum.Tracks[0].MeanOccupancy; got != 0.1 {
+		t.Fatalf("mean occupancy = %v, want 0.1", got)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{PhaseProbeGrab: "probe-grab", PhaseAck: "ack", PhaseData: "data"}
+	for ph, s := range want {
+		if ph.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", ph, ph.String(), s)
+		}
+	}
+}

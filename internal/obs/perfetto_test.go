@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Perfetto golden file")
+
+// goldenTracer builds a small, fully deterministic trace: two
+// processors, three spans (one with out-of-order phases), one wrapped
+// buffer, and two occupancy tracks.
+func goldenTracer() *Tracer {
+	tr := New(Config{SampleEvery: 1, BufferCap: 8, TrackCap: 16}, 2)
+	tr.SetWarm(0)
+	tr.SetWarm(1)
+
+	sp := tr.Begin(0, 100*sim.Nanosecond)
+	sp.Mark(PhaseProbeGrab, 110*sim.Nanosecond)
+	sp.Mark(PhaseAck, 400*sim.Nanosecond)
+	sp.Mark(PhaseData, 350*sim.Nanosecond) // data beats the probe return
+	sp.End(420*sim.Nanosecond, coherence.WriteMissDirty)
+
+	sp = tr.Begin(1, 200*sim.Nanosecond)
+	sp.Mark(PhaseProbeGrab, 230*sim.Nanosecond)
+	sp.Mark(PhaseData, 500*sim.Nanosecond)
+	sp.End(500*sim.Nanosecond, coherence.ReadMissClean)
+
+	sp = tr.Begin(1, 900*sim.Nanosecond)
+	sp.End(940*sim.Nanosecond, coherence.WriteBack)
+
+	probe := tr.NewTrack("ring probe-even", 2)
+	block := tr.NewTrack("ring block", 1)
+	probe.Message(110*sim.Nanosecond, 172*sim.Nanosecond)
+	probe.Message(150*sim.Nanosecond, 212*sim.Nanosecond)
+	block.Message(430*sim.Nanosecond, 500*sim.Nanosecond)
+	tr.Finish(1000 * sim.Nanosecond)
+	return tr
+}
+
+// TestPerfettoGolden locks the exporter's schema: any change to the
+// JSON shape shows up as a golden diff.
+func TestPerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace differs from golden (run with -update to regenerate)\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestPerfettoSchema validates the structural invariants a Chrome
+// trace viewer needs, independent of the exact golden bytes.
+func TestPerfettoSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  *int    `json:"pid"`
+			TID  *int    `json:"tid"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			SampleEvery int `json:"sample_every"`
+			Classes     []struct {
+				Class  string  `json:"class"`
+				Spans  uint64  `json:"spans"`
+				MeanNS float64 `json:"mean_ns"`
+			} `json:"classes"`
+			Tracks []struct {
+				Name          string  `json:"name"`
+				MeanOccupancy float64 `json:"mean_occupancy"`
+			} `json:"tracks"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	counts := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "" || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %+v missing ph/pid/tid", ev)
+		}
+		counts[ev.Ph]++
+		if ev.Ph == "X" && ev.Dur < 0 {
+			t.Fatalf("negative duration in %+v", ev)
+		}
+	}
+	// Three spans, their phase sub-slices, metadata, and counter steps.
+	if counts["X"] < 3 || counts["M"] < 3 || counts["C"] < 4 {
+		t.Fatalf("event mix %v too small: want ≥3 X, ≥3 M, ≥4 C", counts)
+	}
+	if len(f.OtherData.Classes) != 3 {
+		t.Fatalf("got %d class summaries, want 3", len(f.OtherData.Classes))
+	}
+	if len(f.OtherData.Tracks) != 2 {
+		t.Fatalf("got %d track summaries, want 2", len(f.OtherData.Tracks))
+	}
+	// Mean occupancy of "ring block": 70 ns busy over 1000 ns, 1 slot.
+	for _, trk := range f.OtherData.Tracks {
+		if trk.Name == "ring block" && trk.MeanOccupancy != 0.07 {
+			t.Fatalf("ring block mean occupancy = %v, want 0.07", trk.MeanOccupancy)
+		}
+	}
+}

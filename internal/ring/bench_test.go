@@ -53,6 +53,38 @@ func TestRingPointToPointSendZeroAlloc(t *testing.T) {
 	}
 }
 
+// An installed OnMessage observer must not reintroduce allocation: the
+// obs tracer's track buffers saturate rather than grow, so the hook is
+// a plain call into preallocated storage.
+func TestRingSendWithObserverZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k, Config{Nodes: 8})
+	// Stand-in for an obs track: a fixed-capacity edge log, the same
+	// append-until-cap discipline obs.Track.Message uses.
+	type edge struct {
+		at sim.Time
+		d  int32
+	}
+	edges := make([]edge, 0, 4096)
+	r.OnMessage = func(class SlotClass, grab, removal sim.Time) {
+		if len(edges)+2 <= cap(edges) {
+			edges = append(edges, edge{grab, 1}, edge{removal, -1})
+		}
+	}
+	done := func(at sim.Time) {}
+	for i := 0; i < 5000; i++ {
+		r.Send(2, 6, BlockSlot, nil, done)
+		k.Run()
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		r.Send(2, 6, BlockSlot, nil, done)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("observed Send allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func BenchmarkRingBroadcast(b *testing.B) {
 	k := sim.NewKernel()
 	r := New(k, Config{Nodes: 16})

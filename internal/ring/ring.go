@@ -39,7 +39,13 @@ type classStats struct {
 
 // Ring is a live slotted ring attached to a simulation kernel.
 type Ring struct {
-	Geo   Geometry
+	Geo Geometry
+	// OnMessage, when non-nil, observes every message at reservation
+	// time with its slot class, physical grab time and removal time —
+	// the occupancy feed for the obs tracer's per-class timelines. The
+	// nil default costs Send a single branch.
+	OnMessage func(class SlotClass, grab, removal sim.Time)
+
 	k     *sim.Kernel
 	slots []slot
 	// byClass[c] lists the indices of class-c slots in ascending order,
@@ -167,6 +173,9 @@ func (r *Ring) Send(src, dst int, class SlotClass, visit func(node int, at sim.T
 	st.messages++
 	st.waitSum += grab - now
 	st.transit += removal - grab
+	if r.OnMessage != nil {
+		r.OnMessage(class, grab, removal)
+	}
 
 	launchSweep(r.k, &r.pool, g, src, dst, grab, removal, visit, done)
 	return grab, removal

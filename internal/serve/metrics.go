@@ -53,8 +53,8 @@ func (m *metricsRegistry) render(w io.Writer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	fmt.Fprintln(w, "# HELP ringserved_requests_total Served requests by endpoint and status code.")
-	fmt.Fprintln(w, "# TYPE ringserved_requests_total counter")
+	fmt.Fprintln(w, "# HELP ringsim_serve_requests_total Served requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE ringsim_serve_requests_total counter")
 	keys := make([]requestKey, 0, len(m.requests))
 	for k := range m.requests {
 		keys = append(keys, k)
@@ -66,12 +66,12 @@ func (m *metricsRegistry) render(w io.Writer) {
 		return keys[i].code < keys[j].code
 	})
 	for _, k := range keys {
-		fmt.Fprintf(w, "ringserved_requests_total{endpoint=%q,code=\"%d\"} %d\n",
+		fmt.Fprintf(w, "ringsim_serve_requests_total{endpoint=%q,code=\"%d\"} %d\n",
 			k.endpoint, k.code, m.requests[k])
 	}
 
-	fmt.Fprintln(w, "# HELP ringserved_request_seconds Request latency by endpoint.")
-	fmt.Fprintln(w, "# TYPE ringserved_request_seconds histogram")
+	fmt.Fprintln(w, "# HELP ringsim_serve_request_seconds Request latency by endpoint.")
+	fmt.Fprintln(w, "# TYPE ringsim_serve_request_seconds histogram")
 	endpoints := make([]string, 0, len(m.latency))
 	for ep := range m.latency {
 		endpoints = append(endpoints, ep)
@@ -83,11 +83,11 @@ func (m *metricsRegistry) render(w io.Writer) {
 		var cum uint64
 		for i, b := range bounds {
 			cum += counts[i]
-			fmt.Fprintf(w, "ringserved_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, b, cum)
+			fmt.Fprintf(w, "ringsim_serve_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, b, cum)
 		}
 		cum += counts[len(counts)-1]
-		fmt.Fprintf(w, "ringserved_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
-		fmt.Fprintf(w, "ringserved_request_seconds_sum{endpoint=%q} %g\n", ep, h.Sum())
-		fmt.Fprintf(w, "ringserved_request_seconds_count{endpoint=%q} %d\n", ep, h.N())
+		fmt.Fprintf(w, "ringsim_serve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "ringsim_serve_request_seconds_sum{endpoint=%q} %g\n", ep, h.Sum())
+		fmt.Fprintf(w, "ringsim_serve_request_seconds_count{endpoint=%q} %d\n", ep, h.N())
 	}
 }

@@ -94,6 +94,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
 	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument("experiments", s.handleExperiment))
 	s.mux.HandleFunc("GET /v1/results/{hash}", s.instrument("results", s.handleResult))
+	s.mux.HandleFunc("GET /v1/results/{hash}/trace", s.instrument("trace", s.handleResultTrace))
 	s.mux.HandleFunc("GET /v1/events", s.instrument("events", s.handleEvents))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -479,6 +480,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobResult(res, src, r.URL.Query().Get("full") == "1"))
 }
 
+// handleResultTrace serves GET /v1/results/{hash}/trace: the result's
+// Chrome-trace-event (Perfetto) JSON export. Traces exist only for
+// results computed in this process with tracing enabled — the span
+// ring buffers are a live observability artifact, deliberately
+// excluded from the deterministic snapshot the disk cache persists —
+// so cache replays from disk (or untraced runs) answer 404.
+func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !sweep.ValidHash(hash) {
+		writeError(w, http.StatusBadRequest, "bad hash %q: want 64 lowercase hex characters", hash)
+		return
+	}
+	res, _, ok := s.eng.Lookup(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for hash %s", hash)
+		return
+	}
+	tr := res.Metrics().Trace
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace for result %s: run was not traced in this process (enable tracing and recompute)", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+hash[:12]+".json"))
+	tr.WriteTrace(w)
+}
+
 // sseEvent is the JSON payload of one progress event.
 type sseEvent struct {
 	Type   string    `json:"type"`
@@ -583,48 +612,76 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	queued, inflight := s.adm.gauges()
 	st := s.eng.Stats()
-	fmt.Fprintln(w, "# HELP ringserved_queue_depth Requests waiting for admission.")
-	fmt.Fprintln(w, "# TYPE ringserved_queue_depth gauge")
-	fmt.Fprintf(w, "ringserved_queue_depth %d\n", queued)
-	fmt.Fprintln(w, "# HELP ringserved_in_flight Requests holding execution slots.")
-	fmt.Fprintln(w, "# TYPE ringserved_in_flight gauge")
-	fmt.Fprintf(w, "ringserved_in_flight %d\n", inflight)
-	fmt.Fprintln(w, "# HELP ringserved_draining Whether the server is draining.")
-	fmt.Fprintln(w, "# TYPE ringserved_draining gauge")
-	fmt.Fprintf(w, "ringserved_draining %d\n", map[bool]int{false: 0, true: 1}[s.draining()])
+	fmt.Fprintln(w, "# HELP ringsim_serve_queue_depth Requests waiting for admission.")
+	fmt.Fprintln(w, "# TYPE ringsim_serve_queue_depth gauge")
+	fmt.Fprintf(w, "ringsim_serve_queue_depth %d\n", queued)
+	fmt.Fprintln(w, "# HELP ringsim_serve_in_flight Requests holding execution slots.")
+	fmt.Fprintln(w, "# TYPE ringsim_serve_in_flight gauge")
+	fmt.Fprintf(w, "ringsim_serve_in_flight %d\n", inflight)
+	fmt.Fprintln(w, "# HELP ringsim_serve_draining Whether the server is draining.")
+	fmt.Fprintln(w, "# TYPE ringsim_serve_draining gauge")
+	fmt.Fprintf(w, "ringsim_serve_draining %d\n", map[bool]int{false: 0, true: 1}[s.draining()])
 
-	fmt.Fprintln(w, "# HELP ringserved_engine_jobs_total Engine job outcomes over the server lifetime.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_jobs_total counter")
-	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"queued\"} %d\n", st.Queued)
-	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"done\"} %d\n", st.Done)
-	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"computed\"} %d\n", st.Computed)
-	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"cache_hits\"} %d\n", st.CacheHits)
-	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"disk_hits\"} %d\n", st.DiskHits)
-	fmt.Fprintf(w, "ringserved_engine_jobs_total{state=\"errors\"} %d\n", st.Errors)
-	fmt.Fprintln(w, "# HELP ringserved_engine_running Jobs executing in the engine right now.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_running gauge")
-	fmt.Fprintf(w, "ringserved_engine_running %d\n", st.Running)
-	fmt.Fprintln(w, "# HELP ringserved_engine_cache_hit_ratio Lifetime fraction of jobs served from cache.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_cache_hit_ratio gauge")
-	fmt.Fprintf(w, "ringserved_engine_cache_hit_ratio %g\n", st.HitRate())
-	fmt.Fprintln(w, "# HELP ringserved_engine_exec_seconds_total Wall clock spent executing jobs, summed across workers.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_exec_seconds_total counter")
-	fmt.Fprintf(w, "ringserved_engine_exec_seconds_total %g\n", st.ExecWall.Seconds())
-	fmt.Fprintln(w, "# HELP ringserved_engine_simulated_ns_total Simulated nanoseconds produced by computed jobs.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_simulated_ns_total counter")
-	fmt.Fprintf(w, "ringserved_engine_simulated_ns_total %d\n", st.SimulatedPS/1000)
-	fmt.Fprintln(w, "# HELP ringserved_engine_events_fired_total Kernel events dispatched by computed jobs.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_events_fired_total counter")
-	fmt.Fprintf(w, "ringserved_engine_events_fired_total %d\n", st.EventsFired)
-	fmt.Fprintln(w, "# HELP ringserved_engine_events_per_second Event dispatch rate over execution wall clock.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_events_per_second gauge")
-	fmt.Fprintf(w, "ringserved_engine_events_per_second %g\n", st.EventsPerSec)
-	fmt.Fprintln(w, "# HELP ringserved_engine_events_per_job Mean kernel events per computed job.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_events_per_job gauge")
-	fmt.Fprintf(w, "ringserved_engine_events_per_job %g\n", st.MeanJobEvents)
-	fmt.Fprintln(w, "# HELP ringserved_engine_event_slab_max Largest event-record pool any job's kernel allocated.")
-	fmt.Fprintln(w, "# TYPE ringserved_engine_event_slab_max gauge")
-	fmt.Fprintf(w, "ringserved_engine_event_slab_max %d\n", st.EventSlabMax)
+	fmt.Fprintln(w, "# HELP ringsim_engine_jobs_total Engine job outcomes over the server lifetime.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_jobs_total counter")
+	fmt.Fprintf(w, "ringsim_engine_jobs_total{state=\"queued\"} %d\n", st.Queued)
+	fmt.Fprintf(w, "ringsim_engine_jobs_total{state=\"done\"} %d\n", st.Done)
+	fmt.Fprintf(w, "ringsim_engine_jobs_total{state=\"computed\"} %d\n", st.Computed)
+	fmt.Fprintf(w, "ringsim_engine_jobs_total{state=\"cache_hits\"} %d\n", st.CacheHits)
+	fmt.Fprintf(w, "ringsim_engine_jobs_total{state=\"disk_hits\"} %d\n", st.DiskHits)
+	fmt.Fprintf(w, "ringsim_engine_jobs_total{state=\"errors\"} %d\n", st.Errors)
+	fmt.Fprintln(w, "# HELP ringsim_engine_running_jobs Jobs executing in the engine right now.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_running_jobs gauge")
+	fmt.Fprintf(w, "ringsim_engine_running_jobs %d\n", st.Running)
+	fmt.Fprintln(w, "# HELP ringsim_engine_cache_hit_ratio Lifetime fraction of jobs served from cache.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_cache_hit_ratio gauge")
+	fmt.Fprintf(w, "ringsim_engine_cache_hit_ratio %g\n", st.HitRate())
+	fmt.Fprintln(w, "# HELP ringsim_engine_exec_seconds_total Wall clock spent executing jobs, summed across workers.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_exec_seconds_total counter")
+	fmt.Fprintf(w, "ringsim_engine_exec_seconds_total %g\n", st.ExecWall.Seconds())
+	fmt.Fprintln(w, "# HELP ringsim_engine_simulated_ns_total Simulated nanoseconds produced by computed jobs.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_simulated_ns_total counter")
+	fmt.Fprintf(w, "ringsim_engine_simulated_ns_total %d\n", st.SimulatedPS/1000)
+	fmt.Fprintln(w, "# HELP ringsim_engine_events_fired_total Kernel events dispatched by computed jobs.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_events_fired_total counter")
+	fmt.Fprintf(w, "ringsim_engine_events_fired_total %d\n", st.EventsFired)
+	fmt.Fprintln(w, "# HELP ringsim_engine_events_per_second Event dispatch rate over execution wall clock.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_events_per_second gauge")
+	fmt.Fprintf(w, "ringsim_engine_events_per_second %g\n", st.EventsPerSec)
+	fmt.Fprintln(w, "# HELP ringsim_engine_events_per_job Mean kernel events per computed job.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_events_per_job gauge")
+	fmt.Fprintf(w, "ringsim_engine_events_per_job %g\n", st.MeanJobEvents)
+	fmt.Fprintln(w, "# HELP ringsim_engine_event_slab_max Largest event-record pool any job's kernel allocated.")
+	fmt.Fprintln(w, "# TYPE ringsim_engine_event_slab_max gauge")
+	fmt.Fprintf(w, "ringsim_engine_event_slab_max %d\n", st.EventSlabMax)
+
+	fmt.Fprintln(w, "# HELP ringsim_obs_spans_total Coherence-transaction spans observed by computed jobs, by class.")
+	fmt.Fprintln(w, "# TYPE ringsim_obs_spans_total counter")
+	fmt.Fprintf(w, "ringsim_obs_spans_total %d\n", st.SpansObserved)
+	fmt.Fprintln(w, "# HELP ringsim_obs_spans_sampled_total Spans captured as full trace records.")
+	fmt.Fprintln(w, "# TYPE ringsim_obs_spans_sampled_total counter")
+	fmt.Fprintf(w, "ringsim_obs_spans_sampled_total %d\n", st.SpansSampled)
+	fmt.Fprintln(w, "# HELP ringsim_obs_spans_dropped_total Sampled spans overwritten in the trace ring buffers before completing.")
+	fmt.Fprintln(w, "# TYPE ringsim_obs_spans_dropped_total counter")
+	fmt.Fprintf(w, "ringsim_obs_spans_dropped_total %d\n", st.SpansDropped)
+	if agg := s.eng.TraceAgg(); len(agg) > 0 {
+		fmt.Fprintln(w, "# HELP ringsim_obs_span_latency_seconds Coherence-transaction latency by class, across computed jobs.")
+		fmt.Fprintln(w, "# TYPE ringsim_obs_span_latency_seconds histogram")
+		for _, a := range agg {
+			// The tracer's histograms are in nanoseconds; the exposition
+			// contract is base units (seconds).
+			bounds, counts := a.Latency.Buckets()
+			var cum uint64
+			for i, b := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(w, "ringsim_obs_span_latency_seconds_bucket{class=%q,le=\"%g\"} %d\n", a.Class, b/1e9, cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(w, "ringsim_obs_span_latency_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", a.Class, cum)
+			fmt.Fprintf(w, "ringsim_obs_span_latency_seconds_sum{class=%q} %g\n", a.Class, a.Latency.Sum()/1e9)
+			fmt.Fprintf(w, "ringsim_obs_span_latency_seconds_count{class=%q} %d\n", a.Class, a.Latency.N())
+		}
+	}
 
 	s.met.render(w)
 }

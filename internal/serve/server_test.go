@@ -511,15 +511,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	buf.ReadFrom(resp.Body)
 	body := buf.String()
 	wants := []string{
-		`ringserved_requests_total{endpoint="jobs",code="200"} 2`,
-		`ringserved_engine_jobs_total{state="computed"} 1`,
-		`ringserved_engine_jobs_total{state="cache_hits"} 1`,
-		"ringserved_engine_cache_hit_ratio 0.5",
-		`ringserved_request_seconds_bucket{endpoint="jobs",le="+Inf"} 2`,
-		`ringserved_request_seconds_count{endpoint="jobs"} 2`,
-		"ringserved_queue_depth 0",
-		"ringserved_in_flight 0",
-		"ringserved_draining 0",
+		`ringsim_serve_requests_total{endpoint="jobs",code="200"} 2`,
+		`ringsim_engine_jobs_total{state="computed"} 1`,
+		`ringsim_engine_jobs_total{state="cache_hits"} 1`,
+		"ringsim_engine_cache_hit_ratio 0.5",
+		`ringsim_serve_request_seconds_bucket{endpoint="jobs",le="+Inf"} 2`,
+		`ringsim_serve_request_seconds_count{endpoint="jobs"} 2`,
+		"ringsim_serve_queue_depth 0",
+		"ringsim_serve_in_flight 0",
+		"ringsim_serve_draining 0",
 	}
 	for _, want := range wants {
 		if !strings.Contains(body, want) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -41,6 +42,9 @@ type Options struct {
 	// (e.g. one with private-data hints); PageBytes and Seed are then
 	// ignored.
 	Home *memory.HomeMap
+	// Tracer, when non-nil, records coherence transactions as obs
+	// spans with phase annotations.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -64,6 +68,7 @@ type Engine struct {
 	banks  []*memory.Bank
 	home   *memory.HomeMap
 	meta   map[uint64]*blockMeta
+	tr     *obs.Tracer
 
 	// WriteBacks counts the block messages sent home on dirty
 	// evictions (off the critical path).
@@ -82,6 +87,7 @@ func New(r *ring.Ring, opts Options) *Engine {
 		banks:  make([]*memory.Bank, n),
 		home:   homeMapFor(n, opts),
 		meta:   make(map[uint64]*blockMeta),
+		tr:     opts.Tracer,
 	}
 	for i := 0; i < n; i++ {
 		e.caches[i] = cache.New(opts.Cache)
@@ -136,21 +142,25 @@ func (e *Engine) fill(node int, block uint64, st coherence.State) {
 // path. The home clears the dirty bit when the block message arrives.
 func (e *Engine) writeBack(node int, block uint64) {
 	e.WriteBacks++
+	sp := e.tr.Begin(node, e.k.Now())
 	m := e.metaFor(block)
 	h := e.home.Home(block)
 	if h == node {
 		// Local write-back: just the bank write.
 		m.dirty = false
 		e.banks[h].Access(nil)
+		sp.End(e.k.Now(), coherence.WriteBack)
 		return
 	}
-	e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) {
+	grab, removal := e.ring.Send(node, h, ring.BlockSlot, nil, func(sim.Time) {
 		mm := e.metaFor(block)
 		if mm.dirty && mm.owner == node {
 			mm.dirty = false
 		}
 		e.banks[h].Access(nil)
 	})
+	sp.Mark(obs.PhaseData, grab)
+	sp.End(removal, coherence.WriteBack)
 }
 
 // miss services a read or write miss.
@@ -158,6 +168,7 @@ func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, co
 	m := e.metaFor(block)
 	h := e.home.Home(block)
 	start := e.k.Now()
+	sp := e.tr.Begin(node, start)
 
 	// Clean block homed here (or our own stale ownership racing with a
 	// write-back): served from the local bank. A write to a block that
@@ -167,6 +178,8 @@ func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, co
 	if h == node && !dirtyRemote && !write {
 		e.banks[h].Access(func() {
 			e.fill(node, block, coherence.ReadShared)
+			sp.Mark(obs.PhaseData, e.k.Now())
+			sp.End(e.k.Now(), coherence.ReadMissClean)
 			done(e.k.Now(), coherence.Result{Txn: coherence.ReadMissClean, Local: true})
 		})
 		return
@@ -220,7 +233,7 @@ func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, co
 			// The owner downgraded and the home copy is refreshed.
 			mm.dirty = false
 		}
-		_ = start
+		sp.End(e.k.Now(), txn)
 		done(e.k.Now(), coherence.Result{Txn: txn, Traversals: 1})
 	}
 
@@ -238,16 +251,18 @@ func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, co
 				supplied = true
 				e.respond(responder, node, dirtyRemote, func() {
 					blockArrived = e.k.Now()
+					sp.Mark(obs.PhaseData, blockArrived)
 					finish()
 				})
 			}
 		},
 		func(at sim.Time) {
 			// Probe removed by the requester after one traversal.
+			sp.Mark(obs.PhaseAck, at)
 			finish()
 		})
 	probeReturn = ret
-	_ = grab
+	sp.Mark(obs.PhaseProbeGrab, grab)
 
 	// A write miss on a clean block homed at the requester: the probe
 	// still sweeps the ring to invalidate sharers, but the data comes
@@ -256,6 +271,7 @@ func (e *Engine) miss(node int, block uint64, write bool, done func(sim.Time, co
 		supplied = true
 		e.banks[node].Access(func() {
 			blockArrived = e.k.Now()
+			sp.Mark(obs.PhaseData, blockArrived)
 			finish()
 		})
 	}
@@ -283,7 +299,8 @@ func (e *Engine) respond(responder, requester int, fromCache bool, delivered fun
 // returns — exactly one traversal.
 func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.Result)) {
 	class := e.ring.Geo.ProbeClassFor(block)
-	e.ring.Send(node, ring.Broadcast, class,
+	sp := e.tr.Begin(node, e.k.Now())
+	grab, _ := e.ring.Send(node, ring.Broadcast, class,
 		func(visited int, at sim.Time) {
 			e.caches[visited].Invalidate(block)
 		},
@@ -296,8 +313,11 @@ func (e *Engine) upgrade(node int, block uint64, done func(sim.Time, coherence.R
 			m := e.metaFor(block)
 			m.dirty = true
 			m.owner = node
+			sp.Mark(obs.PhaseAck, at)
+			sp.End(at, coherence.Invalidation)
 			done(at, coherence.Result{Txn: coherence.Invalidation, Traversals: 1})
 		})
+	sp.Mark(obs.PhaseProbeGrab, grab)
 }
 
 // homeMapFor returns the configured home map, or builds the default

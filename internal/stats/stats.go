@@ -194,6 +194,40 @@ func (h *ExpHistogram) Buckets() (bounds []float64, counts []uint64) {
 	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.counts...)
 }
 
+// Clone returns an independent copy of the histogram.
+func (h *ExpHistogram) Clone() *ExpHistogram {
+	return &ExpHistogram{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		n:      h.n,
+		sum:    h.sum,
+	}
+}
+
+// Merge folds o's samples into h. The two histograms must share the
+// same bucket bounds (the same NewExpHistogram shape); merging
+// mismatched shapes returns an error and leaves h unchanged. A nil or
+// empty o merges as a no-op.
+func (h *ExpHistogram) Merge(o *ExpHistogram) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if len(o.bounds) != len(h.bounds) {
+		return fmt.Errorf("stats: merging histograms with %d and %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("stats: merging histograms with different bounds at bucket %d (%g vs %g)", i, b, o.bounds[i])
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	return nil
+}
+
 // Quantile returns an approximate q-quantile (0 <= q <= 1), assuming
 // samples are uniform within a bucket; overflow samples report the
 // largest finite bound.

@@ -7,7 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // Executor computes one job's metrics. Executors must be pure: the
@@ -72,6 +75,12 @@ type Options struct {
 	// start/finish/hit. It may be called from multiple workers
 	// concurrently and must not call back into the engine's Run.
 	OnEvent func(Event)
+	// Trace enables transaction tracing in the default standalone
+	// executor. Tracing never enters a job's identity hash — simulated
+	// results are bit-identical either way — but computed jobs then
+	// carry a live tracer, and the engine folds their per-class span
+	// latency histograms into its lifetime aggregates.
+	Trace obs.Config
 }
 
 // BatchStats summarizes one Run call.
@@ -130,6 +139,11 @@ type Stats struct {
 	// EventSlabMax is the largest event-record pool any computed job's
 	// kernel grew to — the event core's allocation high-water mark.
 	EventSlabMax int `json:"event_slab_max"`
+	// SpansObserved/SpansSampled/SpansDropped aggregate the obs tracers
+	// of computed jobs; all zero when tracing is off.
+	SpansObserved uint64 `json:"spans_observed,omitempty"`
+	SpansSampled  uint64 `json:"spans_sampled,omitempty"`
+	SpansDropped  uint64 `json:"spans_dropped,omitempty"`
 	// LastBatch summarizes the most recent Run call; a repeated sweep
 	// shows its cache hit rate here.
 	LastBatch BatchStats `json:"last_batch"`
@@ -168,6 +182,11 @@ type Engine struct {
 	mu     sync.Mutex
 	flight map[string]*inflight
 	stats  Stats
+	// obsLatency/obsCount fold computed jobs' span histograms into
+	// engine-lifetime per-class aggregates (guarded by mu; nil slots
+	// until a traced job of that class completes).
+	obsLatency [coherence.NumTxn]*stats.ExpHistogram
+	obsCount   [coherence.NumTxn]uint64
 
 	subMu   sync.Mutex
 	subs    map[int]chan Event
@@ -182,7 +201,7 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	execs := map[string]Executor{"": runStandalone}
+	execs := map[string]Executor{"": standaloneExecutor(opts.Trace)}
 	for k, fn := range opts.Executors {
 		execs[k] = fn
 	}
@@ -494,7 +513,54 @@ func (e *Engine) compute(job Job, hash string) (*Result, error) {
 	if m.EventSlab > e.stats.EventSlabMax {
 		e.stats.EventSlabMax = m.EventSlab
 	}
+	if tr := m.Trace; tr != nil {
+		for t := 0; t < coherence.NumTxn; t++ {
+			txn := coherence.Txn(t)
+			c := tr.ClassCount(txn)
+			if c == 0 {
+				continue
+			}
+			e.obsCount[t] += c
+			if e.obsLatency[t] == nil {
+				e.obsLatency[t] = obs.LatencyHist()
+			}
+			// Same bucket layout by construction; Merge cannot fail.
+			e.obsLatency[t].Merge(tr.ClassLatency(txn))
+		}
+		e.stats.SpansObserved += tr.SpansObserved()
+		e.stats.SpansSampled += tr.SpansSampled()
+		e.stats.SpansDropped += tr.SpansDropped()
+	}
 	e.mu.Unlock()
 	e.emit(Event{Type: EventDone, Job: job, Hash: hash, Wall: wall})
 	return res, nil
+}
+
+// ClassAgg is the engine-lifetime span aggregate for one transaction
+// class: how many spans the class saw across all computed jobs and
+// their latency histogram (nanoseconds).
+type ClassAgg struct {
+	Class   string
+	Spans   uint64
+	Latency *stats.ExpHistogram
+}
+
+// TraceAgg snapshots the per-class span aggregates folded from
+// computed jobs' tracers, in transaction-class order, skipping classes
+// no span has hit. Histograms are clones; callers may keep them.
+func (e *Engine) TraceAgg() []ClassAgg {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []ClassAgg
+	for t := 0; t < coherence.NumTxn; t++ {
+		if e.obsCount[t] == 0 {
+			continue
+		}
+		out = append(out, ClassAgg{
+			Class:   coherence.Txn(t).String(),
+			Spans:   e.obsCount[t],
+			Latency: e.obsLatency[t].Clone(),
+		})
+	}
+	return out
 }

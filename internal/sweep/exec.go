@@ -6,6 +6,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -63,12 +64,20 @@ func (j Job) SystemConfig() (core.Config, error) {
 // excludes from measurement, matching the repro facade.
 const standaloneWarmup = 600
 
+// standaloneExecutor builds the default executor with an engine-wide
+// tracing config. Tracing is an observer, never part of a job's
+// identity: the simulated results are bit-identical with it on or off,
+// so traced and untraced runs of the same job share one cache entry.
+func standaloneExecutor(trace obs.Config) Executor {
+	return func(j Job) (*core.Metrics, error) { return runStandalone(j, trace) }
+}
+
 // runStandalone is the default executor: one complete machine over the
 // benchmark's Table 2 synthetic workload, the same machine repro.Run
 // builds. The workload and home-placement RNG seed is derived from the
 // job's content hash, so every job owns an independent, reproducible
 // random stream no matter which worker runs it.
-func runStandalone(j Job) (*core.Metrics, error) {
+func runStandalone(j Job, trace obs.Config) (*core.Metrics, error) {
 	j = j.Normalize()
 	prof, ok := workload.ProfileFor(j.Benchmark, j.CPUs)
 	if !ok {
@@ -80,6 +89,7 @@ func runStandalone(j Job) (*core.Metrics, error) {
 	}
 	seed := j.RNGSeed()
 	cfg.Seed = seed
+	cfg.Trace = trace
 	if cfg.WarmupDataRefs == 0 {
 		cfg.WarmupDataRefs = standaloneWarmup
 	}

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEngineTraceAggregation checks that an engine built with tracing
+// folds computed jobs' span histograms into its lifetime aggregates,
+// and that tracing never perturbs the simulated results (same job,
+// same canonical metrics, traced or not).
+func TestEngineTraceAggregation(t *testing.T) {
+	job := Job{Protocol: "snoop-ring", CPUs: 8, DataRefsPerCPU: 300}
+
+	traced := New(Options{Workers: 1, Trace: obs.Config{SampleEvery: 8}})
+	res, err := traced.RunOne(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := traced.Stats()
+	if st.SpansObserved == 0 || st.SpansSampled == 0 {
+		t.Fatalf("spans observed/sampled = %d/%d, want both > 0",
+			st.SpansObserved, st.SpansSampled)
+	}
+	agg := traced.TraceAgg()
+	if len(agg) == 0 {
+		t.Fatal("TraceAgg empty after a traced job")
+	}
+	var total uint64
+	for _, a := range agg {
+		if a.Latency.N() != a.Spans {
+			t.Errorf("class %s: histogram N = %d, spans = %d", a.Class, a.Latency.N(), a.Spans)
+		}
+		total += a.Spans
+	}
+	if total != st.SpansObserved {
+		t.Fatalf("class totals sum to %d, SpansObserved = %d", total, st.SpansObserved)
+	}
+
+	// Tracing must not alter the simulated machine: an untraced engine
+	// produces byte-identical canonical metrics for the same job.
+	plain := New(Options{Workers: 1})
+	res2, err := plain.RunOne(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.CanonicalMetrics()) != string(res2.CanonicalMetrics()) {
+		t.Fatal("tracing changed the canonical metrics")
+	}
+	if plain.Stats().SpansObserved != 0 || len(plain.TraceAgg()) != 0 {
+		t.Fatal("untraced engine reports spans")
+	}
+
+	// The traced result carries a live tracer; the untraced one must not.
+	if res.Metrics().Trace == nil {
+		t.Fatal("traced result has no tracer")
+	}
+	if res2.Metrics().Trace != nil {
+		t.Fatal("untraced result has a tracer")
+	}
+}

@@ -21,9 +21,12 @@ package repro
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/bus"
+	"repro/internal/coherence"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -102,6 +105,13 @@ type Config struct {
 	Clusters int
 	// Seed makes runs reproducible. Default 1.
 	Seed uint64
+	// TraceSample, when > 0, enables transaction-level tracing: every
+	// measured coherence transaction feeds per-class latency
+	// histograms, and every TraceSample-th one is captured as a full
+	// span record (issue → probe grab → ack → data fill) in the
+	// resulting Perfetto trace. Zero (the default) disables tracing
+	// entirely; the simulated results are identical either way.
+	TraceSample int
 }
 
 func (c *Config) fill() error {
@@ -175,6 +185,64 @@ type Result struct {
 	TotalMissRate float64
 	// Misses and Upgrades count coherence transactions.
 	Misses, Upgrades uint64
+
+	// tr is the run's transaction tracer when Config.TraceSample
+	// enabled it (see HasTrace / WriteTrace / SpanClasses).
+	tr *obs.Tracer
+}
+
+// HasTrace reports whether the run captured a transaction trace.
+func (r *Result) HasTrace() bool { return r.tr != nil }
+
+// WriteTrace writes the run's trace in the Chrome trace-event JSON
+// format, loadable at ui.perfetto.dev: one row per processor with its
+// sampled transaction spans, plus counter tracks for ring-slot (or
+// bus) occupancy. It fails if the run was not traced.
+func (r *Result) WriteTrace(w io.Writer) error {
+	if r.tr == nil {
+		return fmt.Errorf("repro: run was not traced (set Config.TraceSample)")
+	}
+	return r.tr.WriteTrace(w)
+}
+
+// SpanClass summarizes one traced transaction class.
+type SpanClass struct {
+	// Class is the transaction name (read-miss-clean, write-back, …).
+	Class string
+	// Spans is how many transactions of the class the measured window
+	// completed — every one, not just the sampled ones.
+	Spans uint64
+	// MeanNS / P50NS / P95NS summarize the class's latency in
+	// nanoseconds.
+	MeanNS, P50NS, P95NS float64
+}
+
+// SpanClasses summarizes the traced transaction classes in protocol
+// order, or nil if the run was not traced. The means agree exactly
+// with the run's aggregate latencies: the histograms observe every
+// measured transaction, and sampling only limits which spans carry
+// full phase records.
+func (r *Result) SpanClasses() []SpanClass {
+	if r.tr == nil {
+		return nil
+	}
+	var out []SpanClass
+	for t := 0; t < coherence.NumTxn; t++ {
+		txn := coherence.Txn(t)
+		n := r.tr.ClassCount(txn)
+		if n == 0 {
+			continue
+		}
+		h := r.tr.ClassLatency(txn)
+		out = append(out, SpanClass{
+			Class:  txn.String(),
+			Spans:  n,
+			MeanNS: h.Mean(),
+			P50NS:  h.Quantile(0.50),
+			P95NS:  h.Quantile(0.95),
+		})
+	}
+	return out
 }
 
 // String summarizes the result in one line.
@@ -207,9 +275,11 @@ func Run(cfg Config) (*Result, error) {
 		Clusters:       cfg.Clusters,
 		Seed:           cfg.Seed,
 		WarmupDataRefs: warmup,
+		Trace:          obs.Config{SampleEvery: cfg.TraceSample},
 	}, gen)
 	m := sys.Run()
 	return &Result{
+		tr:             m.Trace,
 		ProcUtil:       m.ProcUtil(),
 		NetworkUtil:    m.NetworkUtil,
 		MissLatencyNS:  m.MissLatency.Value(),
@@ -250,9 +320,11 @@ func RunTrace(cfg Config, path string) (*Result, error) {
 		Ring:      ring.Config{ClockPS: sim.Time(1e6 / float64(cfg.RingMHz)), WidthBits: cfg.RingWidthBits},
 		Bus:       bus.Config{ClockPS: sim.Time(1e6 / float64(cfg.BusMHz))},
 		Seed:      cfg.Seed,
+		Trace:     obs.Config{SampleEvery: cfg.TraceSample},
 	}, workload.NewTraceSource(tr))
 	m := sys.Run()
 	return &Result{
+		tr:             m.Trace,
 		ProcUtil:       m.ProcUtil(),
 		NetworkUtil:    m.NetworkUtil,
 		MissLatencyNS:  m.MissLatency.Value(),

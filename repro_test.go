@@ -63,6 +63,63 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunTraceSample(t *testing.T) {
+	cfg := Config{Benchmark: "MP3D", CPUs: 8, DataRefsPerCPU: 800, Seed: 3}
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HasTrace() {
+		t.Fatal("untraced run claims a trace")
+	}
+	if err := plain.WriteTrace(&strings.Builder{}); err == nil {
+		t.Fatal("WriteTrace on an untraced run did not fail")
+	}
+	if plain.SpanClasses() != nil {
+		t.Fatal("untraced run has span classes")
+	}
+
+	cfg.TraceSample = 32
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traced.HasTrace() {
+		t.Fatal("traced run has no trace")
+	}
+	// Tracing is pure observation: every simulated quantity matches the
+	// untraced run exactly.
+	if traced.MissLatencyNS != plain.MissLatencyNS || traced.ExecTimeUS != plain.ExecTimeUS ||
+		traced.Misses != plain.Misses || traced.Upgrades != plain.Upgrades {
+		t.Fatalf("tracing changed the results:\ntraced  %+v\nplain   %+v", traced, plain)
+	}
+	classes := traced.SpanClasses()
+	if len(classes) == 0 {
+		t.Fatal("traced run has no span classes")
+	}
+	var spans uint64
+	for _, c := range classes {
+		if c.Spans == 0 || c.MeanNS < 0 || c.P95NS < c.P50NS {
+			t.Errorf("implausible class summary: %+v", c)
+		}
+		if c.Class != "write-back" && c.MeanNS <= 0 {
+			t.Errorf("class %s has zero mean latency", c.Class)
+		}
+		spans += c.Spans
+	}
+	if spans < traced.Misses {
+		t.Errorf("span classes cover %d transactions, want at least the %d misses", spans, traced.Misses)
+	}
+	var sb strings.Builder
+	if err := traced.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Fatal("trace output missing traceEvents")
+	}
+}
+
 func TestBenchmarksList(t *testing.T) {
 	bs := Benchmarks()
 	if len(bs) != 12 {
