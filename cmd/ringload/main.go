@@ -12,10 +12,17 @@
 // dominated, which is exactly the serving economics the layer exists
 // for; -out writes the measurements as a BENCH artifact.
 //
+// Multi-endpoint mode drives a whole fleet from one client: -addrs
+// takes a comma-separated endpoint list, requests are dispatched
+// round-robin across it, and the report carries a per-endpoint stats
+// block next to the aggregate. The /metrics scrape targets the first
+// endpoint (by convention the coordinator).
+//
 // Usage:
 //
 //	ringload -url http://localhost:8080 -requests 200 -jobs 8
 //	ringload -url http://localhost:8080 -concurrency 16 -out BENCH_2.json
+//	ringload -addrs http://coord:8080,http://w1:8081,http://w2:8082 -out BENCH_5.json
 package main
 
 import (
@@ -68,6 +75,21 @@ type report struct {
 	// Server holds the server-side view of the same run, from /metrics
 	// histogram deltas. Nil when the server's /metrics was unreachable.
 	Server *serverView `json:"server,omitempty"`
+
+	// Endpoints holds the per-endpoint breakdown in -addrs order;
+	// omitted in single-endpoint runs.
+	Endpoints []endpointView `json:"endpoints,omitempty"`
+}
+
+// endpointView is one endpoint's share of a multi-endpoint run.
+type endpointView struct {
+	URL          string  `json:"url"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
 }
 
 // serverView is what the server itself measured over the load run:
@@ -89,12 +111,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		url         = fs.String("url", "http://localhost:8080", "ringserved base URL")
+		addrs       = fs.String("addrs", "", "comma-separated endpoint list for round-robin fleet dispatch (overrides -url; first endpoint is scraped for the server view)")
 		requests    = fs.Int("requests", 200, "total job submissions")
 		jobs        = fs.Int("jobs", 8, "distinct jobs in the workload pool")
 		concurrency = fs.Int("concurrency", 8, "concurrent client workers")
 		bench       = fs.String("bench", "MP3D", "benchmark for generated jobs")
 		cpus        = fs.Int("cpus", 8, "processors per generated job")
 		refs        = fs.Int("refs", 500, "data references per processor")
+		kind        = fs.String("kind", "", "job kind (empty = simulator; \"sleep\" needs a -synthexec server)")
 		deadlineMS  = fs.Int("deadline", 0, "per-request deadline_ms (0 = none)")
 		out         = fs.String("out", "", "write the report JSON to this file")
 	)
@@ -105,12 +129,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringload: requests, jobs and concurrency must be positive")
 		return 1
 	}
+	endpoints := []string{*url}
+	if *addrs != "" {
+		endpoints = endpoints[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				endpoints = append(endpoints, strings.TrimSuffix(a, "/"))
+			}
+		}
+		if len(endpoints) == 0 {
+			fmt.Fprintln(stderr, "ringload: -addrs has no endpoints")
+			return 1
+		}
+	}
+	scrapeBase := endpoints[0]
 
 	// The workload pool: distinct points along the paper's processor
 	// cycle axis, so each job is a different simulation.
 	pool := make([][]byte, *jobs)
 	for i := range pool {
 		j := sweep.Job{
+			Kind:           *kind,
 			Benchmark:      *bench,
 			CPUs:           *cpus,
 			DataRefsPerCPU: *refs,
@@ -125,20 +164,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		pool[i] = body
 	}
 
-	target := *url + "/v1/jobs"
+	query := ""
 	if *deadlineMS > 0 {
-		target = fmt.Sprintf("%s?deadline_ms=%d", target, *deadlineMS)
+		query = fmt.Sprintf("?deadline_ms=%d", *deadlineMS)
 	}
 
+	// Per-endpoint accounting, indexed like endpoints.
+	type epCounts struct {
+		errs, hits int64
+		lats       []float64
+	}
 	var (
-		next      atomic.Int64
-		errCount  atomic.Int64
-		hitCount  atomic.Int64
-		mu        sync.Mutex
-		latencies []float64
+		next    atomic.Int64
+		mu      sync.Mutex
+		perEP   = make([]epCounts, len(endpoints))
+		nLatAll int
+		latAll  []float64
+		hitsAll int64
+		errsAll int64
 	)
 	client := &http.Client{}
-	before, scrapeErr := scrapeMetrics(ctx, client, *url)
+	before, scrapeErr := scrapeMetrics(ctx, client, scrapeBase)
 	begin := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
@@ -150,19 +196,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				if n >= int64(*requests) || ctx.Err() != nil {
 					return
 				}
+				ep := int(n % int64(len(endpoints)))
 				body := pool[n%int64(len(pool))]
+				target := endpoints[ep] + "/v1/jobs" + query
 				reqBegin := time.Now()
 				ok, cached := submit(ctx, client, target, body)
 				lat := time.Since(reqBegin)
-				if !ok {
-					errCount.Add(1)
-					continue
-				}
-				if cached {
-					hitCount.Add(1)
-				}
 				mu.Lock()
-				latencies = append(latencies, lat.Seconds())
+				if !ok {
+					perEP[ep].errs++
+					errsAll++
+				} else {
+					if cached {
+						perEP[ep].hits++
+						hitsAll++
+					}
+					perEP[ep].lats = append(perEP[ep].lats, lat.Seconds())
+					latAll = append(latAll, lat.Seconds())
+				}
 				mu.Unlock()
 			}
 		}()
@@ -173,33 +224,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringload: interrupted")
 		return 1
 	}
-	if len(latencies) == 0 {
-		fmt.Fprintln(stderr, "ringload: every request failed; is ringserved running at", *url, "?")
+	nLatAll = len(latAll)
+	if nLatAll == 0 {
+		fmt.Fprintln(stderr, "ringload: every request failed; is ringserved running at", scrapeBase, "?")
 		return 1
 	}
 
 	rep := report{
-		URL:          *url,
+		URL:          scrapeBase,
 		Jobs:         *jobs,
 		Requests:     *requests,
 		Concurrency:  *concurrency,
-		Errors:       int(errCount.Load()),
+		Errors:       int(errsAll),
 		WallNS:       wall.Nanoseconds(),
-		ReqPerSec:    float64(len(latencies)) / wall.Seconds(),
-		CacheHitRate: float64(hitCount.Load()) / float64(len(latencies)),
-		P50MS:        1000 * stats.Percentile(latencies, 0.50),
-		P95MS:        1000 * stats.Percentile(latencies, 0.95),
-		P99MS:        1000 * stats.Percentile(latencies, 0.99),
-		MaxMS:        1000 * stats.Percentile(latencies, 1.0),
+		ReqPerSec:    float64(nLatAll) / wall.Seconds(),
+		CacheHitRate: float64(hitsAll) / float64(nLatAll),
+		P50MS:        1000 * stats.Percentile(latAll, 0.50),
+		P95MS:        1000 * stats.Percentile(latAll, 0.95),
+		P99MS:        1000 * stats.Percentile(latAll, 0.99),
+		MaxMS:        1000 * stats.Percentile(latAll, 1.0),
+	}
+	if len(endpoints) > 1 {
+		for i, ep := range endpoints {
+			ev := endpointView{
+				URL:      ep,
+				Requests: len(perEP[i].lats) + int(perEP[i].errs),
+				Errors:   int(perEP[i].errs),
+			}
+			if n := len(perEP[i].lats); n > 0 {
+				ev.CacheHitRate = float64(perEP[i].hits) / float64(n)
+				ev.P50MS = 1000 * stats.Percentile(perEP[i].lats, 0.50)
+				ev.P95MS = 1000 * stats.Percentile(perEP[i].lats, 0.95)
+				ev.P99MS = 1000 * stats.Percentile(perEP[i].lats, 0.99)
+			}
+			rep.Endpoints = append(rep.Endpoints, ev)
+		}
 	}
 	if scrapeErr == nil {
-		if after, err := scrapeMetrics(ctx, client, *url); err == nil {
+		if after, err := scrapeMetrics(ctx, client, scrapeBase); err == nil {
 			rep.Server = serverDelta(before, after)
 		}
 	}
 
 	fmt.Fprintf(stdout, "ringload: %d ok / %d errors in %v (%.1f req/s)\n",
-		len(latencies), rep.Errors, wall.Round(time.Millisecond), rep.ReqPerSec)
+		nLatAll, rep.Errors, wall.Round(time.Millisecond), rep.ReqPerSec)
 	fmt.Fprintf(stdout, "          cache-hit rate %.3f, latency p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
 		rep.CacheHitRate, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
 	if rep.Server != nil {
@@ -211,6 +279,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		fmt.Fprintln(stdout, "          server view unavailable (/metrics scrape failed)")
+	}
+	for _, ev := range rep.Endpoints {
+		fmt.Fprintf(stdout, "          endpoint %s: %d requests, %d errors, hit rate %.3f, p50 %.2fms p99 %.2fms\n",
+			ev.URL, ev.Requests, ev.Errors, ev.CacheHitRate, ev.P50MS, ev.P99MS)
 	}
 
 	if *out != "" {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -161,5 +162,92 @@ func TestLoadBadFlags(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"-bogus"}, &out, &out); code != 2 {
 		t.Errorf("bad flag exit %d, want 2", code)
+	}
+}
+
+func TestLoadMultiEndpointRoundRobin(t *testing.T) {
+	urls := []string{startRingserved(t), startRingserved(t), startRingserved(t)}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-addrs", strings.Join(urls, ","),
+		"-requests", "90",
+		"-jobs", "3",
+		"-concurrency", "6",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bad artifact %s: %v", data, err)
+	}
+	if rep.Errors != 0 || rep.Requests != 90 {
+		t.Fatalf("bad bookkeeping: %+v", rep)
+	}
+	if len(rep.Endpoints) != 3 {
+		t.Fatalf("report has %d endpoint blocks, want 3", len(rep.Endpoints))
+	}
+	// Round-robin dispatch: 90 requests over 3 endpoints is exactly 30
+	// each, and the per-endpoint tallies must sum to the aggregate.
+	var sum int
+	for _, ep := range rep.Endpoints {
+		if ep.Requests != 30 {
+			t.Errorf("endpoint %s got %d requests, want 30", ep.URL, ep.Requests)
+		}
+		if ep.Errors != 0 {
+			t.Errorf("endpoint %s has %d errors", ep.URL, ep.Errors)
+		}
+		if ep.P50MS <= 0 || ep.P95MS < ep.P50MS || ep.P99MS < ep.P95MS {
+			t.Errorf("implausible percentiles for %s: %+v", ep.URL, ep)
+		}
+		sum += ep.Requests
+	}
+	if sum != rep.Requests {
+		t.Errorf("endpoint requests sum %d != aggregate %d", sum, rep.Requests)
+	}
+	// Each endpoint is its own cache domain: every one pays its own 3
+	// cold computes, so the aggregate hit rate reflects 9 misses in 90.
+	if rep.CacheHitRate < 0.85 {
+		t.Errorf("cache-hit rate %.3f, want >= 0.85", rep.CacheHitRate)
+	}
+	// The stdout summary carries a per-endpoint stats block.
+	for _, u := range urls {
+		if !strings.Contains(stdout.String(), u) {
+			t.Errorf("stdout summary missing endpoint %s:\n%s", u, stdout.String())
+		}
+	}
+}
+
+func TestLoadSingleEndpointReportOmitsEndpointBlocks(t *testing.T) {
+	url := startRingserved(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-addrs", url, // one address behaves exactly like -url
+		"-requests", "10",
+		"-jobs", "2",
+		"-concurrency", "2",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Endpoints) != 0 {
+		t.Errorf("single-endpoint report carries %d endpoint blocks, want 0", len(rep.Endpoints))
 	}
 }

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func waitForMetric(t *testing.T, url, needle string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, body := getBody(t, url+"/metrics"); strings.Contains(body, needle) {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, body := getBody(t, url+"/metrics")
+			t.Fatalf("metrics never showed %q:\n%s", needle, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterModeEndToEnd boots a coordinator and two workers as the
+// real daemon processes would run them (same run() entrypoint, real
+// TCP), submits synthetic jobs through the coordinator's unchanged
+// public API, reads a result back through a worker's public API via
+// peer fetch, then drains one worker and checks the fleet shrinks.
+func TestClusterModeEndToEnd(t *testing.T) {
+	coordURL, coordCancel, coordExit, _ := startServer(t,
+		"-coordinator", "-workers", "8", "-synthexec", "-execretries", "3", "-hbttl", "3s")
+	defer coordCancel()
+
+	w1URL, w1Cancel, w1Exit, _ := startServer(t,
+		"-worker", "-join", coordURL, "-workers", "2", "-synthexec", "-heartbeat", "100ms", "-id", "w1")
+	defer w1Cancel()
+	_, w2Cancel, w2Exit, _ := startServer(t,
+		"-worker", "-join", coordURL, "-workers", "2", "-synthexec", "-heartbeat", "100ms", "-id", "w2")
+	defer w2Cancel()
+
+	waitForMetric(t, coordURL, `ringsim_cluster_workers{state="live"} 2`)
+
+	// Jobs of kind "sleep" run on whichever worker owns their hash; the
+	// coordinator's public contract (status, hash, source) is untouched.
+	var hash string
+	for seed := 1; seed <= 4; seed++ {
+		payload := fmt.Sprintf(`{"kind":"sleep","cpus":1,"data_refs_per_cpu":2000,"seed":%d}`, seed)
+		resp, err := http.Post(coordURL+"/v1/jobs", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr struct {
+			Hash   string `json:"hash"`
+			Source string `json:"source"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || jr.Source != "computed" {
+			t.Fatalf("submit seed %d: status %d %+v", seed, resp.StatusCode, jr)
+		}
+		hash = jr.Hash
+	}
+
+	// Dispatches are visible in the coordinator's cluster metrics.
+	if _, body := getBody(t, coordURL+"/metrics"); !strings.Contains(body, "ringsim_cluster_dispatches_total") {
+		t.Error("coordinator /metrics missing cluster dispatch series")
+	}
+
+	// A worker that never saw the job serves it through the replicated
+	// tier: worker-local miss, coordinator relay, adopt.
+	code, body := getBody(t, w1URL+"/v1/results/"+hash)
+	if code != http.StatusOK {
+		t.Fatalf("worker result relay: status %d: %s", code, body)
+	}
+	var wr struct {
+		Hash   string `json:"hash"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal([]byte(body), &wr); err != nil || wr.Hash != hash {
+		t.Fatalf("worker relay result %s: %v", body, err)
+	}
+
+	// Draining a worker removes it from the ring immediately (leave,
+	// not TTL expiry), and the fleet keeps serving.
+	w1Cancel()
+	select {
+	case code := <-w1Exit:
+		if code != 0 {
+			t.Fatalf("worker drain exit %d", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never exited")
+	}
+	waitForMetric(t, coordURL, `ringsim_cluster_workers{state="live"} 1`)
+
+	resp, err := http.Post(coordURL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"sleep","cpus":1,"data_refs_per_cpu":2000,"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit after worker drain: status %d", resp.StatusCode)
+	}
+
+	w2Cancel()
+	<-w2Exit
+	coordCancel()
+	<-coordExit
+}
+
+// TestClusterNoWorkers503: a coordinator with an empty fleet refuses
+// submissions with 503 (substrate unavailable), not 400.
+func TestClusterNoWorkers503(t *testing.T) {
+	coordURL, cancel, exit, _ := startServer(t, "-coordinator", "-synthexec")
+	defer func() { cancel(); <-exit }()
+
+	resp, err := http.Post(coordURL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"sleep","cpus":1,"data_refs_per_cpu":100,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("empty fleet submit: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestClusterFlagValidation: the mode flags reject nonsensical
+// combinations before binding anything.
+func TestClusterFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-coordinator", "-worker"}, &out, &out); code != 1 {
+		t.Errorf("-coordinator -worker exit %d, want 1", code)
+	}
+	if code := run(context.Background(), []string{"-worker"}, &out, &out); code != 1 {
+		t.Errorf("-worker without -join exit %d, want 1", code)
+	}
+}

@@ -8,6 +8,15 @@
 //	ringserved -addr :8080 -cachedir .servecache
 //	ringserved -queue 128 -inflight 8 -discipline sjf
 //
+// Cluster modes (see DESIGN.md §12): one daemon becomes the
+// coordinator of a worker fleet, placing jobs by consistent hashing on
+// their content hashes and stealing them onto live workers when one is
+// lost; the public API is unchanged. Workers join the coordinator and
+// execute forwarded jobs on their local engines.
+//
+//	ringserved -coordinator -addr :8080 -inflight 16 -workers 16
+//	ringserved -worker -join http://coord:8080 -addr :8081 -workers 2
+//
 // Routes (see DESIGN.md §9):
 //
 //	POST /v1/jobs                  submit one simulation point
@@ -15,13 +24,17 @@
 //	GET  /v1/experiments           list named experiments
 //	POST /v1/experiments/{name}    run a named experiment
 //	GET  /v1/results/{hash}        idempotent lookup by content hash
+//	                               (cluster nodes fall back to peers)
 //	GET  /v1/results/{hash}/trace  Perfetto trace of a traced run (needs -tracesample)
 //	GET  /v1/events                live progress stream (SSE)
 //	GET  /healthz, /metrics        liveness and Prometheus metrics
+//	/internal/v1/*                 cluster plane (exec, results, join,
+//	                               heartbeat, leave, health)
 //
 // SIGINT/SIGTERM begin a graceful drain: new submissions receive 503
 // while queued and in-flight requests run to completion (bounded by
-// -draintimeout), then the process exits 0.
+// -draintimeout), then the process exits 0. A draining worker leaves
+// the coordinator's ring immediately.
 package main
 
 import (
@@ -35,9 +48,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux, served only on -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
@@ -54,7 +69,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
-		workers      = fs.Int("workers", 0, "engine worker pool size (0 = all CPUs)")
+		workers      = fs.Int("workers", 0, "engine worker pool size (0 = all CPUs); in -coordinator mode this is the dispatch parallelism and should cover the fleet's total capacity")
 		cacheDir     = fs.String("cachedir", "", "persist results to this content-addressed cache directory")
 		queueDepth   = fs.Int("queue", 64, "admission queue depth (overflow returns 429)")
 		maxInFlight  = fs.Int("inflight", 0, "max concurrently executing requests (0 = all CPUs)")
@@ -63,9 +78,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max wait for in-flight work on shutdown")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		traceSample  = fs.Int("tracesample", 0, "trace computed jobs, recording every k-th transaction span (0 = tracing off)")
+
+		coordMode   = fs.Bool("coordinator", false, "run as cluster coordinator: dispatch jobs to joined workers instead of executing locally")
+		workerMode  = fs.Bool("worker", false, "run as cluster worker: join a coordinator and execute forwarded jobs")
+		joinURL     = fs.String("join", "", "coordinator base URL a -worker joins (e.g. http://coord:8080)")
+		advertise   = fs.String("advertise", "", "base URL the coordinator dials this worker back on (default: http://127.0.0.1:<port> from -addr)")
+		workerID    = fs.String("id", "", "stable worker identity on the placement ring (default: the advertise URL)")
+		heartbeat   = fs.Duration("heartbeat", time.Second, "worker heartbeat period")
+		hbTTL       = fs.Duration("hbttl", 5*time.Second, "coordinator: heartbeat age after which a worker is considered down")
+		execTimeout = fs.Duration("exectimeout", 10*time.Minute, "coordinator: bound on one remote job execution")
+		execRetries = fs.Int("execretries", 3, "coordinator: dispatch attempts per job across distinct workers")
+		synthExec   = fs.Bool("synthexec", false, "register the fixed-service-time calibration executor for jobs of kind \"sleep\" (benchmarking only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *coordMode && *workerMode {
+		fmt.Fprintln(stderr, "ringserved: -coordinator and -worker are mutually exclusive")
+		return 1
+	}
+	if *workerMode && *joinURL == "" {
+		fmt.Fprintln(stderr, "ringserved: -worker requires -join <coordinator URL>")
+		return 1
 	}
 
 	disc, err := serve.ParseDiscipline(*discipline)
@@ -74,18 +108,93 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	eng := sweep.New(sweep.Options{
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringserved:", err)
+		return 1
+	}
+	defer ln.Close()
+
+	// Assemble the engine, serving layer, and (in cluster modes) the
+	// cluster plane around the listener.
+	engOpts := sweep.Options{
 		Workers:  *workers,
 		CacheDir: *cacheDir,
 		Trace:    obs.Config{SampleEvery: *traceSample},
-	})
-	srv := serve.New(serve.Options{
-		Engine:      eng,
+	}
+	srvOpts := serve.Options{
 		QueueDepth:  *queueDepth,
 		MaxInFlight: *maxInFlight,
 		Discipline:  disc,
 		MaxDeadline: *maxDeadline,
-	})
+	}
+	mux := http.NewServeMux()
+	var (
+		coord *cluster.Coordinator
+		wk    *cluster.Worker
+		role  = "standalone"
+	)
+	switch {
+	case *coordMode:
+		role = "coordinator"
+		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			HeartbeatTTL: *hbTTL,
+			ExecTimeout:  *execTimeout,
+			MaxAttempts:  *execRetries,
+		})
+		// The dispatcher replaces local execution for every job kind the
+		// coordinator accepts; workers decide which kinds they support.
+		engOpts.Executors = map[string]sweep.Executor{
+			"":                coord.Execute,
+			cluster.SynthKind: coord.Execute,
+		}
+		srvOpts.LookupFallback = coord.LookupFallback
+		srvOpts.ExtraMetrics = coord.WriteMetrics
+	case *workerMode:
+		role = "worker"
+		if *synthExec {
+			engOpts.Executors = map[string]sweep.Executor{cluster.SynthKind: cluster.SynthExecutor}
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = defaultAdvertise(ln.Addr())
+		}
+		id := *workerID
+		if id == "" {
+			id = adv
+		}
+		eng := sweep.New(engOpts)
+		wk, err = cluster.NewWorker(cluster.WorkerOptions{
+			ID:             id,
+			Engine:         eng,
+			Coordinator:    *joinURL,
+			Advertise:      adv,
+			HeartbeatEvery: *heartbeat,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ringserved:", err)
+			return 1
+		}
+		srvOpts.Engine = eng
+		srvOpts.LookupFallback = wk.LookupFallback
+	default:
+		if *synthExec {
+			engOpts.Executors = map[string]sweep.Executor{cluster.SynthKind: cluster.SynthExecutor}
+		}
+	}
+	if srvOpts.Engine == nil {
+		srvOpts.Engine = sweep.New(engOpts)
+	}
+	eng := srvOpts.Engine
+	if coord != nil {
+		coord.BindEngine(eng)
+		mux.Handle("/internal/v1/", coord.Handler())
+	}
+	if wk != nil {
+		mux.Handle("/internal/v1/", wk.Handler())
+	}
+	srv := serve.New(srvOpts)
+	mux.Handle("/", srv.Handler())
 
 	// The profiling endpoints live on their own listener so the service
 	// port never exposes them: the main handler uses a dedicated mux,
@@ -106,14 +215,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer pln.Close()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(stderr, "ringserved:", err)
-		return 1
+	httpSrv := &http.Server{Handler: mux}
+	fmt.Fprintf(stdout, "ringserved: %s listening on %s (%d workers, queue %d, %s)\n",
+		role, ln.Addr(), eng.Workers(), *queueDepth, disc)
+
+	// The worker's membership loop runs until drain begins, so the
+	// leave fires before in-flight work finishes, steering the
+	// coordinator away early.
+	memberCtx, stopMember := context.WithCancel(context.Background())
+	defer stopMember()
+	memberDone := make(chan struct{})
+	if wk != nil {
+		go func() { defer close(memberDone); wk.Run(memberCtx) }()
+	} else {
+		close(memberDone)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "ringserved: listening on %s (%d workers, queue %d, %s)\n",
-		ln.Addr(), eng.Workers(), *queueDepth, disc)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -128,6 +244,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// Graceful drain: reject new work, finish what was admitted, then
 	// close the listener and exit.
 	fmt.Fprintln(stdout, "ringserved: draining")
+	stopMember()
+	<-memberDone
 	srv.BeginDrain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -144,4 +262,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "ringserved: drained (%d jobs done, %d computed, %.0f%% cache hits)\n",
 		st.Done, st.Computed, 100*st.HitRate())
 	return 0
+}
+
+// defaultAdvertise derives a dial-back URL from the listen address:
+// wildcard hosts become the loopback (single-host fleets, tests, CI);
+// multi-host deployments must pass -advertise explicitly.
+func defaultAdvertise(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	if strings.Contains(host, ":") {
+		host = "[" + host + "]"
+	}
+	return fmt.Sprintf("http://%s:%s", host, port)
 }

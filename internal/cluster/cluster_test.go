@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// testFleet is an in-process cluster: a coordinator bound to its
+// dispatch engine, plus workers joined over real HTTP.
+type testFleet struct {
+	coord    *Coordinator
+	coordEng *sweep.Engine
+	coordSrv *httptest.Server
+	workers  []*fleetWorker
+}
+
+type fleetWorker struct {
+	w   *Worker
+	eng *sweep.Engine
+	srv *httptest.Server
+}
+
+// startFleet boots a coordinator and n workers. Worker engines get the
+// given extra executors (the default simulator stays available); the
+// coordinator engine dispatches every one of those kinds remotely.
+func startFleet(t *testing.T, n int, execs map[string]sweep.Executor) *testFleet {
+	t.Helper()
+	coord := NewCoordinator(CoordinatorOptions{
+		HeartbeatTTL: 10 * time.Second,
+		ExecTimeout:  30 * time.Second,
+		MaxAttempts:  3,
+		RetryBackoff: time.Millisecond,
+	})
+	coordSrv := httptest.NewServer(coord.Handler())
+	t.Cleanup(coordSrv.Close)
+
+	dispatch := map[string]sweep.Executor{"": coord.Execute}
+	for kind := range execs {
+		dispatch[kind] = coord.Execute
+	}
+	coordEng := sweep.New(sweep.Options{Workers: 8, Executors: dispatch})
+	coord.BindEngine(coordEng)
+
+	f := &testFleet{coord: coord, coordEng: coordEng, coordSrv: coordSrv}
+	for i := 0; i < n; i++ {
+		id := "w" + string(rune('A'+i))
+		eng := sweep.New(sweep.Options{Workers: 2, Executors: execs})
+		w, err := NewWorker(WorkerOptions{ID: id, Engine: eng})
+		if err != nil {
+			t.Fatalf("NewWorker %s: %v", id, err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		f.join(t, id, srv.URL, eng.Workers())
+		f.workers = append(f.workers, &fleetWorker{w: w, eng: eng, srv: srv})
+	}
+	return f
+}
+
+// join registers a worker through the coordinator's real HTTP join
+// endpoint, as the membership loop would.
+func (f *testFleet) join(t *testing.T, id, addr string, capacity int) {
+	t.Helper()
+	body, _ := json.Marshal(JoinRequest{ID: id, Addr: addr, Workers: capacity})
+	resp, err := http.Post(f.coordSrv.URL+pathJoin, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("join %s: %v", id, err)
+	}
+	drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join %s: status %d", id, resp.StatusCode)
+	}
+}
+
+// metric extracts one un-labelled series value from the coordinator's
+// rendered metrics text.
+func (f *testFleet) metric(t *testing.T, name string) int {
+	t.Helper()
+	var buf bytes.Buffer
+	f.coord.WriteMetrics(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var v int
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not rendered", name)
+	return 0
+}
+
+// TestClusterByteIdenticalVsSingleNode: the replicated-result
+// invariant. A sweep dispatched across a 2-worker fleet produces, for
+// every job, the exact bytes a standalone engine produces — same
+// hashes, same canonical metrics — and the fleet actually shares the
+// work.
+func TestClusterByteIdenticalVsSingleNode(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	jobs := make([]sweep.Job, 8)
+	for i := range jobs {
+		jobs[i] = sweep.Job{CPUs: 8, DataRefsPerCPU: 300, Seed: uint64(i + 1)}
+	}
+
+	clusterRes, _, err := f.coordEng.RunEach(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("cluster RunEach: %v", err)
+	}
+	soloEng := sweep.New(sweep.Options{Workers: 2})
+	soloRes, _, err := soloEng.RunEach(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("solo RunEach: %v", err)
+	}
+	for i := range jobs {
+		if clusterRes[i].Hash != soloRes[i].Hash {
+			t.Errorf("job %d: hash %s (cluster) != %s (solo)", i, clusterRes[i].Hash, soloRes[i].Hash)
+		}
+		if !bytes.Equal(clusterRes[i].CanonicalMetrics(), soloRes[i].CanonicalMetrics()) {
+			t.Errorf("job %d: cluster artifact differs from single-node bytes", i)
+		}
+	}
+
+	// Every job computed exactly once, somewhere in the fleet; nothing
+	// ran on the coordinator's own engine.
+	var computed int
+	for _, fw := range f.workers {
+		computed += fw.eng.Stats().Computed
+	}
+	if computed != len(jobs) {
+		t.Errorf("fleet computed %d jobs, want %d", computed, len(jobs))
+	}
+	if got := f.coordEng.Stats().Computed; got != len(jobs) {
+		t.Errorf("coordinator engine computed (= dispatched) %d, want %d", got, len(jobs))
+	}
+}
+
+// TestClusterIdempotentDuplicateSubmission: a duplicate of an already
+// completed job is a coordinator-side cache hit — the fleet never sees
+// it twice.
+func TestClusterIdempotentDuplicateSubmission(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	job := sweep.Job{CPUs: 8, DataRefsPerCPU: 200, Seed: 42}
+
+	first, src1, err := f.coordEng.RunOneCtx(context.Background(), job)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if src1 != sweep.SourceComputed {
+		t.Fatalf("first source = %v, want computed", src1)
+	}
+	second, src2, err := f.coordEng.RunOneCtx(context.Background(), job)
+	if err != nil {
+		t.Fatalf("duplicate run: %v", err)
+	}
+	if src2 != sweep.SourceMemory {
+		t.Errorf("duplicate source = %v, want memory hit", src2)
+	}
+	if !bytes.Equal(first.CanonicalMetrics(), second.CanonicalMetrics()) {
+		t.Error("duplicate returned different bytes")
+	}
+	var computed int
+	for _, fw := range f.workers {
+		computed += fw.eng.Stats().Computed
+	}
+	if computed != 1 {
+		t.Errorf("fleet computed %d times, want 1", computed)
+	}
+}
+
+// TestClusterFailoverMidJob: kill the worker holding a job mid-flight.
+// The coordinator must mark it down, steal the job onto the surviving
+// worker, and return a correct result — no lost job, no duplicate
+// artifact, steals counted.
+func TestClusterFailoverMidJob(t *testing.T) {
+	hold := func(j sweep.Job) (*core.Metrics, error) {
+		time.Sleep(300 * time.Millisecond)
+		return SynthExecutor(j)
+	}
+	f := startFleet(t, 2, map[string]sweep.Executor{"hold": hold})
+	job := sweep.Job{Kind: "hold", CPUs: 1, DataRefsPerCPU: 1, Seed: 5}
+
+	done := make(chan error, 1)
+	var res *sweep.Result
+	go func() {
+		var err error
+		res, _, err = f.coordEng.RunOneCtx(context.Background(), job)
+		done <- err
+	}()
+
+	// Find the worker the job landed on, then kill its server while the
+	// executor is still holding the job.
+	var victim, survivor *fleetWorker
+	deadline := time.Now().Add(5 * time.Second)
+	for victim == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("job never landed on a worker")
+		}
+		for i, fw := range f.workers {
+			if fw.w.InFlight() > 0 {
+				victim, survivor = fw, f.workers[1-i]
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim.srv.CloseClientConnections()
+	victim.srv.Close()
+
+	if err := <-done; err != nil {
+		t.Fatalf("job lost after worker kill: %v", err)
+	}
+	want := job.Normalize().Hash()
+	if res.Hash != want {
+		t.Errorf("stolen result hash %s, want %s", res.Hash, want)
+	}
+	// The steal landed on the survivor and produced the canonical bytes.
+	if got := survivor.eng.Stats().Computed; got != 1 {
+		t.Errorf("survivor computed %d, want 1", got)
+	}
+	if steals := f.metric(t, "ringsim_cluster_steals_total"); steals < 1 {
+		t.Errorf("steals = %d, want >= 1", steals)
+	}
+	if fails := f.metric(t, "ringsim_cluster_exec_failures_total"); fails < 1 {
+		t.Errorf("exec failures = %d, want >= 1", fails)
+	}
+	// The killed worker is marked down and out of dispatch rotation.
+	for _, m := range f.coord.Workers() {
+		if m.ID == victim.w.ID() && m.Live {
+			t.Errorf("victim %s still live after failed dispatch", m.ID)
+		}
+	}
+}
+
+// TestClusterPeerFetchChain: a result computed on one worker is
+// reachable from every tier — coordinator relay, then another worker's
+// public miss path — each hop verifying the hash and adopting a local
+// copy.
+func TestClusterPeerFetchChain(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	wA, wB := f.workers[0], f.workers[1]
+
+	// Compute directly on worker A, bypassing the coordinator, so no
+	// other tier holds the result yet.
+	job := sweep.Job{CPUs: 8, DataRefsPerCPU: 200, Seed: 77}
+	body, _ := json.Marshal(job)
+	resp, err := http.Post(wA.srv.URL+pathExec, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exec on A: %v", err)
+	}
+	drainClose(resp)
+	hash := job.Normalize().Hash()
+
+	// Tier 2: the coordinator's fallback sweeps the fleet, verifies,
+	// and adopts.
+	res, src, ok := f.coord.LookupFallback(context.Background(), hash)
+	if !ok || src != sweep.SourcePeer {
+		t.Fatalf("coordinator peer fetch: ok=%v src=%v", ok, src)
+	}
+	if _, _, ok := f.coordEng.Lookup(hash); !ok {
+		t.Error("coordinator did not adopt the peer-fetched result")
+	}
+
+	// Tier 3: worker B misses locally and pulls through the
+	// coordinator's relay.
+	wb, err := NewWorker(WorkerOptions{ID: wB.w.ID(), Engine: wB.eng, Coordinator: f.coordSrv.URL, Advertise: wB.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, srcB, okB := wb.LookupFallback(context.Background(), hash)
+	if !okB || srcB != sweep.SourcePeer {
+		t.Fatalf("worker B peer fetch: ok=%v src=%v", okB, srcB)
+	}
+	if _, _, ok := wB.eng.Lookup(hash); !ok {
+		t.Error("worker B did not adopt the peer-fetched result")
+	}
+	if !bytes.Equal(res.CanonicalMetrics(), resB.CanonicalMetrics()) {
+		t.Error("peer copies diverge")
+	}
+	if peer := f.metric(t, "ringsim_cluster_peer_fetches_total"); peer < 1 {
+		t.Errorf("peer fetches = %d, want >= 1", peer)
+	}
+
+	// Integrity gate: a fabricated hash never fetches.
+	bogus := strings.Repeat("ab", 32)
+	if _, _, ok := f.coord.LookupFallback(context.Background(), bogus); ok {
+		t.Error("fallback produced a result for a hash nothing computed")
+	}
+}
+
+// TestClusterNoWorkersIsUnavailable: an empty fleet answers with the
+// substrate sentinel so the serving layer maps it to 503, not 400.
+func TestClusterNoWorkersIsUnavailable(t *testing.T) {
+	f := startFleet(t, 0, nil)
+	_, _, err := f.coordEng.RunOneCtx(context.Background(), sweep.Job{Seed: 1})
+	if err == nil {
+		t.Fatal("dispatch with no workers succeeded")
+	}
+	if !errors.Is(err, sweep.ErrUnavailable) {
+		t.Errorf("error %v does not wrap sweep.ErrUnavailable", err)
+	}
+	if n := f.metric(t, "ringsim_cluster_no_worker_errors_total"); n < 1 {
+		t.Errorf("no-worker errors = %d, want >= 1", n)
+	}
+}
+
+// TestClusterPermanentJobErrorDoesNotRetry: a 422 from a worker is the
+// job's fault; the coordinator must fail it immediately rather than
+// burning attempts on healthy workers.
+func TestClusterPermanentJobErrorDoesNotRetry(t *testing.T) {
+	boom := func(j sweep.Job) (*core.Metrics, error) { return nil, errors.New("boom") }
+	f := startFleet(t, 2, map[string]sweep.Executor{"boom": boom})
+
+	_, _, err := f.coordEng.RunOneCtx(context.Background(), sweep.Job{Kind: "boom", Seed: 1})
+	if err == nil {
+		t.Fatal("job with failing executor succeeded")
+	}
+	if errors.Is(err, sweep.ErrUnavailable) {
+		t.Errorf("permanent job error %v wrongly marked unavailable", err)
+	}
+	if steals := f.metric(t, "ringsim_cluster_steals_total"); steals != 0 {
+		t.Errorf("steals = %d after permanent error, want 0", steals)
+	}
+	for _, m := range f.coord.Workers() {
+		if !m.Live {
+			t.Errorf("worker %s marked down by a job error", m.ID)
+		}
+	}
+}

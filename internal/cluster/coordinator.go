@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// HeartbeatTTL is how stale a worker's heartbeat may grow before
+	// the worker is considered down (default 5s).
+	HeartbeatTTL time.Duration
+	// ExecTimeout bounds one remote job execution (default 10m). It is
+	// deliberately independent of request deadlines: an admitted job
+	// keeps computing on its worker even after the submitting client's
+	// deadline fires, preserving the serving layer's work-conservation
+	// contract across the network hop.
+	ExecTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per job across distinct
+	// workers (default 3). Attempt 1 is the placed dispatch; further
+	// attempts are steals by the next live owner.
+	MaxAttempts int
+	// RetryBackoff is the base delay between attempts, doubled each
+	// retry (default 100ms).
+	RetryBackoff time.Duration
+	// VirtualNodes is the consistent-hash ring's per-worker point
+	// count (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Client is the HTTP client for worker calls. Its timeout is
+	// ignored for exec (ExecTimeout governs); default has no timeout.
+	Client *http.Client
+}
+
+// Coordinator is the fleet's control plane: worker registry, job
+// dispatcher, and result relay. It plugs into the existing stack at
+// two seams — Execute is a sweep.Executor, so the engine's
+// singleflight, caching, stats, and progress events all apply to
+// remote jobs unchanged; LookupFallback extends the serving layer's
+// GET-by-hash miss path across the fleet. Construct with
+// NewCoordinator, then BindEngine the engine whose executor it is.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	client *http.Client
+	reg    *registry
+	mux    *http.ServeMux
+
+	engMu sync.RWMutex
+	eng   *sweep.Engine
+
+	mu sync.Mutex
+	// Dispatch accounting. homeDispatches + forwards + steals counts
+	// every exec POST that reached a worker and returned a result;
+	// execFailures counts attempts that failed (each is followed by a
+	// steal, a no-worker error, or attempt exhaustion), so the metrics
+	// account for every dispatch decision the coordinator ever made.
+	homeDispatches uint64
+	forwards       uint64
+	steals         uint64
+	execFailures   uint64
+	noWorker       uint64
+	peerFetches    uint64
+	perWorkerDone  map[string]uint64
+}
+
+// NewCoordinator returns a Coordinator with an empty fleet.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if opts.HeartbeatTTL <= 0 {
+		opts.HeartbeatTTL = 5 * time.Second
+	}
+	if opts.ExecTimeout <= 0 {
+		opts.ExecTimeout = 10 * time.Minute
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	c := &Coordinator{
+		opts:          opts,
+		client:        client,
+		reg:           newRegistry(opts.HeartbeatTTL, opts.VirtualNodes),
+		mux:           http.NewServeMux(),
+		perWorkerDone: make(map[string]uint64),
+	}
+	c.mux.HandleFunc("POST "+pathJoin, c.handleJoin)
+	c.mux.HandleFunc("POST "+pathHeartbeat, c.handleHeartbeat)
+	c.mux.HandleFunc("POST "+pathLeave, c.handleLeave)
+	c.mux.HandleFunc("GET "+pathResults+"{hash}", c.handleResult)
+	return c
+}
+
+// BindEngine attaches the engine the coordinator adopts peer-fetched
+// results into. The engine must name c.Execute as its executor.
+func (c *Coordinator) BindEngine(e *sweep.Engine) {
+	c.engMu.Lock()
+	c.eng = e
+	c.engMu.Unlock()
+}
+
+func (c *Coordinator) engine() *sweep.Engine {
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	return c.eng
+}
+
+// Handler returns the coordinator's internal-API handler
+// (join, heartbeat, leave, results relay).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Workers snapshots the fleet.
+func (c *Coordinator) Workers() []MemberStatus { return c.reg.status() }
+
+// Execute is the dispatcher: it places the job's content hash on the
+// consistent-hash ring, forwards the job to the chosen worker, and
+// returns the worker's metrics. A worker loss or timeout marks the
+// worker down and the next live owner steals the job, with exponential
+// backoff between attempts; a permanent job error (the worker answered
+// 422) fails immediately. It satisfies sweep.Executor, so it runs
+// under the coordinator engine's singleflight — concurrent identical
+// submissions dispatch once.
+func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
+	job = job.Normalize()
+	hash := job.Hash()
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode job: %v", err)
+	}
+	tried := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.opts.RetryBackoff << (attempt - 1))
+		}
+		pl, ok := c.reg.pick(hash, tried)
+		if !ok {
+			c.count(func() { c.noWorker++ })
+			if lastErr != nil {
+				return nil, fmt.Errorf("cluster: job %s lost its worker and no live worker remains to steal it: %v: %w", hash[:12], lastErr, sweep.ErrUnavailable)
+			}
+			return nil, fmt.Errorf("cluster: no live workers: %w", sweep.ErrUnavailable)
+		}
+		tried[pl.id] = true
+		c.count(func() {
+			switch {
+			case attempt > 0:
+				c.steals++
+			case pl.homeless:
+				c.forwards++
+			default:
+				c.homeDispatches++
+			}
+		})
+		m, permanent, execErr := c.execOn(pl, body, hash)
+		c.reg.release(pl.id)
+		if execErr == nil {
+			c.count(func() { c.perWorkerDone[pl.id]++ })
+			return m, nil
+		}
+		if permanent {
+			return nil, execErr
+		}
+		// Worker trouble: mark it down so new placements skip it until
+		// it heartbeats back, and let the next live owner steal the job.
+		c.reg.markDown(pl.id)
+		c.count(func() { c.execFailures++ })
+		lastErr = execErr
+	}
+	return nil, fmt.Errorf("cluster: job %s failed on %d workers: %v: %w",
+		hash[:12], c.opts.MaxAttempts, lastErr, sweep.ErrUnavailable)
+}
+
+// execOn runs one exec POST against one worker. permanent=true marks
+// job errors retrying cannot fix.
+func (c *Coordinator) execOn(pl placement, body []byte, hash string) (m *core.Metrics, permanent bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ExecTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", pl.addr+pathExec, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: exec on %s: %v", pl.id, err)
+	}
+	defer drainClose(resp)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusUnprocessableEntity || resp.StatusCode == http.StatusBadRequest:
+		var eb execErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return nil, true, fmt.Errorf("cluster: worker %s: %s", pl.id, eb.Error)
+	default:
+		return nil, false, fmt.Errorf("cluster: exec on %s: status %d", pl.id, resp.StatusCode)
+	}
+	var res sweep.Result
+	if derr := json.NewDecoder(resp.Body).Decode(&res); derr != nil {
+		return nil, false, fmt.Errorf("cluster: exec on %s: bad result: %v", pl.id, derr)
+	}
+	// The integrity gate of the replicated tier: the worker must return
+	// exactly the job we sent, under exactly the hash we computed.
+	if res.Hash != hash || res.Job.Hash() != hash {
+		return nil, false, fmt.Errorf("cluster: exec on %s: result hash mismatch (got %s want %s)", pl.id, res.Hash, hash)
+	}
+	return res.Metrics(), false, nil
+}
+
+// count runs a mutation of the dispatch counters under the lock.
+func (c *Coordinator) count(fn func()) {
+	c.mu.Lock()
+	fn()
+	c.mu.Unlock()
+}
+
+// LookupFallback is the coordinator's public-API miss path: a hash the
+// local engine cannot answer is fetched from the fleet (the hash's
+// ring owners first), verified, and adopted into the local cache so
+// the next lookup is local. It satisfies serve.Options.LookupFallback.
+func (c *Coordinator) LookupFallback(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool) {
+	if !sweep.ValidHash(hash) {
+		return nil, sweep.SourceComputed, false
+	}
+	for _, addr := range c.reg.liveAddrs(hash) {
+		res, ok := fetchResult(ctx, c.client, addr+pathResults+hash, hash)
+		if !ok {
+			continue
+		}
+		if eng := c.engine(); eng != nil {
+			if err := eng.Adopt(res); err != nil {
+				continue
+			}
+		}
+		c.count(func() { c.peerFetches++ })
+		return res, sweep.SourcePeer, true
+	}
+	return nil, sweep.SourceComputed, false
+}
+
+// handleJoin serves POST /internal/v1/join.
+func (c *Coordinator) handleJoin(rw http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeExecError(rw, http.StatusBadRequest, "bad join: %v", err)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		writeExecError(rw, http.StatusBadRequest, "join needs id and addr")
+		return
+	}
+	c.reg.join(req)
+	rw.WriteHeader(http.StatusOK)
+}
+
+// handleHeartbeat serves POST /internal/v1/heartbeat. 404 tells the
+// worker its registration is gone (coordinator restart) and it must
+// re-join.
+func (c *Coordinator) handleHeartbeat(rw http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeExecError(rw, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if !c.reg.beat(req) {
+		writeExecError(rw, http.StatusNotFound, "unknown worker %q; re-join", req.ID)
+		return
+	}
+	rw.WriteHeader(http.StatusOK)
+}
+
+// handleLeave serves POST /internal/v1/leave.
+func (c *Coordinator) handleLeave(rw http.ResponseWriter, r *http.Request) {
+	var req LeaveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeExecError(rw, http.StatusBadRequest, "bad leave: %v", err)
+		return
+	}
+	c.reg.leave(req.ID)
+	rw.WriteHeader(http.StatusOK)
+}
+
+// handleResult serves GET /internal/v1/results/{hash}: the
+// coordinator tier of the replicated result store. It consults the
+// local engine caches, then the fleet; workers use it as their
+// fallback, so a result computed anywhere is reachable from
+// everywhere. Lookups never compute.
+func (c *Coordinator) handleResult(rw http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !sweep.ValidHash(hash) {
+		writeExecError(rw, http.StatusBadRequest, "bad hash %q", hash)
+		return
+	}
+	if eng := c.engine(); eng != nil {
+		if res, src, ok := eng.Lookup(hash); ok {
+			rw.Header().Set(headerSource, src.String())
+			writeResultJSON(rw, res)
+			return
+		}
+	}
+	if res, src, ok := c.LookupFallback(r.Context(), hash); ok {
+		rw.Header().Set(headerSource, src.String())
+		writeResultJSON(rw, res)
+		return
+	}
+	writeExecError(rw, http.StatusNotFound, "no result for hash %s", hash)
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the cluster plane's Prometheus series, following
+// the ringsim_<subsystem>_<name>_<unit> naming contract. It satisfies
+// serve.Options.ExtraMetrics, so the coordinator's /metrics page
+// carries the fleet view next to the engine and serving series.
+//
+// Accounting invariant: every dispatch decision appears exactly once in
+// ringsim_cluster_dispatches_total (outcome home|forward|steal), every
+// failed attempt in ringsim_cluster_exec_failures_total, and every
+// submission the fleet could not take in
+// ringsim_cluster_no_worker_errors_total — so forwards and steals are
+// fully accounted for across a run.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
+	home, forwards, steals := c.homeDispatches, c.forwards, c.steals
+	failures, noWorker, peer := c.execFailures, c.noWorker, c.peerFetches
+	done := make(map[string]uint64, len(c.perWorkerDone))
+	for k, v := range c.perWorkerDone {
+		done[k] = v
+	}
+	c.mu.Unlock()
+
+	members := c.reg.status()
+	var live, downN int
+	for _, m := range members {
+		if m.Live {
+			live++
+		} else {
+			downN++
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP ringsim_cluster_workers Registered workers by liveness state.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_workers gauge")
+	fmt.Fprintf(w, "ringsim_cluster_workers{state=\"live\"} %d\n", live)
+	fmt.Fprintf(w, "ringsim_cluster_workers{state=\"down\"} %d\n", downN)
+
+	fmt.Fprintln(w, "# HELP ringsim_cluster_dispatches_total Job dispatches by outcome: home (consistent-hash owner), forward (overflow to a less-loaded worker), steal (re-dispatch after a worker loss or timeout).")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_dispatches_total counter")
+	fmt.Fprintf(w, "ringsim_cluster_dispatches_total{outcome=\"home\"} %d\n", home)
+	fmt.Fprintf(w, "ringsim_cluster_dispatches_total{outcome=\"forward\"} %d\n", forwards)
+	fmt.Fprintf(w, "ringsim_cluster_dispatches_total{outcome=\"steal\"} %d\n", steals)
+	fmt.Fprintln(w, "# HELP ringsim_cluster_forwards_total Jobs placed on a non-home worker because the home was saturated.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_forwards_total counter")
+	fmt.Fprintf(w, "ringsim_cluster_forwards_total %d\n", forwards)
+	fmt.Fprintln(w, "# HELP ringsim_cluster_steals_total Jobs re-dispatched to another worker after a worker loss or timeout.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_steals_total counter")
+	fmt.Fprintf(w, "ringsim_cluster_steals_total %d\n", steals)
+	fmt.Fprintln(w, "# HELP ringsim_cluster_exec_failures_total Dispatch attempts that failed with worker trouble (each is followed by a steal or a terminal error).")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_exec_failures_total counter")
+	fmt.Fprintf(w, "ringsim_cluster_exec_failures_total %d\n", failures)
+	fmt.Fprintln(w, "# HELP ringsim_cluster_no_worker_errors_total Submissions rejected because no live worker could take them.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_no_worker_errors_total counter")
+	fmt.Fprintf(w, "ringsim_cluster_no_worker_errors_total %d\n", noWorker)
+	fmt.Fprintln(w, "# HELP ringsim_cluster_peer_fetches_total Results fetched from a peer's cache tier and adopted locally.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_peer_fetches_total counter")
+	fmt.Fprintf(w, "ringsim_cluster_peer_fetches_total %d\n", peer)
+
+	if len(members) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# HELP ringsim_cluster_worker_inflight Coordinator-side dispatches currently outstanding per worker.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_worker_inflight gauge")
+	for _, m := range members {
+		fmt.Fprintf(w, "ringsim_cluster_worker_inflight{worker=%q} %d\n", m.ID, m.Outstanding)
+	}
+	fmt.Fprintln(w, "# HELP ringsim_cluster_heartbeat_age_seconds Seconds since each worker's last heartbeat or join.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_heartbeat_age_seconds gauge")
+	for _, m := range members {
+		fmt.Fprintf(w, "ringsim_cluster_heartbeat_age_seconds{worker=%q} %g\n", m.ID, m.HeartbeatAge.Seconds())
+	}
+	fmt.Fprintln(w, "# HELP ringsim_cluster_worker_done_total Dispatches each worker completed for this coordinator.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_worker_done_total counter")
+	for _, m := range members {
+		fmt.Fprintf(w, "ringsim_cluster_worker_done_total{worker=%q} %d\n", m.ID, done[m.ID])
+	}
+	fmt.Fprintln(w, "# HELP ringsim_cluster_worker_spans_total Coherence-transaction spans each worker's engine observed (from heartbeats) — worker identity over the obs aggregates.")
+	fmt.Fprintln(w, "# TYPE ringsim_cluster_worker_spans_total counter")
+	for _, m := range members {
+		fmt.Fprintf(w, "ringsim_cluster_worker_spans_total{worker=%q} %d\n", m.ID, m.Spans)
+	}
+}

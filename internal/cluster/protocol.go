@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"repro/internal/sweep"
+)
+
+// Internal API routes. The coordinator serves join/heartbeat/leave and
+// a results relay; workers serve exec/results/health. Both live under
+// /internal/v1/ so deployments can firewall the plane off from the
+// public /v1/ API.
+const (
+	pathJoin      = "/internal/v1/join"
+	pathHeartbeat = "/internal/v1/heartbeat"
+	pathLeave     = "/internal/v1/leave"
+	pathExec      = "/internal/v1/exec"
+	pathResults   = "/internal/v1/results/"
+	pathHealth    = "/internal/v1/health"
+)
+
+// Response headers the exec and results endpoints attach, so callers
+// (and tests) can see which node answered and from which cache tier.
+const (
+	headerWorker = "X-Ringsim-Worker"
+	headerSource = "X-Ringsim-Source"
+)
+
+// JoinRequest registers (or re-registers) a worker with the
+// coordinator. Joins are idempotent: a worker that lost its heartbeat
+// or restarted re-joins under the same ID and resumes its ring
+// position without moving any keys.
+type JoinRequest struct {
+	// ID is the worker's stable identity (ring membership key).
+	ID string `json:"id"`
+	// Addr is the base URL where the worker's internal API listens.
+	Addr string `json:"addr"`
+	// Workers is the worker engine's execution parallelism — the
+	// coordinator's per-worker capacity hint for overflow forwarding.
+	Workers int `json:"workers"`
+}
+
+// HeartbeatRequest is the periodic liveness + load report.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+	// InFlight is the worker's current internal-exec in-flight gauge.
+	InFlight int `json:"in_flight"`
+	// Stats is the worker engine's counter snapshot; the coordinator
+	// surfaces per-worker done/span aggregates from it.
+	Stats sweep.Stats `json:"stats"`
+}
+
+// LeaveRequest removes a worker from the ring (graceful drain).
+type LeaveRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerHealth is the worker's GET /internal/v1/health body.
+type WorkerHealth struct {
+	ID       string      `json:"id"`
+	InFlight int         `json:"in_flight"`
+	Workers  int         `json:"workers"`
+	Stats    sweep.Stats `json:"stats"`
+}
+
+// execErrorBody is the exec endpoint's error envelope. Status 422
+// marks a permanent job error (retrying on another worker cannot
+// help); 5xx marks worker trouble the coordinator should retry.
+type execErrorBody struct {
+	Error string `json:"error"`
+}

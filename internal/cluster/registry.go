@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// memberState is a worker's liveness as the coordinator sees it.
+type memberState int
+
+const (
+	// stateLive: joined, heartbeating within TTL, dispatchable.
+	stateLive memberState = iota
+	// stateDown: joined but unreachable (missed TTL or a dispatch
+	// failed). Down members keep their ring position — a blip must not
+	// reshuffle placement — but receive no work until they re-join or
+	// heartbeat again.
+	stateDown
+)
+
+// member is one registered worker.
+type member struct {
+	ID       string
+	Addr     string
+	Capacity int
+
+	// Mutated under registry.mu.
+	lastBeat    time.Time
+	down        bool
+	outstanding int // coordinator-side dispatches currently on this worker
+	reported    sweep.Stats
+	reportedInF int
+}
+
+// MemberStatus is an exported snapshot of one worker for health and
+// metrics rendering.
+type MemberStatus struct {
+	ID           string        `json:"id"`
+	Addr         string        `json:"addr"`
+	Capacity     int           `json:"capacity"`
+	Live         bool          `json:"live"`
+	Outstanding  int           `json:"outstanding"`
+	HeartbeatAge time.Duration `json:"heartbeat_age_ns"`
+	Done         int           `json:"done"`
+	Computed     int           `json:"computed"`
+	Spans        uint64        `json:"spans"`
+}
+
+// registry tracks the worker fleet: membership, liveness, load, and
+// the consistent-hash ring that places job hashes onto it.
+type registry struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	members map[string]*member
+	ring    *HashRing
+	now     func() time.Time // test hook
+}
+
+func newRegistry(ttl time.Duration, vnodes int) *registry {
+	return &registry{
+		ttl:     ttl,
+		members: make(map[string]*member),
+		ring:    NewHashRing(vnodes),
+		now:     time.Now,
+	}
+}
+
+// join registers a worker (idempotently) and marks it live.
+func (g *registry) join(req JoinRequest) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[req.ID]
+	if !ok {
+		m = &member{ID: req.ID}
+		g.members[req.ID] = m
+		g.ring.Add(req.ID)
+	}
+	m.Addr = req.Addr
+	m.Capacity = req.Workers
+	if m.Capacity <= 0 {
+		m.Capacity = 1
+	}
+	m.lastBeat = g.now()
+	m.down = false
+}
+
+// leave removes a worker from the ring entirely (graceful drain).
+func (g *registry) leave(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[id]; !ok {
+		return
+	}
+	delete(g.members, id)
+	g.ring.Remove(id)
+}
+
+// beat records a heartbeat; false means the worker is unknown and must
+// re-join (e.g. the coordinator restarted).
+func (g *registry) beat(req HeartbeatRequest) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[req.ID]
+	if !ok {
+		return false
+	}
+	m.lastBeat = g.now()
+	m.down = false
+	m.reported = req.Stats
+	m.reportedInF = req.InFlight
+	return true
+}
+
+// markDown flags a worker after a failed dispatch so subsequent picks
+// skip it until it heartbeats or re-joins.
+func (g *registry) markDown(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m, ok := g.members[id]; ok {
+		m.down = true
+	}
+}
+
+// alive reports liveness under the lock: not down and within TTL.
+func (g *registry) aliveLocked(m *member) bool {
+	return !m.down && g.now().Sub(m.lastBeat) <= g.ttl
+}
+
+// placement is one dispatch decision.
+type placement struct {
+	id       string
+	addr     string
+	homeless bool // true when the chosen worker is not the key's home
+}
+
+// pick chooses the worker for a job hash, excluding IDs already tried
+// this dispatch. The key's home (first live owner in ring order) wins
+// unless it is saturated (outstanding >= capacity) while another live
+// candidate has free slots — then the least-loaded such candidate
+// takes the job (a forward). When every candidate is saturated the
+// home keeps it and the job queues on the worker's engine semaphore.
+// The chosen worker's outstanding gauge is incremented; callers must
+// release() it when the dispatch resolves. Returns false when no live
+// untried worker exists.
+func (g *registry) pick(hash string, tried map[string]bool) (placement, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := g.ring.Sequence(hash, 0)
+	var home *member
+	var candidates []*member
+	for _, id := range seq {
+		m, ok := g.members[id]
+		if !ok || tried[id] || !g.aliveLocked(m) {
+			continue
+		}
+		if home == nil {
+			home = m
+		}
+		candidates = append(candidates, m)
+	}
+	if home == nil {
+		return placement{}, false
+	}
+	chosen := home
+	if home.outstanding >= home.Capacity {
+		best := home
+		for _, m := range candidates[1:] {
+			if m.outstanding >= m.Capacity {
+				continue
+			}
+			if best == home || m.outstanding < best.outstanding {
+				best = m
+			}
+		}
+		chosen = best
+	}
+	chosen.outstanding++
+	return placement{id: chosen.ID, addr: chosen.Addr, homeless: chosen != home}, true
+}
+
+// release returns a dispatch slot taken by pick.
+func (g *registry) release(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m, ok := g.members[id]; ok && m.outstanding > 0 {
+		m.outstanding--
+	}
+}
+
+// liveAddrs returns the internal-API base URLs of live workers, the
+// key's owners first when a hash is given (peer fetch asks the nodes
+// most likely to hold the result before sweeping the rest).
+func (g *registry) liveAddrs(hash string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var order []string
+	if hash != "" {
+		order = g.ring.Sequence(hash, 0)
+	} else {
+		order = g.ring.Members()
+	}
+	out := make([]string, 0, len(order))
+	for _, id := range order {
+		if m, ok := g.members[id]; ok && g.aliveLocked(m) {
+			out = append(out, m.Addr)
+		}
+	}
+	return out
+}
+
+// status snapshots every member for health/metrics rendering, sorted
+// by ID for deterministic output.
+func (g *registry) status() []MemberStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]MemberStatus, 0, len(g.members))
+	for _, m := range g.members {
+		out = append(out, MemberStatus{
+			ID:           m.ID,
+			Addr:         m.Addr,
+			Capacity:     m.Capacity,
+			Live:         g.aliveLocked(m),
+			Outstanding:  m.outstanding,
+			HeartbeatAge: g.now().Sub(m.lastBeat),
+			Done:         m.reported.Done,
+			Computed:     m.reported.Computed,
+			Spans:        m.reported.SpansObserved,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func regWith(t *testing.T, ttl time.Duration, ids ...string) (*registry, *time.Time) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	g := newRegistry(ttl, 0)
+	g.now = func() time.Time { return now }
+	for _, id := range ids {
+		g.join(JoinRequest{ID: id, Addr: "http://" + id, Workers: 1})
+	}
+	return g, &now
+}
+
+func someHash() string { return sweep.Job{Seed: 1}.Normalize().Hash() }
+
+// TestRegistryForwardOnSaturation: the home owner takes its hash until
+// its capacity is full, then the job forwards to a live worker with
+// free slots; when everyone is saturated the home queues it.
+func TestRegistryForwardOnSaturation(t *testing.T) {
+	g, _ := regWith(t, time.Minute, "w0", "w1")
+	h := someHash()
+
+	p1, ok := g.pick(h, nil)
+	if !ok || p1.homeless {
+		t.Fatalf("first pick: %+v ok=%v, want the home", p1, ok)
+	}
+	p2, ok := g.pick(h, nil)
+	if !ok {
+		t.Fatal("second pick failed")
+	}
+	if !p2.homeless || p2.id == p1.id {
+		t.Errorf("second pick %+v, want a forward off saturated home %s", p2, p1.id)
+	}
+	// Both capacity-1 workers saturated: the home keeps the overflow.
+	p3, ok := g.pick(h, nil)
+	if !ok || p3.id != p1.id || p3.homeless {
+		t.Errorf("third pick %+v, want home %s queuing the overflow", p3, p1.id)
+	}
+	// Releases drain the gauges back to placable state.
+	g.release(p1.id)
+	g.release(p2.id)
+	g.release(p3.id)
+	p4, ok := g.pick(h, nil)
+	if !ok || p4.id != p1.id || p4.homeless {
+		t.Errorf("pick after release %+v, want the home again", p4)
+	}
+}
+
+// TestRegistryLiveness: a worker whose heartbeat outlives the TTL (or
+// that a dispatch marked down) stops receiving work without losing its
+// ring position; a beat or re-join restores it.
+func TestRegistryLiveness(t *testing.T) {
+	g, now := regWith(t, 5*time.Second, "w0", "w1")
+	h := someHash()
+	home, _ := g.pick(h, nil)
+	g.release(home.id)
+
+	// Stale heartbeat: the home misses TTL, the other worker inherits.
+	*now = now.Add(6 * time.Second)
+	g.beat(HeartbeatRequest{ID: otherOf(home.id)})
+	p, ok := g.pick(h, nil)
+	if !ok || p.id != otherOf(home.id) {
+		t.Fatalf("pick with stale home = %+v ok=%v, want %s", p, ok, otherOf(home.id))
+	}
+	g.release(p.id)
+
+	// The home beats again: placement snaps back — the blip never
+	// removed it from the ring.
+	if !g.beat(HeartbeatRequest{ID: home.id}) {
+		t.Fatal("beat for known worker rejected")
+	}
+	p, _ = g.pick(h, nil)
+	if p.id != home.id {
+		t.Errorf("pick after recovery = %s, want home %s", p.id, home.id)
+	}
+	g.release(p.id)
+
+	// markDown has the same effect as a missed TTL.
+	g.markDown(home.id)
+	p, _ = g.pick(h, nil)
+	if p.id != otherOf(home.id) {
+		t.Errorf("pick with downed home = %s, want %s", p.id, otherOf(home.id))
+	}
+	g.release(p.id)
+
+	// A beat from an unknown worker demands a re-join.
+	if g.beat(HeartbeatRequest{ID: "stranger"}) {
+		t.Error("beat for unregistered worker accepted")
+	}
+
+	// leave removes the member from ring and registry entirely.
+	g.leave(home.id)
+	g.leave(otherOf(home.id))
+	if _, ok := g.pick(h, nil); ok {
+		t.Error("pick succeeded on an empty fleet")
+	}
+}
+
+func otherOf(id string) string {
+	if id == "w0" {
+		return "w1"
+	}
+	return "w0"
+}
+
+// TestRegistryTriedExclusion: pick never returns a worker the dispatch
+// already tried, which is what lets a steal move to a distinct owner.
+func TestRegistryTriedExclusion(t *testing.T) {
+	g, _ := regWith(t, time.Minute, "w0", "w1", "w2")
+	h := someHash()
+	tried := make(map[string]bool)
+	var order []string
+	for {
+		p, ok := g.pick(h, tried)
+		if !ok {
+			break
+		}
+		tried[p.id] = true
+		order = append(order, p.id)
+	}
+	if len(order) != 3 {
+		t.Fatalf("exhaustive picks visited %d workers, want 3: %v", len(order), order)
+	}
+}

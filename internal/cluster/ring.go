@@ -1,0 +1,182 @@
+// Package cluster is the distributed sweep plane: it promotes the
+// single-process sweep engine + serving layer into a coordinator and a
+// fleet of worker daemons.
+//
+// The design leans entirely on the content-addressed Job/Result model:
+// a job's SHA-256 content hash both names its result and places it on
+// the fleet (consistent hashing with virtual nodes), so placement is
+// deterministic for a fixed member set, retry and replication are
+// idempotent, and any node can answer a result lookup byte-identically
+// regardless of which worker executed the job.
+//
+// Three pieces:
+//
+//   - HashRing: consistent-hash placement of job hashes onto workers,
+//     with virtual nodes for balance and bounded key movement on
+//     join/leave.
+//   - Worker: the daemon side — an internal HTTP API (exec, results,
+//     health) wrapping a local sweep.Engine, plus the join/heartbeat
+//     loop against the coordinator.
+//   - Coordinator: the registry and dispatcher — it installs itself
+//     as the engine's Executor, so the public serving layer keeps its
+//     admission, deadline, SSE, and caching semantics unchanged while
+//     jobs execute remotely; on worker loss or timeout in-flight jobs
+//     are stolen by the next live owner with bounded retry + backoff.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count. 128 points
+// keeps per-member load within a few percent of fair share for small
+// fleets while keeping ring rebuilds cheap.
+const DefaultVirtualNodes = 128
+
+// HashRing is a consistent-hash ring over named members. Keys (job
+// content hashes) map to the member owning the first virtual node at
+// or after the key's point on the ring; adding or removing one member
+// moves only the keys adjacent to its virtual nodes. The ring is
+// rebuilt from the member set on every membership change, so placement
+// is a pure function of the current members — join order never matters
+// — which is what makes coordinator restarts deterministic.
+//
+// A HashRing is safe for concurrent use.
+type HashRing struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []uint64          // sorted virtual-node positions
+	owner   map[uint64]string // position -> member
+	members map[string]struct{}
+}
+
+// NewHashRing returns an empty ring; vnodes <= 0 selects
+// DefaultVirtualNodes.
+func NewHashRing(vnodes int) *HashRing {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &HashRing{
+		vnodes:  vnodes,
+		owner:   make(map[uint64]string),
+		members: make(map[string]struct{}),
+	}
+}
+
+// ringPoint hashes one virtual node of a member to its ring position.
+func ringPoint(member string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", member, vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// KeyPoint hashes a key (a job content hash) to its ring position.
+func KeyPoint(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member. Adding a present member is a no-op.
+func (r *HashRing) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	r.rebuild()
+}
+
+// Remove deletes a member. Removing an absent member is a no-op.
+func (r *HashRing) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	r.rebuild()
+}
+
+// rebuild recomputes the point set from the members. A 64-bit point
+// collision between distinct (member, vnode) pairs is broken by the
+// smaller member name, keeping placement order-independent; across a
+// few thousand points the case is astronomically unlikely anyway.
+// Callers hold r.mu.
+func (r *HashRing) rebuild() {
+	r.points = r.points[:0]
+	clear(r.owner)
+	for m := range r.members {
+		for v := 0; v < r.vnodes; v++ {
+			p := ringPoint(m, v)
+			if cur, taken := r.owner[p]; taken && cur < m {
+				continue
+			} else if !taken {
+				r.points = append(r.points, p)
+			}
+			r.owner[p] = m
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i] < r.points[j] })
+}
+
+// Members returns the member set in sorted order.
+func (r *HashRing) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *HashRing) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member owning a key, or false on an empty ring.
+func (r *HashRing) Owner(key string) (string, bool) {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return "", false
+	}
+	return seq[0], true
+}
+
+// Sequence returns up to n distinct members in ring order starting
+// from the key's position — the key's home first, then the members
+// that inherit it if earlier candidates are unavailable. n <= 0 means
+// every member.
+func (r *HashRing) Sequence(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	kp := KeyPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= kp })
+	seen := make(map[string]struct{}, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		m := r.owner[p]
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys fabricates n distinct well-formed job-hash-like keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i+1)
+	}
+	return keys
+}
+
+func placeAll(r *HashRing, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, ok := r.Owner(k)
+		if !ok {
+			continue
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// TestRingPlacement drives the core placement properties as a table
+// over member sets.
+func TestRingPlacement(t *testing.T) {
+	keys := testKeys(10000)
+	cases := []struct {
+		name    string
+		members []string
+		// maxImbalance bounds each member's share relative to fair
+		// share (1.0 = perfectly even).
+		maxImbalance float64
+	}{
+		{"single", []string{"w0"}, 1.0},
+		{"pair", []string{"w0", "w1"}, 1.35},
+		{"quad", []string{"w0", "w1", "w2", "w3"}, 1.35},
+		{"eight", []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}, 1.45},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewHashRing(0)
+			for _, m := range tc.members {
+				r.Add(m)
+			}
+			counts := make(map[string]int)
+			for _, k := range keys {
+				m, ok := r.Owner(k)
+				if !ok {
+					t.Fatalf("no owner for %s", k)
+				}
+				counts[m]++
+			}
+			if len(counts) != len(tc.members) {
+				t.Fatalf("only %d of %d members own keys: %v", len(counts), len(tc.members), counts)
+			}
+			fair := float64(len(keys)) / float64(len(tc.members))
+			for m, n := range counts {
+				if ratio := float64(n) / fair; ratio > tc.maxImbalance {
+					t.Errorf("member %s holds %.2fx fair share (%d keys, tolerance %.2fx)", m, ratio, n, tc.maxImbalance)
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of the
+// member set — insertion order and prior membership churn are
+// invisible.
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := testKeys(2000)
+	a := NewHashRing(0)
+	for _, m := range []string{"w0", "w1", "w2", "w3"} {
+		a.Add(m)
+	}
+	b := NewHashRing(0)
+	for _, m := range []string{"w3", "w1", "w0", "w2"} {
+		b.Add(m)
+	}
+	// c reaches the same member set through churn.
+	c := NewHashRing(0)
+	for _, m := range []string{"w9", "w0", "w1", "w8", "w2", "w3"} {
+		c.Add(m)
+	}
+	c.Remove("w9")
+	c.Remove("w8")
+
+	pa, pb, pc := placeAll(a, keys), placeAll(b, keys), placeAll(c, keys)
+	for _, k := range keys {
+		if pa[k] != pb[k] || pa[k] != pc[k] {
+			t.Fatalf("placement of %s order-dependent: %s / %s / %s", k[:12], pa[k], pb[k], pc[k])
+		}
+	}
+}
+
+// TestRingJoinMovesBoundedKeys: adding a member moves only (about) its
+// fair share of keys, every moved key moves TO the new member, and
+// removing it again restores the original placement exactly.
+func TestRingJoinMovesBoundedKeys(t *testing.T) {
+	keys := testKeys(10000)
+	r := NewHashRing(0)
+	for _, m := range []string{"w0", "w1", "w2"} {
+		r.Add(m)
+	}
+	before := placeAll(r, keys)
+
+	r.Add("w3")
+	after := placeAll(r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "w3" {
+				t.Fatalf("key %s moved %s -> %s, not to the joining member", k[:12], before[k], after[k])
+			}
+		}
+	}
+	// Fair share is 1/4; allow slack for virtual-node variance but
+	// fail on anything resembling a full reshuffle.
+	if frac := float64(moved) / float64(len(keys)); frac < 0.10 || frac > 0.40 {
+		t.Errorf("join moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+
+	r.Remove("w3")
+	restored := placeAll(r, keys)
+	for _, k := range keys {
+		if before[k] != restored[k] {
+			t.Fatalf("leave did not restore placement of %s: %s -> %s", k[:12], before[k], restored[k])
+		}
+	}
+}
+
+// TestRingSequence: the failover order starts at the home, covers all
+// distinct members, and drops a removed member without disturbing the
+// relative order of the rest.
+func TestRingSequence(t *testing.T) {
+	r := NewHashRing(0)
+	members := []string{"w0", "w1", "w2", "w3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for _, k := range testKeys(100) {
+		seq := r.Sequence(k, 0)
+		if len(seq) != len(members) {
+			t.Fatalf("sequence for %s has %d members, want %d", k[:12], len(seq), len(members))
+		}
+		owner, _ := r.Owner(k)
+		if seq[0] != owner {
+			t.Fatalf("sequence head %s != owner %s", seq[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in sequence", m)
+			}
+			seen[m] = true
+		}
+		if n2 := r.Sequence(k, 2); len(n2) != 2 || n2[0] != seq[0] || n2[1] != seq[1] {
+			t.Fatalf("Sequence(k, 2) = %v, want prefix of %v", n2, seq)
+		}
+	}
+	// The successor a key fails over to must keep its position when an
+	// unrelated member leaves.
+	k := testKeys(1)[0]
+	full := r.Sequence(k, 0)
+	r.Remove(full[3])
+	trimmed := r.Sequence(k, 0)
+	if len(trimmed) != 3 || trimmed[0] != full[0] || trimmed[1] != full[1] || trimmed[2] != full[2] {
+		t.Fatalf("removing %s disturbed sequence: %v -> %v", full[3], full, trimmed)
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate shapes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewHashRing(0)
+	if _, ok := r.Owner("00"); ok {
+		t.Error("empty ring claims an owner")
+	}
+	if seq := r.Sequence("00", 0); seq != nil {
+		t.Errorf("empty ring sequence = %v", seq)
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	if m, ok := r.Owner("anything"); !ok || m != "only" {
+		t.Errorf("single-member ring placed on %q, %v", m, ok)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after duplicate Add", r.Len())
+	}
+	r.Remove("absent") // no-op
+	r.Remove("only")
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after Remove", r.Len())
+	}
+}

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// SynthKind is the job kind of the fleet-calibration executor.
+const SynthKind = "sleep"
+
+// SynthExecutor is a fixed-service-time executor for calibrating the
+// dispatch plane: a job of kind "sleep" blocks for DataRefsPerCPU
+// microseconds, then returns metrics derived purely from the job's
+// content. It models a fleet whose workers run on their own hosts —
+// service time is independent of the coordinator host's core count —
+// which is what BENCH_5 needs to measure dispatch scaling on a
+// single-core CI machine, where CPU-bound simulations cannot speed up
+// no matter how many worker processes share the core.
+//
+// The metrics are deterministic functions of the job, so the
+// replicated-result invariant (byte-identical artifacts by hash,
+// wherever a job ran) holds for synthetic jobs exactly as it does for
+// simulations. The executor is only registered behind ringserved's
+// -synthexec flag; production fleets never expose it.
+func SynthExecutor(j sweep.Job) (*core.Metrics, error) {
+	j = j.Normalize()
+	time.Sleep(time.Duration(j.DataRefsPerCPU) * time.Microsecond)
+	m := &core.Metrics{
+		ExecTime: sim.Time(int64(j.CPUs) * int64(j.DataRefsPerCPU) * 1000),
+		BusyTime: sim.Time(int64(j.CPUs) * int64(j.DataRefsPerCPU) * 500),
+		DataRefs: uint64(j.CPUs * j.DataRefsPerCPU),
+	}
+	m.MissLatency.Observe(float64(600 + j.Seed%7))
+	return m, nil
+}

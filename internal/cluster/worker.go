@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// ID is the worker's stable identity; it is the consistent-hash
+	// ring membership key, so it should survive restarts (host:port or
+	// an operator-chosen name). Required.
+	ID string
+	// Engine is the local sweep engine that executes forwarded jobs.
+	// The engine's Workers semaphore is the worker's execution bound:
+	// however many exec requests the coordinator has in flight here, at
+	// most Engine.Workers() jobs compute at once. Required.
+	Engine *sweep.Engine
+	// Coordinator is the coordinator's base URL. Empty disables the
+	// join/heartbeat loop (an unregistered worker still serves its
+	// internal API — useful for tests).
+	Coordinator string
+	// Advertise is the base URL the coordinator should dial back; it
+	// is sent in the join request. Required when Coordinator is set.
+	Advertise string
+	// HeartbeatEvery is the heartbeat period (default 1s).
+	HeartbeatEvery time.Duration
+	// Client is the HTTP client for coordinator calls (default: 5s
+	// timeout).
+	Client *http.Client
+}
+
+// Worker is the daemon side of the cluster plane: the internal
+// job-execution API over a local engine, plus the membership loop.
+// Construct with NewWorker; it is safe for concurrent use.
+type Worker struct {
+	opts     WorkerOptions
+	client   *http.Client
+	mux      *http.ServeMux
+	inflight atomic.Int64
+}
+
+// NewWorker returns a Worker over the engine.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("cluster: worker needs an ID")
+	}
+	if opts.Engine == nil {
+		return nil, fmt.Errorf("cluster: worker needs an engine")
+	}
+	if opts.Coordinator != "" && opts.Advertise == "" {
+		return nil, fmt.Errorf("cluster: joining worker needs an advertise URL")
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	w := &Worker{opts: opts, client: client, mux: http.NewServeMux()}
+	w.mux.HandleFunc("POST "+pathExec, w.handleExec)
+	w.mux.HandleFunc("GET "+pathResults+"{hash}", w.handleResult)
+	w.mux.HandleFunc("GET "+pathHealth, w.handleHealth)
+	return w, nil
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.opts.ID }
+
+// InFlight returns the current exec in-flight gauge.
+func (w *Worker) InFlight() int { return int(w.inflight.Load()) }
+
+// Handler returns the internal-API handler (exec, results, health).
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// handleExec serves POST /internal/v1/exec: run one job through the
+// local engine and return the full Result. Execution order of events:
+// the request context gates only dispatch — once the engine has begun
+// computing, the job runs to completion and lands in the local cache
+// even if the coordinator has given up (work conservation; a stolen
+// retry elsewhere then coexists harmlessly because results are
+// content-addressed and byte-identical).
+func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
+	var job sweep.Job
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeExecError(rw, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	res, src, err := w.opts.Engine.RunOneCtx(r.Context(), job)
+	if err != nil {
+		// An executor failure is a property of the job, not the worker:
+		// 422 tells the coordinator not to burn retries elsewhere.
+		writeExecError(rw, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	rw.Header().Set(headerWorker, w.opts.ID)
+	rw.Header().Set(headerSource, src.String())
+	writeResultJSON(rw, res)
+}
+
+// handleResult serves GET /internal/v1/results/{hash}: the worker-local
+// tier of the replicated result store. Lookup never computes; it
+// consults the engine's memory map then its on-disk cache.
+func (w *Worker) handleResult(rw http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !sweep.ValidHash(hash) {
+		writeExecError(rw, http.StatusBadRequest, "bad hash %q", hash)
+		return
+	}
+	res, src, ok := w.opts.Engine.Lookup(hash)
+	if !ok {
+		writeExecError(rw, http.StatusNotFound, "no result for hash %s", hash)
+		return
+	}
+	rw.Header().Set(headerWorker, w.opts.ID)
+	rw.Header().Set(headerSource, src.String())
+	writeResultJSON(rw, res)
+}
+
+// handleHealth serves GET /internal/v1/health.
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(WorkerHealth{
+		ID:       w.opts.ID,
+		InFlight: w.InFlight(),
+		Workers:  w.opts.Engine.Workers(),
+		Stats:    w.opts.Engine.Stats(),
+	})
+}
+
+// Run joins the coordinator and heartbeats until ctx dies, re-joining
+// with backoff whenever the coordinator restarts or a beat fails. On
+// exit it sends a best-effort leave so the coordinator drops the
+// worker from the ring immediately instead of waiting out the TTL.
+// No-op when no coordinator is configured.
+func (w *Worker) Run(ctx context.Context) {
+	if w.opts.Coordinator == "" {
+		return
+	}
+	defer w.leave()
+	joined := false
+	tick := time.NewTicker(w.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		if !joined {
+			joined = w.join(ctx)
+		} else if !w.beat(ctx) {
+			joined = false
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// join registers with the coordinator; false means try again next tick.
+func (w *Worker) join(ctx context.Context) bool {
+	body, _ := json.Marshal(JoinRequest{
+		ID:      w.opts.ID,
+		Addr:    w.opts.Advertise,
+		Workers: w.opts.Engine.Workers(),
+	})
+	resp, err := w.post(ctx, w.opts.Coordinator+pathJoin, body)
+	if err != nil {
+		return false
+	}
+	drainClose(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+// beat sends one heartbeat; false means the registration was lost
+// (coordinator restart) or unreachable and the worker must re-join.
+func (w *Worker) beat(ctx context.Context) bool {
+	body, _ := json.Marshal(HeartbeatRequest{
+		ID:       w.opts.ID,
+		InFlight: w.InFlight(),
+		Stats:    w.opts.Engine.Stats(),
+	})
+	resp, err := w.post(ctx, w.opts.Coordinator+pathHeartbeat, body)
+	if err != nil {
+		return false
+	}
+	drainClose(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+// leave deregisters; errors are deliberately ignored (the TTL reaps
+// the membership anyway).
+func (w *Worker) leave() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	body, _ := json.Marshal(LeaveRequest{ID: w.opts.ID})
+	if resp, err := w.post(ctx, w.opts.Coordinator+pathLeave, body); err == nil {
+		drainClose(resp)
+	}
+}
+
+func (w *Worker) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.client.Do(req)
+}
+
+// LookupFallback is the worker's public-API miss path: a result the
+// local tiers don't hold is fetched from the coordinator's relay
+// (which consults its own cache, then the fleet) and adopted into the
+// local engine, so the next lookup is a local hit. It satisfies
+// serve.Options.LookupFallback.
+func (w *Worker) LookupFallback(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool) {
+	if w.opts.Coordinator == "" || !sweep.ValidHash(hash) {
+		return nil, sweep.SourceComputed, false
+	}
+	res, ok := fetchResult(ctx, w.client, w.opts.Coordinator+pathResults+hash, hash)
+	if !ok {
+		return nil, sweep.SourceComputed, false
+	}
+	if err := w.opts.Engine.Adopt(res); err != nil {
+		return nil, sweep.SourceComputed, false
+	}
+	return res, sweep.SourcePeer, true
+}
+
+// fetchResult GETs a result JSON from an internal results endpoint and
+// verifies its integrity: the body must decode to a Result whose
+// stored hash and recomputed job content hash both equal the hash
+// requested. Every boundary of the replicated tier applies this check,
+// so a byzantine or corrupt peer cannot poison a cache.
+func fetchResult(ctx context.Context, client *http.Client, url, hash string) (*sweep.Result, bool) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var res sweep.Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&res); err != nil {
+		return nil, false
+	}
+	if res.Hash != hash || res.Job.Hash() != hash {
+		return nil, false
+	}
+	return &res, true
+}
+
+func writeResultJSON(rw http.ResponseWriter, res *sweep.Result) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(res)
+}
+
+func writeExecError(rw http.ResponseWriter, code int, format string, args ...any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(execErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// gaugeExecutor returns an executor that tracks its own concurrency
+// high-water mark while holding each job for d.
+func gaugeExecutor(d time.Duration) (sweep.Executor, *atomic.Int64) {
+	var cur, high atomic.Int64
+	exec := func(j sweep.Job) (*core.Metrics, error) {
+		n := cur.Add(1)
+		for {
+			h := high.Load()
+			if n <= h || high.CompareAndSwap(h, n) {
+				break
+			}
+		}
+		time.Sleep(d)
+		cur.Add(-1)
+		m := &core.Metrics{
+			ExecTime: sim.Time(int64(j.CPUs) * 1000),
+			BusyTime: sim.Time(int64(j.CPUs) * 500),
+			DataRefs: uint64(j.CPUs * j.DataRefsPerCPU),
+		}
+		m.MissLatency.Observe(600)
+		return m, nil
+	}
+	return exec, &high
+}
+
+func newTestWorker(t *testing.T, id string, engWorkers int, execs map[string]sweep.Executor) (*Worker, *sweep.Engine, *httptest.Server) {
+	t.Helper()
+	eng := sweep.New(sweep.Options{Workers: engWorkers, Executors: execs})
+	w, err := NewWorker(WorkerOptions{ID: id, Engine: eng})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	return w, eng, srv
+}
+
+func postExec(t *testing.T, url string, job sweep.Job) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(job)
+	resp, err := http.Post(url+pathExec, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST exec: %v", err)
+	}
+	return resp
+}
+
+// TestWorkerExecBoundedByEngineSemaphore: the satellite contract —
+// exec requests run through the engine-global Workers semaphore, so a
+// coordinator burst of 8 concurrent jobs computes at most 2 at a time
+// on a Workers=2 engine.
+func TestWorkerExecBoundedByEngineSemaphore(t *testing.T) {
+	exec, high := gaugeExecutor(30 * time.Millisecond)
+	_, _, srv := newTestWorker(t, "w0", 2, map[string]sweep.Executor{"gauge": exec})
+
+	const burst = 8
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postExec(t, srv.URL, sweep.Job{Kind: "gauge", Seed: uint64(i + 1)})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("exec %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := high.Load(); got != 2 {
+		t.Errorf("execution high-water mark = %d, want 2 (engine Workers bound)", got)
+	}
+}
+
+// TestWorkerExecResult: a successful exec returns the full Result with
+// provenance headers, and the result lands in the worker's local tier.
+func TestWorkerExecResult(t *testing.T) {
+	exec, _ := gaugeExecutor(0)
+	w, eng, srv := newTestWorker(t, "w0", 2, map[string]sweep.Executor{"gauge": exec})
+
+	job := sweep.Job{Kind: "gauge", Seed: 7}
+	resp := postExec(t, srv.URL, job)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(headerWorker); got != "w0" {
+		t.Errorf("%s = %q, want w0", headerWorker, got)
+	}
+	if got := resp.Header.Get(headerSource); got != "computed" {
+		t.Errorf("%s = %q, want computed", headerSource, got)
+	}
+	var res sweep.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	want := job.Normalize().Hash()
+	if res.Hash != want || res.Job.Hash() != want {
+		t.Errorf("result hash %s, want %s", res.Hash, want)
+	}
+	if _, _, ok := eng.Lookup(want); !ok {
+		t.Error("result not in worker-local tier after exec")
+	}
+	if w.InFlight() != 0 {
+		t.Errorf("InFlight = %d after exec drained", w.InFlight())
+	}
+
+	// The results endpoint serves the same bytes back.
+	rr, err := http.Get(srv.URL + pathResults + want)
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d", rr.StatusCode)
+	}
+	var res2 sweep.Result
+	if err := json.NewDecoder(rr.Body).Decode(&res2); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(res.CanonicalMetrics(), res2.CanonicalMetrics()) {
+		t.Error("results endpoint returned different metrics bytes than exec")
+	}
+}
+
+// TestWorkerExecErrors: malformed jobs are 400, executor failures 422
+// (permanent — the coordinator must not retry them elsewhere).
+func TestWorkerExecErrors(t *testing.T) {
+	boom := func(j sweep.Job) (*core.Metrics, error) { return nil, fmt.Errorf("boom") }
+	_, _, srv := newTestWorker(t, "w0", 1, map[string]sweep.Executor{"boom": boom})
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"unknown field", `{"bogus_field": 1}`, http.StatusBadRequest},
+		{"executor failure", `{"kind": "boom"}`, http.StatusUnprocessableEntity},
+		{"unregistered kind", `{"kind": "no-such-kind"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+pathExec, "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			var eb execErrorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+				t.Errorf("error body missing: %v %+v", err, eb)
+			}
+		})
+	}
+}
+
+// TestWorkerResultEndpointValidation: the results tier rejects
+// malformed hashes and misses cleanly.
+func TestWorkerResultEndpointValidation(t *testing.T) {
+	_, _, srv := newTestWorker(t, "w0", 1, nil)
+
+	resp, err := http.Get(srv.URL + pathResults + "not-a-hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad hash: status %d, want 400", resp.StatusCode)
+	}
+
+	miss := sweep.Job{Seed: 99}.Normalize().Hash()
+	resp, err = http.Get(srv.URL + pathResults + miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("miss: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWorkerHealth reports identity and capacity.
+func TestWorkerHealth(t *testing.T) {
+	_, _, srv := newTestWorker(t, "w-health", 3, nil)
+	resp, err := http.Get(srv.URL + pathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h WorkerHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	if h.ID != "w-health" || h.Workers != 3 {
+		t.Errorf("health = %+v, want ID w-health Workers 3", h)
+	}
+}
+
+// TestNewWorkerValidation: constructor contract.
+func TestNewWorkerValidation(t *testing.T) {
+	eng := sweep.New(sweep.Options{Workers: 1})
+	if _, err := NewWorker(WorkerOptions{Engine: eng}); err == nil {
+		t.Error("missing ID accepted")
+	}
+	if _, err := NewWorker(WorkerOptions{ID: "w"}); err == nil {
+		t.Error("missing engine accepted")
+	}
+	if _, err := NewWorker(WorkerOptions{ID: "w", Engine: eng, Coordinator: "http://c"}); err == nil {
+		t.Error("joining worker without advertise accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// TestResultLookupFallback: on a local miss, GET /v1/results/{hash}
+// consults Options.LookupFallback (the cluster peer-fetch seam) and
+// serves what it returns; misses everywhere remain 404.
+func TestResultLookupFallback(t *testing.T) {
+	fake := &fakeExecutor{}
+	eng := sweep.New(sweep.Options{Workers: 1, Executors: map[string]sweep.Executor{"": fake.run}})
+
+	// Fabricate the result "a peer computed": run it through a separate
+	// engine so it has real bytes, but keep eng itself cold.
+	peerEng := sweep.New(sweep.Options{Workers: 1, Executors: map[string]sweep.Executor{"": fake.run}})
+	peerRes, err := peerEng.RunOne(testJob(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls int
+	_, ts := newTestServer(t, fake, Options{
+		Engine: eng,
+		LookupFallback: func(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool) {
+			calls++
+			if hash == peerRes.Hash {
+				return peerRes, sweep.SourcePeer, true
+			}
+			return nil, sweep.SourceComputed, false
+		},
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/results/" + peerRes.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 via fallback", resp.StatusCode)
+	}
+	var jr JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Hash != peerRes.Hash || jr.Source != "peer" {
+		t.Errorf("got hash %s source %q, want %s / peer", jr.Hash, jr.Source, peerRes.Hash)
+	}
+	if calls != 1 {
+		t.Errorf("fallback called %d times, want 1", calls)
+	}
+
+	// A hash no tier holds is still a clean 404.
+	miss := testJob(12).Normalize().Hash()
+	resp2, err := http.Get(ts.URL + "/v1/results/" + miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("miss status %d, want 404", resp2.StatusCode)
+	}
+	if calls != 2 {
+		t.Errorf("fallback called %d times after miss, want 2", calls)
+	}
+}
+
+// TestExtraMetricsAppended: Options.ExtraMetrics series render on
+// /metrics after the built-in registry (the coordinator uses this for
+// the ringsim_cluster_* family).
+func TestExtraMetricsAppended(t *testing.T) {
+	fake := &fakeExecutor{}
+	_, ts := newTestServer(t, fake, Options{
+		ExtraMetrics: func(w io.Writer) {
+			fmt.Fprintln(w, "ringsim_cluster_workers{state=\"live\"} 2")
+		},
+	})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `ringsim_cluster_workers{state="live"} 2`) {
+		t.Error("/metrics does not carry ExtraMetrics series")
+	}
+	if !strings.Contains(string(body), "ringsim_serve_requests_total") {
+		t.Error("/metrics lost the built-in serving series")
+	}
+}
+
+// TestUnavailableExecutorReturns503: an executor failing with
+// sweep.ErrUnavailable (a cluster with no live workers) is the
+// substrate's fault, so submissions answer 503, not 400.
+func TestUnavailableExecutorReturns503(t *testing.T) {
+	unavailable := func(j sweep.Job) (*core.Metrics, error) {
+		return nil, fmt.Errorf("cluster: no live workers: %w", sweep.ErrUnavailable)
+	}
+	eng := sweep.New(sweep.Options{Workers: 1, Executors: map[string]sweep.Executor{"": unavailable}})
+	_, ts := newTestServer(t, nil, Options{Engine: eng})
+
+	resp, body := postJob(t, ts.URL, testJob(21), "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+}

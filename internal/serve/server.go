@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -46,6 +47,15 @@ type Options struct {
 	Discipline Discipline
 	// MaxDeadline caps client-requested deadlines (default 2 minutes).
 	MaxDeadline time.Duration
+	// LookupFallback, when set, extends GET /v1/results/{hash} beyond
+	// the engine's caches: on a local miss the handler consults it with
+	// the request context (a cluster node uses it to fetch the result
+	// from its peers). It must never compute.
+	LookupFallback func(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool)
+	// ExtraMetrics, when set, is invoked at the end of /metrics to
+	// append additional exposition-format series (e.g. the cluster
+	// coordinator's ringsim_cluster_* family).
+	ExtraMetrics func(w io.Writer)
 }
 
 // Server is the HTTP serving layer. Construct with New; it is safe
@@ -56,6 +66,8 @@ type Server struct {
 	met         *metricsRegistry
 	mux         *http.ServeMux
 	maxDeadline time.Duration
+	fallback    func(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool)
+	extraMet    func(w io.Writer)
 	start       time.Time
 
 	drainOnce sync.Once
@@ -86,6 +98,8 @@ func New(opts Options) *Server {
 		met:         newMetricsRegistry(),
 		mux:         http.NewServeMux(),
 		maxDeadline: maxDeadline,
+		fallback:    opts.LookupFallback,
+		extraMet:    opts.ExtraMetrics,
 		start:       time.Now(),
 		drainCh:     make(chan struct{}),
 	}
@@ -315,6 +329,11 @@ func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, jobs []
 		case errors.Is(o.err, context.Canceled):
 			// Client went away; nothing useful to write.
 			return nil, nil, false
+		case errors.Is(o.err, sweep.ErrUnavailable):
+			// The substrate, not the request, is at fault (e.g. the
+			// cluster has no live workers): retryable, so 503.
+			writeError(w, http.StatusServiceUnavailable, "%v", o.err)
+			return nil, nil, false
 		case o.err != nil:
 			writeError(w, http.StatusBadRequest, "%v", o.err)
 			return nil, nil, false
@@ -473,6 +492,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, src, ok := s.eng.Lookup(hash)
+	if !ok && s.fallback != nil {
+		// The local tiers missed; ask the fleet. The fallback verifies
+		// integrity and adopts the result, so the next lookup is local.
+		res, src, ok = s.fallback(r.Context(), hash)
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "no result for hash %s", hash)
 		return
@@ -684,4 +708,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.met.render(w)
+	if s.extraMet != nil {
+		s.extraMet(w)
+	}
 }

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func adoptTestEngines(t *testing.T, dir string) (*Engine, *Engine) {
+	t.Helper()
+	exec := func(j Job) (*core.Metrics, error) {
+		m := &core.Metrics{DataRefs: uint64(j.CPUs * j.DataRefsPerCPU)}
+		m.MissLatency.Observe(600)
+		return m, nil
+	}
+	src := New(Options{Workers: 1, Executors: map[string]Executor{"": exec}})
+	dst := New(Options{Workers: 1, CacheDir: dir, Executors: map[string]Executor{"": exec}})
+	return src, dst
+}
+
+// TestAdopt: a result computed elsewhere enters the local tiers after
+// integrity checks, and later lookups serve the identical bytes.
+func TestAdopt(t *testing.T) {
+	src, dst := adoptTestEngines(t, t.TempDir())
+	res, err := src.RunOne(Job{CPUs: 2, DataRefsPerCPU: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := dst.Lookup(res.Hash); ok {
+		t.Fatal("destination engine already holds the result")
+	}
+	if err := dst.Adopt(res); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	got, srcTag, ok := dst.Lookup(res.Hash)
+	if !ok {
+		t.Fatal("adopted result not found")
+	}
+	if srcTag != SourceMemory {
+		t.Errorf("lookup source = %v, want memory", srcTag)
+	}
+	if !bytes.Equal(got.CanonicalMetrics(), res.CanonicalMetrics()) {
+		t.Error("adopted bytes differ from the original")
+	}
+}
+
+// TestAdoptRejectsTamperedResults: the adoption boundary is an
+// integrity gate — malformed hashes and results whose job content no
+// longer matches their claimed hash never enter a cache.
+func TestAdoptRejectsTamperedResults(t *testing.T) {
+	src, dst := adoptTestEngines(t, "")
+	res, err := src.RunOne(Job{CPUs: 2, DataRefsPerCPU: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dst.Adopt(nil); err == nil {
+		t.Error("nil result adopted")
+	}
+
+	bad := &Result{Job: res.Job, Hash: strings.Repeat("zz", 32), Snapshot: res.Snapshot}
+	if err := dst.Adopt(bad); err == nil {
+		t.Error("malformed hash adopted")
+	}
+
+	forged := &Result{Job: res.Job, Hash: res.Hash, Snapshot: res.Snapshot}
+	forged.Job.Seed++ // content no longer hashes to forged.Hash
+	if err := dst.Adopt(forged); err == nil {
+		t.Error("forged job content adopted")
+	}
+
+	if _, _, ok := dst.Lookup(res.Hash); ok {
+		t.Error("a rejected adoption still populated the cache")
+	}
+}

@@ -21,6 +21,9 @@ const (
 	SourceMemory
 	// SourceDisk marks a result replayed from the on-disk cache.
 	SourceDisk
+	// SourcePeer marks a result fetched from another cluster node's
+	// cache tier and adopted locally.
+	SourcePeer
 )
 
 // String names the source.
@@ -32,6 +35,8 @@ func (s Source) String() string {
 		return "memory"
 	case SourceDisk:
 		return "disk"
+	case SourcePeer:
+		return "peer"
 	}
 	return fmt.Sprintf("Source(%d)", int(s))
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +13,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// ErrUnavailable marks an executor failure that is a property of the
+// execution substrate, not the job: no capacity exists to run it right
+// now (e.g. a cluster with no live workers). Executors wrap it so
+// serving layers can answer 503 instead of blaming the request.
+var ErrUnavailable = errors.New("sweep: execution capacity unavailable")
 
 // Executor computes one job's metrics. Executors must be pure: the
 // returned metrics may depend only on the job's content, never on
@@ -278,6 +285,30 @@ func (e *Engine) Subscribe(buf int) (<-chan Event, func()) {
 		})
 	}
 	return ch, cancel
+}
+
+// Adopt inserts a result computed elsewhere (a cluster peer) into the
+// engine's cache tiers after verifying its integrity: the stored hash
+// must be well-formed and must equal the job's recomputed content
+// hash, so a corrupt or mislabeled artifact can never enter the cache
+// under a foreign key. Adopted results are indistinguishable from
+// locally computed ones — byte-identical by construction — and serve
+// subsequent Lookup and Run calls as memory hits.
+func (e *Engine) Adopt(res *Result) error {
+	if res == nil {
+		return fmt.Errorf("sweep: adopt nil result")
+	}
+	if !ValidHash(res.Hash) {
+		return fmt.Errorf("sweep: adopt: malformed hash %q", res.Hash)
+	}
+	if got := res.Job.Hash(); got != res.Hash {
+		return fmt.Errorf("sweep: adopt: hash %s does not match job content hash %s", res.Hash, got)
+	}
+	if perr := e.cache.put(res); perr != nil {
+		// Mirror compute: the memory tier holds it; disk is best-effort.
+		e.emit(Event{Type: EventError, Job: res.Job, Hash: res.Hash, Err: perr})
+	}
+	return nil
 }
 
 // Lookup returns the cached result for a job content hash, consulting

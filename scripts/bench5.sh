@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# bench5.sh — BENCH_5: dispatch-plane scaling of the cluster subsystem.
+#
+# Boots a coordinator plus fleets of 1, 2 and 4 workers and pushes a
+# cache-cold batch of fixed-service-time jobs (kind "sleep", enabled by
+# -synthexec) through the coordinator's public API. Every job sleeps
+# for -refs microseconds on whichever worker owns its hash, so the
+# measured quantity is the throughput of the dispatch plane itself —
+# placement, forwarding, the result relay — not the simulator, which a
+# single-core CI host could never scale across processes anyway.
+#
+# Also asserts the replicated-result invariant end to end: the bytes a
+# 2-worker fleet returns for a job are the bytes a standalone
+# -synthexec daemon returns for the same job.
+#
+# Usage: scripts/bench5.sh [out.json]   (default BENCH_5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_5.json}"
+PORT_BASE="${PORT_BASE:-19080}"
+REQUESTS="${REQUESTS:-40}"
+REFS="${REFS:-200000}" # 200 ms synthetic service time per job
+CONCURRENCY="${CONCURRENCY:-8}"
+TMP="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/ringserved" ./cmd/ringserved
+go build -o "$TMP/ringload" ./cmd/ringload
+
+wait_healthz() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$1/healthz" >/dev/null && return 0
+    sleep 0.1
+  done
+  echo "bench5: port $1 never became healthy" >&2
+  return 1
+}
+
+wait_live() { # port, count
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$1/metrics" | grep -q "ringsim_cluster_workers{state=\"live\"} $2" && return 0
+    sleep 0.1
+  done
+  echo "bench5: fleet on port $1 never reached $2 live workers" >&2
+  return 1
+}
+
+# run_fleet <nworkers> <coordport> <outjson>
+run_fleet() {
+  local n="$1" cport="$2" out="$3" fleet_pids=()
+  "$TMP/ringserved" -coordinator -synthexec -addr "127.0.0.1:$cport" \
+    -workers 16 -inflight 16 -queue 256 -execretries 3 >"$TMP/coord_$n.log" 2>&1 &
+  fleet_pids+=($!); PIDS+=($!)
+  wait_healthz "$cport"
+  for i in $(seq 1 "$n"); do
+    "$TMP/ringserved" -worker -join "http://127.0.0.1:$cport" -synthexec \
+      -addr "127.0.0.1:$((cport + i))" -workers 1 -heartbeat 200ms \
+      -id "w$i" >"$TMP/worker_${n}_$i.log" 2>&1 &
+    fleet_pids+=($!); PIDS+=($!)
+  done
+  wait_live "$cport" "$n"
+  # -jobs == -requests: every submission is a distinct, cache-cold job.
+  "$TMP/ringload" -url "http://127.0.0.1:$cport" -kind sleep -refs "$REFS" \
+    -requests "$REQUESTS" -jobs "$REQUESTS" -concurrency "$CONCURRENCY" \
+    -out "$out" >"$TMP/load_$n.log"
+  curl -sf "http://127.0.0.1:$cport/metrics" >"$TMP/metrics_$n.txt"
+  for pid in "${fleet_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${fleet_pids[@]}"; do wait "$pid" 2>/dev/null || true; done
+}
+
+echo "bench5: measuring fleet sizes 1, 2, 4 ($REQUESTS jobs x ${REFS}us)"
+run_fleet 1 "$PORT_BASE" "$TMP/fleet1.json"
+run_fleet 2 "$((PORT_BASE + 10))" "$TMP/fleet2.json"
+run_fleet 4 "$((PORT_BASE + 20))" "$TMP/fleet4.json"
+
+# Byte-identity spot check: the same sleep job through a 2-worker fleet
+# and through a standalone -synthexec daemon must serve identical
+# metrics bytes under the same hash.
+SPORT=$((PORT_BASE + 40)); CPORT=$((PORT_BASE + 50))
+"$TMP/ringserved" -addr "127.0.0.1:$SPORT" -synthexec >"$TMP/solo.log" 2>&1 &
+PIDS+=($!)
+"$TMP/ringserved" -coordinator -synthexec -addr "127.0.0.1:$CPORT" -workers 8 >"$TMP/ccoord.log" 2>&1 &
+PIDS+=($!)
+wait_healthz "$SPORT"; wait_healthz "$CPORT"
+for i in 1 2; do
+  "$TMP/ringserved" -worker -join "http://127.0.0.1:$CPORT" -synthexec \
+    -addr "127.0.0.1:$((CPORT + i))" -workers 1 -heartbeat 200ms -id "cw$i" >"$TMP/cw$i.log" 2>&1 &
+  PIDS+=($!)
+done
+wait_live "$CPORT" 2
+JOB='{"kind":"sleep","cpus":4,"data_refs_per_cpu":5000,"seed":1993}'
+curl -sf -X POST -d "$JOB" "http://127.0.0.1:$SPORT/v1/jobs?full=1" >"$TMP/solo_res.json"
+curl -sf -X POST -d "$JOB" "http://127.0.0.1:$CPORT/v1/jobs?full=1" >"$TMP/fleet_res.json"
+
+python3 - "$TMP" "$OUT" "$REQUESTS" "$REFS" "$CONCURRENCY" <<'EOF'
+import json, sys
+tmp, out, requests, refs, conc = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+
+solo = json.load(open(f"{tmp}/solo_res.json"))
+fleet = json.load(open(f"{tmp}/fleet_res.json"))
+assert solo["hash"] == fleet["hash"], (solo["hash"], fleet["hash"])
+assert solo["metrics"] == fleet["metrics"], "fleet artifact differs from single-node bytes"
+
+fleets = []
+base = None
+for n in (1, 2, 4):
+    rep = json.load(open(f"{tmp}/fleet{n}.json"))
+    assert rep["errors"] == 0, (n, rep["errors"])
+    rps = rep["req_per_sec"]
+    if base is None:
+        base = rps
+    fleets.append({
+        "workers": n,
+        "req_per_sec": round(rps, 2),
+        "wall_ms": round(1000.0 * requests / rps, 1),
+        "p50_ms": rep["p50_ms"],
+        "p99_ms": rep["p99_ms"],
+        "speedup_vs_1": round(rps / base, 2),
+    })
+
+doc = {
+    "workload": {"kind": "sleep", "service_time_us": refs,
+                 "requests": requests, "distinct_jobs": requests,
+                 "concurrency": conc},
+    "note": ("fixed-service-time jobs via -synthexec: measures the dispatch plane "
+             "(placement, forwarding, result relay), independent of host core count"),
+    "fleets": fleets,
+    "artifact_check": "fleet result byte-identical to single-node for hash " + solo["hash"],
+}
+json.dump(doc, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+s2, s4 = fleets[1]["speedup_vs_1"], fleets[2]["speedup_vs_1"]
+print(f"bench5: speedup 2w={s2}x 4w={s4}x -> {out}")
+assert s2 >= 1.6, f"2-worker speedup {s2} < 1.6"
+assert s4 >= 3.0, f"4-worker speedup {s4} < 3.0"
+EOF
