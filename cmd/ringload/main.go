@@ -18,11 +18,19 @@
 // block next to the aggregate. The /metrics scrape targets the first
 // endpoint (by convention the coordinator).
 //
+// Multi-tenant mode drives a tenant-aware server: -apikey sends one
+// Authorization: Bearer key on every request; -tenants takes
+// comma-separated label=key pairs, cycles submissions across them,
+// and the report carries per-tenant latency percentiles plus 429
+// rejection counts — the client-side view of the fair queue and
+// quota enforcement.
+//
 // Usage:
 //
 //	ringload -url http://localhost:8080 -requests 200 -jobs 8
 //	ringload -url http://localhost:8080 -concurrency 16 -out BENCH_2.json
 //	ringload -addrs http://coord:8080,http://w1:8081,http://w2:8082 -out BENCH_5.json
+//	ringload -tenants batch=bk,inter=ik -requests 400 -out BENCH_6.json
 package main
 
 import (
@@ -64,6 +72,7 @@ type report struct {
 	Requests     int     `json:"requests"`
 	Concurrency  int     `json:"concurrency"`
 	Errors       int     `json:"errors"`
+	Rejected     int     `json:"rejected,omitempty"`
 	WallNS       int64   `json:"wall_ns"`
 	ReqPerSec    float64 `json:"req_per_sec"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -79,6 +88,24 @@ type report struct {
 	// Endpoints holds the per-endpoint breakdown in -addrs order;
 	// omitted in single-endpoint runs.
 	Endpoints []endpointView `json:"endpoints,omitempty"`
+
+	// Tenants holds the per-tenant breakdown in -tenants order;
+	// omitted outside multi-tenant runs.
+	Tenants []tenantView `json:"tenants,omitempty"`
+}
+
+// tenantView is one tenant's share of a multi-tenant run. Rejected
+// counts 429 answers (rate limit or quota) — an expected shedding
+// outcome under flood, kept apart from transport/server errors.
+type tenantView struct {
+	Label        string  `json:"label"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	Rejected     int     `json:"rejected"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
 }
 
 // endpointView is one endpoint's share of a multi-endpoint run.
@@ -86,6 +113,7 @@ type endpointView struct {
 	URL          string  `json:"url"`
 	Requests     int     `json:"requests"`
 	Errors       int     `json:"errors"`
+	Rejected     int     `json:"rejected,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	P50MS        float64 `json:"p50_ms"`
 	P95MS        float64 `json:"p95_ms"`
@@ -120,6 +148,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		refs        = fs.Int("refs", 500, "data references per processor")
 		kind        = fs.String("kind", "", "job kind (empty = simulator; \"sleep\" needs a -synthexec server)")
 		deadlineMS  = fs.Int("deadline", 0, "per-request deadline_ms (0 = none)")
+		apikey      = fs.String("apikey", "", "API key sent as Authorization: Bearer on every request")
+		tenantsCSV  = fs.String("tenants", "", "comma-separated label=key pairs; submissions cycle across them and the report carries a per-tenant block (overrides -apikey)")
 		out         = fs.String("out", "", "write the report JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -143,6 +173,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	scrapeBase := endpoints[0]
+
+	// Tenant identities the submissions cycle through. Outside
+	// multi-tenant mode there is exactly one (possibly anonymous).
+	type tenantSpec struct{ label, key string }
+	tenantSpecs := []tenantSpec{{label: "", key: *apikey}}
+	multiTenant := false
+	if *tenantsCSV != "" {
+		tenantSpecs = tenantSpecs[:0]
+		multiTenant = true
+		for _, pair := range strings.Split(*tenantsCSV, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			label, key, ok := strings.Cut(pair, "=")
+			if !ok || label == "" {
+				fmt.Fprintf(stderr, "ringload: bad -tenants entry %q (want label=key)\n", pair)
+				return 1
+			}
+			tenantSpecs = append(tenantSpecs, tenantSpec{label: label, key: key})
+		}
+		if len(tenantSpecs) == 0 {
+			fmt.Fprintln(stderr, "ringload: -tenants has no entries")
+			return 1
+		}
+	}
 
 	// The workload pool: distinct points along the paper's processor
 	// cycle axis, so each job is a different simulation.
@@ -169,19 +225,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		query = fmt.Sprintf("?deadline_ms=%d", *deadlineMS)
 	}
 
-	// Per-endpoint accounting, indexed like endpoints.
-	type epCounts struct {
-		errs, hits int64
-		lats       []float64
+	// Per-endpoint and per-tenant accounting, indexed like endpoints
+	// and tenantSpecs.
+	type bucketCounts struct {
+		errs, rejected, hits int64
+		lats                 []float64
 	}
 	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		perEP   = make([]epCounts, len(endpoints))
-		nLatAll int
-		latAll  []float64
-		hitsAll int64
-		errsAll int64
+		next        atomic.Int64
+		mu          sync.Mutex
+		perEP       = make([]bucketCounts, len(endpoints))
+		perTen      = make([]bucketCounts, len(tenantSpecs))
+		nLatAll     int
+		latAll      []float64
+		hitsAll     int64
+		errsAll     int64
+		rejectedAll int64
 	)
 	client := &http.Client{}
 	before, scrapeErr := scrapeMetrics(ctx, client, scrapeBase)
@@ -197,22 +256,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 					return
 				}
 				ep := int(n % int64(len(endpoints)))
+				ti := int(n % int64(len(tenantSpecs)))
 				body := pool[n%int64(len(pool))]
 				target := endpoints[ep] + "/v1/jobs" + query
 				reqBegin := time.Now()
-				ok, cached := submit(ctx, client, target, body)
+				status, cached := submit(ctx, client, target, body, tenantSpecs[ti].key)
 				lat := time.Since(reqBegin)
 				mu.Lock()
-				if !ok {
-					perEP[ep].errs++
-					errsAll++
-				} else {
+				switch status {
+				case http.StatusOK:
 					if cached {
 						perEP[ep].hits++
+						perTen[ti].hits++
 						hitsAll++
 					}
 					perEP[ep].lats = append(perEP[ep].lats, lat.Seconds())
+					perTen[ti].lats = append(perTen[ti].lats, lat.Seconds())
 					latAll = append(latAll, lat.Seconds())
+				case http.StatusTooManyRequests:
+					// Expected shedding under flood: the fair queue or rate
+					// limiter refused, with a Retry-After hint.
+					perEP[ep].rejected++
+					perTen[ti].rejected++
+					rejectedAll++
+				default:
+					perEP[ep].errs++
+					perTen[ti].errs++
+					errsAll++
 				}
 				mu.Unlock()
 			}
@@ -226,7 +296,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	nLatAll = len(latAll)
 	if nLatAll == 0 {
-		fmt.Fprintln(stderr, "ringload: every request failed; is ringserved running at", scrapeBase, "?")
+		fmt.Fprintf(stderr, "ringload: no request succeeded (%d errors, %d rejected); is ringserved running at %s?\n",
+			errsAll, rejectedAll, scrapeBase)
 		return 1
 	}
 
@@ -236,6 +307,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Requests:     *requests,
 		Concurrency:  *concurrency,
 		Errors:       int(errsAll),
+		Rejected:     int(rejectedAll),
 		WallNS:       wall.Nanoseconds(),
 		ReqPerSec:    float64(nLatAll) / wall.Seconds(),
 		CacheHitRate: float64(hitsAll) / float64(nLatAll),
@@ -248,8 +320,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		for i, ep := range endpoints {
 			ev := endpointView{
 				URL:      ep,
-				Requests: len(perEP[i].lats) + int(perEP[i].errs),
+				Requests: len(perEP[i].lats) + int(perEP[i].errs) + int(perEP[i].rejected),
 				Errors:   int(perEP[i].errs),
+				Rejected: int(perEP[i].rejected),
 			}
 			if n := len(perEP[i].lats); n > 0 {
 				ev.CacheHitRate = float64(perEP[i].hits) / float64(n)
@@ -260,14 +333,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			rep.Endpoints = append(rep.Endpoints, ev)
 		}
 	}
+	if multiTenant {
+		for i, ts := range tenantSpecs {
+			tv := tenantView{
+				Label:    ts.label,
+				Requests: len(perTen[i].lats) + int(perTen[i].errs) + int(perTen[i].rejected),
+				Errors:   int(perTen[i].errs),
+				Rejected: int(perTen[i].rejected),
+			}
+			if n := len(perTen[i].lats); n > 0 {
+				tv.CacheHitRate = float64(perTen[i].hits) / float64(n)
+				tv.P50MS = 1000 * stats.Percentile(perTen[i].lats, 0.50)
+				tv.P95MS = 1000 * stats.Percentile(perTen[i].lats, 0.95)
+				tv.P99MS = 1000 * stats.Percentile(perTen[i].lats, 0.99)
+			}
+			rep.Tenants = append(rep.Tenants, tv)
+		}
+	}
 	if scrapeErr == nil {
 		if after, err := scrapeMetrics(ctx, client, scrapeBase); err == nil {
 			rep.Server = serverDelta(before, after)
 		}
 	}
 
-	fmt.Fprintf(stdout, "ringload: %d ok / %d errors in %v (%.1f req/s)\n",
-		nLatAll, rep.Errors, wall.Round(time.Millisecond), rep.ReqPerSec)
+	fmt.Fprintf(stdout, "ringload: %d ok / %d errors / %d rejected in %v (%.1f req/s)\n",
+		nLatAll, rep.Errors, rep.Rejected, wall.Round(time.Millisecond), rep.ReqPerSec)
 	fmt.Fprintf(stdout, "          cache-hit rate %.3f, latency p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
 		rep.CacheHitRate, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
 	if rep.Server != nil {
@@ -283,6 +373,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	for _, ev := range rep.Endpoints {
 		fmt.Fprintf(stdout, "          endpoint %s: %d requests, %d errors, hit rate %.3f, p50 %.2fms p99 %.2fms\n",
 			ev.URL, ev.Requests, ev.Errors, ev.CacheHitRate, ev.P50MS, ev.P99MS)
+	}
+	for _, tv := range rep.Tenants {
+		fmt.Fprintf(stdout, "          tenant %s: %d requests, %d errors, %d rejected, hit rate %.3f, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			tv.Label, tv.Requests, tv.Errors, tv.Rejected, tv.CacheHitRate, tv.P50MS, tv.P95MS, tv.P99MS)
 	}
 
 	if *out != "" {
@@ -450,28 +544,32 @@ func histQuantile(les []float64, cum []uint64, q float64) float64 {
 	return les[len(les)-1]
 }
 
-// submit posts one job and reports success plus whether the server
-// answered it from cache.
-func submit(ctx context.Context, client *http.Client, target string, body []byte) (ok, cached bool) {
+// submit posts one job, authenticated with apikey when non-empty, and
+// reports the HTTP status (0 on transport failure) plus whether the
+// server answered from cache.
+func submit(ctx context.Context, client *http.Client, target string, body []byte, apikey string) (status int, cached bool) {
 	req, err := http.NewRequestWithContext(ctx, "POST", target, bytes.NewReader(body))
 	if err != nil {
-		return false, false
+		return 0, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if apikey != "" {
+		req.Header.Set("Authorization", "Bearer "+apikey)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, false
+		return 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return false, false
+		return resp.StatusCode, false
 	}
 	var jr struct {
 		Cached bool `json:"cached"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
-		return false, false
+		return resp.StatusCode, false
 	}
-	return true, jr.Cached
+	return resp.StatusCode, jr.Cached
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+	"repro/internal/tenant"
+)
+
+func startTenantRingserved(t *testing.T) string {
+	t.Helper()
+	reg, err := tenant.New([]tenant.Tenant{
+		{ID: "alpha", Keys: []string{"ka"}, Weight: 2},
+		{ID: "beta", Keys: []string{"kb"}},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sweep.New(sweep.Options{
+		Workers:   4,
+		Executors: map[string]sweep.Executor{"": fastExecutor},
+	})
+	ts := httptest.NewServer(serve.New(serve.Options{Engine: eng, Tenants: reg}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestLoadMultiTenantRun(t *testing.T) {
+	url := startTenantRingserved(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-url", url,
+		"-requests", "60",
+		"-jobs", "4",
+		"-concurrency", "4",
+		"-tenants", "alpha=ka,beta=kb",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bad artifact %s: %v", data, err)
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Errorf("errors=%d rejected=%d, want 0/0", rep.Errors, rep.Rejected)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("per-tenant blocks = %d, want 2: %+v", len(rep.Tenants), rep.Tenants)
+	}
+	for i, want := range []string{"alpha", "beta"} {
+		tv := rep.Tenants[i]
+		if tv.Label != want || tv.Requests != 30 || tv.Errors != 0 {
+			t.Errorf("tenant %d = %+v, want label %s with 30 requests", i, tv, want)
+		}
+		if tv.P50MS <= 0 || tv.P99MS < tv.P50MS {
+			t.Errorf("tenant %s has implausible percentiles: %+v", want, tv)
+		}
+	}
+}
+
+func TestLoadSingleKeyAgainstStrictServer(t *testing.T) {
+	url := startTenantRingserved(t)
+	var stdout, stderr bytes.Buffer
+	// Without a key every request is 401 — a hard failure, not a 429.
+	code := run(context.Background(), []string{
+		"-url", url, "-requests", "8", "-jobs", "2", "-concurrency", "2",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("keyless run against strict server: exit %d, want 1", code)
+	}
+	// With -apikey the same run succeeds.
+	stdout.Reset()
+	stderr.Reset()
+	code = run(context.Background(), []string{
+		"-url", url, "-requests", "8", "-jobs", "2", "-concurrency", "2",
+		"-apikey", "ka",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("keyed run: exit %d\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestLoadBadTenantsFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-tenants", "nokey"}, &out, &out); code != 1 {
+		t.Errorf("bad -tenants entry: exit %d, want 1", code)
+	}
+}

@@ -7,6 +7,14 @@
 //
 //	ringserved -addr :8080 -cachedir .servecache
 //	ringserved -queue 128 -inflight 8 -discipline sjf
+//	ringserved -tenants tenants.json -allowanon=false
+//
+// Multi-tenant mode (see DESIGN.md §13): -tenants loads API keys,
+// fair-queue weights, token-bucket rate limits, and admission quotas;
+// requests authenticate with Authorization: Bearer <key> and the
+// admission queue serves tenants by weighted deficit round robin.
+// Without -tenants every request maps to one anonymous tenant and
+// behavior is identical to earlier versions.
 //
 // Cluster modes (see DESIGN.md §12): one daemon becomes the
 // coordinator of a worker fleet, placing jobs by consistent hashing on
@@ -27,6 +35,7 @@
 //	                               (cluster nodes fall back to peers)
 //	GET  /v1/results/{hash}/trace  Perfetto trace of a traced run (needs -tracesample)
 //	GET  /v1/events                live progress stream (SSE)
+//	GET  /v1/usage                 the caller's usage record (?all=1: every tenant)
 //	GET  /healthz, /metrics        liveness and Prometheus metrics
 //	/internal/v1/*                 cluster plane (exec, results, join,
 //	                               heartbeat, leave, health)
@@ -56,6 +65,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -78,6 +88,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max wait for in-flight work on shutdown")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		traceSample  = fs.Int("tracesample", 0, "trace computed jobs, recording every k-th transaction span (0 = tracing off)")
+		tenantsFile  = fs.String("tenants", "", "tenants JSON file: API keys, fair-queue weights, rate limits, quotas (empty = anonymous single-tenant mode)")
+		allowAnon    = fs.Bool("allowanon", true, "accept keyless requests as the anonymous tenant; -allowanon=false requires -tenants and rejects requests without a known API key")
 
 		coordMode   = fs.Bool("coordinator", false, "run as cluster coordinator: dispatch jobs to joined workers instead of executing locally")
 		workerMode  = fs.Bool("worker", false, "run as cluster worker: join a coordinator and execute forwarded jobs")
@@ -108,6 +120,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var tenants *tenant.Registry
+	switch {
+	case *tenantsFile != "":
+		tenants, err = tenant.Load(*tenantsFile, *allowAnon)
+		if err != nil {
+			fmt.Fprintln(stderr, "ringserved:", err)
+			return 1
+		}
+	case !*allowAnon:
+		fmt.Fprintln(stderr, "ringserved: -allowanon=false requires -tenants (otherwise no request could ever authenticate)")
+		return 1
+	default:
+		tenants = tenant.NewAnonymous()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "ringserved:", err)
@@ -127,6 +154,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxInFlight: *maxInFlight,
 		Discipline:  disc,
 		MaxDeadline: *maxDeadline,
+		Tenants:     tenants,
 	}
 	mux := http.NewServeMux()
 	var (
@@ -215,9 +243,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer pln.Close()
 	}
 
+	tenantNote := "anonymous"
+	if *tenantsFile != "" {
+		n := len(tenants.All())
+		if tenants.AllowAnon() {
+			n-- // don't count the implicit anonymous tenant
+		}
+		tenantNote = fmt.Sprintf("%d tenants", n)
+		if tenants.AllowAnon() {
+			tenantNote += "+anon"
+		}
+	}
 	httpSrv := &http.Server{Handler: mux}
-	fmt.Fprintf(stdout, "ringserved: %s listening on %s (%d workers, queue %d, %s)\n",
-		role, ln.Addr(), eng.Workers(), *queueDepth, disc)
+	fmt.Fprintf(stdout, "ringserved: %s listening on %s (%d workers, queue %d, %s, %s)\n",
+		role, ln.Addr(), eng.Workers(), *queueDepth, disc, tenantNote)
 
 	// The worker's membership loop runs until drain begins, so the
 	// leave fires before in-flight work finishes, steering the

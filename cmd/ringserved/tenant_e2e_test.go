@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTenantsFile writes a minimal two-tenant config and returns its
+// path.
+func writeTenantsFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	doc := `{"tenants":[
+		{"id":"batch","keys":["batch-key"],"max_queued":4,"max_in_flight":1},
+		{"id":"inter","keys":["inter-key"],"weight":2}
+	]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func authedPost(t *testing.T, url, key, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestServeTenantMode boots the daemon with a tenants file and strict
+// authentication: keyless requests answer 401, keyed ones run, and
+// the usage and metrics surfaces attribute them.
+func TestServeTenantMode(t *testing.T) {
+	url, cancel, exit, _ := startServer(t,
+		"-workers", "2", "-tenants", writeTenantsFile(t), "-allowanon=false")
+	defer func() { cancel(); <-exit }()
+
+	job := `{"benchmark":"MP3D","cpus":8,"data_refs_per_cpu":100}`
+	if resp, raw := authedPost(t, url+"/v1/jobs", "", job); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("keyless submit: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp, raw := authedPost(t, url+"/v1/jobs", "inter-key", job); resp.StatusCode != http.StatusOK {
+		t.Errorf("keyed submit: status %d: %s", resp.StatusCode, raw)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, url+"/v1/usage", nil)
+	req.Header.Set("Authorization", "Bearer inter-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var usage struct {
+		ID    string `json:"id"`
+		Usage struct {
+			Jobs uint64 `json:"jobs"`
+		} `json:"usage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&usage); err != nil {
+		t.Fatal(err)
+	}
+	if usage.ID != "inter" || usage.Usage.Jobs != 1 {
+		t.Errorf("usage = %+v, want tenant inter with 1 job", usage)
+	}
+
+	// /metrics stays unauthenticated (scrape path) and carries the
+	// tenant family.
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	if !strings.Contains(buf.String(), `ringsim_tenant_jobs_total{tenant="inter",state="computed"} 1`) {
+		t.Error("metrics missing the inter tenant's computed count")
+	}
+}
+
+func TestServeTenantFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-allowanon=false"}, &out, &out); code != 1 {
+		t.Errorf("-allowanon=false without -tenants: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "-allowanon=false requires -tenants") {
+		t.Errorf("missing validation message, got: %s", out.String())
+	}
+	out.Reset()
+	if code := run(context.Background(), []string{"-tenants", "/does/not/exist.json"}, &out, &out); code != 1 {
+		t.Errorf("missing tenants file: exit %d, want 1", code)
+	}
+}

@@ -163,7 +163,7 @@ func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
 				c.homeDispatches++
 			}
 		})
-		m, permanent, execErr := c.execOn(pl, body, hash)
+		m, permanent, execErr := c.execOn(pl, body, hash, job.Tenant)
 		c.reg.release(pl.id)
 		if execErr == nil {
 			c.count(func() { c.perWorkerDone[pl.id]++ })
@@ -183,8 +183,9 @@ func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
 }
 
 // execOn runs one exec POST against one worker. permanent=true marks
-// job errors retrying cannot fix.
-func (c *Coordinator) execOn(pl placement, body []byte, hash string) (m *core.Metrics, permanent bool, err error) {
+// job errors retrying cannot fix. tenantID rides a header, never the
+// body, preserving byte-identical job encodings across tenants.
+func (c *Coordinator) execOn(pl placement, body []byte, hash, tenantID string) (m *core.Metrics, permanent bool, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ExecTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, "POST", pl.addr+pathExec, bytes.NewReader(body))
@@ -192,6 +193,9 @@ func (c *Coordinator) execOn(pl placement, body []byte, hash string) (m *core.Me
 		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenantID != "" {
+		req.Header.Set(headerTenant, tenantID)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, false, fmt.Errorf("cluster: exec on %s: %v", pl.id, err)

@@ -22,6 +22,11 @@ const (
 const (
 	headerWorker = "X-Ringsim-Worker"
 	headerSource = "X-Ringsim-Source"
+	// headerTenant carries tenant provenance on exec requests. The job
+	// body deliberately omits the tenant — identical jobs from
+	// different tenants must stay byte-identical so content hashes and
+	// cache entries collapse — so the wire carries it out of band.
+	headerTenant = "X-Ringsim-Tenant"
 )
 
 // JoinRequest registers (or re-registers) a worker with the

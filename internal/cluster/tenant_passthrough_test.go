@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// TestExecTenantPassthrough pins the cross-node tenant contract: the
+// coordinator ships tenant provenance as the X-Ringsim-Tenant header
+// (never in the job body, which must stay byte-identical across
+// tenants), and the worker restores it onto the job before execution
+// so its events and metering stay attributed.
+func TestExecTenantPassthrough(t *testing.T) {
+	seen := make(chan string, 1)
+	exec := func(j sweep.Job) (*core.Metrics, error) {
+		seen <- j.Tenant
+		m := &core.Metrics{ExecTime: sim.Time(1000), BusyTime: sim.Time(500), DataRefs: 1}
+		m.MissLatency.Observe(600)
+		return m, nil
+	}
+	_, _, srv := newTestWorker(t, "w0", 1, map[string]sweep.Executor{"tag": exec})
+
+	job := sweep.Job{Kind: "tag", Seed: 3, Tenant: "acme"}
+	body, err := json.Marshal(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire body must not mention the tenant.
+	if bytes.Contains(body, []byte("acme")) {
+		t.Fatalf("tenant leaked into the exec body: %s", body)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+pathExec, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerTenant, "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec status %d", resp.StatusCode)
+	}
+	if got := <-seen; got != "acme" {
+		t.Errorf("executor saw tenant %q, want %q from the header", got, "acme")
+	}
+
+	// The result's wire form stays tenant-free too.
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("acme")) {
+		t.Errorf("tenant leaked into the serialized result: %s", raw)
+	}
+}
+
+// TestCoordinatorForwardsTenantHeader checks the dispatch side: a job
+// submitted to Coordinator.Execute with a Tenant tag arrives at the
+// worker with the header set.
+func TestCoordinatorForwardsTenantHeader(t *testing.T) {
+	seen := make(chan string, 1)
+	exec := func(j sweep.Job) (*core.Metrics, error) {
+		seen <- j.Tenant
+		m := &core.Metrics{ExecTime: sim.Time(1000), BusyTime: sim.Time(500), DataRefs: 1}
+		m.MissLatency.Observe(600)
+		return m, nil
+	}
+	f := startFleet(t, 1, map[string]sweep.Executor{"tag": exec})
+
+	if _, err := f.coord.Execute(sweep.Job{Kind: "tag", Seed: 9, Tenant: "acme"}); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := <-seen; got != "acme" {
+		t.Errorf("worker executor saw tenant %q, want %q", got, "acme")
+	}
+}

@@ -97,6 +97,10 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 		writeExecError(rw, http.StatusBadRequest, "bad job: %v", err)
 		return
 	}
+	// Tenant provenance travels as a header, not in the body (the body
+	// must stay byte-identical across tenants); restoring it here makes
+	// the worker's progress events and metering tenant-attributed.
+	job.Tenant = r.Header.Get(headerTenant)
 	w.inflight.Add(1)
 	defer w.inflight.Add(-1)
 	res, src, err := w.opts.Engine.RunOneCtx(r.Context(), job)

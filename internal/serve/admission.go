@@ -4,27 +4,50 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/tenant"
 )
 
-// Errors the admission queue reports; the HTTP layer maps them to 429
-// (queue full) and 503 (draining).
+// Errors the admission queue reports; the HTTP layer maps queue-full
+// and tenant-quota rejections to 429 and draining to 503. Rejections
+// arrive wrapped in *AdmitError, which carries the queue depth
+// captured at the moment of rejection.
 var (
-	ErrQueueFull = errors.New("serve: admission queue full")
-	ErrDraining  = errors.New("serve: server draining")
+	ErrQueueFull   = errors.New("serve: admission queue full")
+	ErrTenantQuota = errors.New("serve: tenant admission quota exhausted")
+	ErrDraining    = errors.New("serve: server draining")
 )
 
-// Discipline selects the admission queue's service order — the same
-// trade the paper's interconnect arbitration faces: FCFS is fair,
-// shortest-job-first minimizes mean waiting time at the cost of
-// potentially starving long sweeps under sustained short-job load.
+// AdmitError is an admission rejection with the context the HTTP
+// layer reports: which limit refused the request and how deep the
+// relevant queue was at that instant (the global queue for
+// ErrQueueFull, the tenant's own queue for ErrTenantQuota).
+type AdmitError struct {
+	Err    error
+	Queued int
+}
+
+func (e *AdmitError) Error() string {
+	return fmt.Sprintf("%v (%d queued)", e.Err, e.Queued)
+}
+
+func (e *AdmitError) Unwrap() error { return e.Err }
+
+// Discipline selects the intra-tenant service order — the same trade
+// the paper's interconnect arbitration faces: FCFS is fair, shortest-
+// job-first minimizes mean waiting time at the cost of potentially
+// starving long sweeps under sustained short-job load. Across
+// tenants, the queue is always weighted deficit round robin.
 type Discipline int
 
 const (
-	// FCFS serves queued requests in arrival order.
+	// FCFS serves a tenant's queued requests in arrival order.
 	FCFS Discipline = iota
-	// ShortestJob serves the queued request with the smallest cost
-	// estimate first (arrival order breaks ties).
+	// ShortestJob serves the tenant's queued request with the smallest
+	// cost estimate first (arrival order breaks ties).
 	ShortestJob
 )
 
@@ -50,6 +73,26 @@ func ParseDiscipline(s string) (Discipline, error) {
 	return 0, fmt.Errorf("serve: unknown admission discipline %q (want fcfs or sjf)", s)
 }
 
+// tenantLimits is the slice of a tenant record the admitter enforces.
+type tenantLimits struct {
+	id          string
+	weight      int
+	maxQueued   int // 0 = unbounded (global depth still applies)
+	maxInFlight int // 0 = unbounded (global bound still applies)
+}
+
+// limitsFor projects a tenant record onto the admitter's view.
+func limitsFor(tn tenant.Tenant) tenantLimits {
+	w := tn.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return tenantLimits{id: tn.ID, weight: w, maxQueued: tn.MaxQueued, maxInFlight: tn.MaxInFlight}
+}
+
+// anonLimits is the default flow for registries without quotas.
+var anonLimits = tenantLimits{id: tenant.AnonymousID, weight: 1}
+
 // waiter is one queued admission request.
 type waiter struct {
 	cost      int64
@@ -59,10 +102,37 @@ type waiter struct {
 	abandoned bool
 }
 
+// tenantQueue is one tenant's flow state: its waiters, its deficit
+// counter, and its share of the gauges. Queues persist across idle
+// periods so the in-flight gauge and quota checks survive bursts.
+type tenantQueue struct {
+	id          string
+	weight      int
+	maxQueued   int
+	maxInFlight int
+
+	queue    []*waiter
+	deficit  int64
+	queued   int // live (non-abandoned) waiters
+	inflight int
+	active   bool // member of admitter.active
+}
+
+// drrQuantum is the deficit increment unit in cost terms (one default
+// 8-CPU x 2000-reference job). Its absolute value only scales how
+// coarsely rounds are accounted; weighted shares come from the
+// per-tenant weight multiplier, and the top-up in pick is computed so
+// every grant costs O(active tenants) regardless of job size.
+const drrQuantum = 16000
+
 // admitter is the bounded admission queue: at most maxInFlight
-// requests hold execution slots, at most depth more wait in the queue,
-// and everything beyond that is rejected immediately — overload sheds
-// at the door rather than collapsing the pool.
+// requests hold execution slots, at most depth more wait across the
+// per-tenant queues, and everything beyond that is rejected
+// immediately — overload sheds at the door rather than collapsing the
+// pool. Execution slots are granted across tenants by weighted
+// deficit round robin, and within a tenant by the configured
+// discipline, so one tenant's 10k-job backlog delays a competing
+// tenant by at most a few quanta, never by the whole backlog.
 type admitter struct {
 	mu          sync.Mutex
 	idle        sync.Cond
@@ -72,110 +142,234 @@ type admitter struct {
 
 	inflight int
 	queued   int
-	queue    []*waiter
 	seq      uint64
 	draining bool
+
+	tenants map[string]*tenantQueue
+	active  []*tenantQueue // tenants with live waiters, round-robin order
+	rrPos   int
 }
 
 func newAdmitter(maxInFlight, depth int, disc Discipline) *admitter {
-	a := &admitter{maxInFlight: maxInFlight, depth: depth, disc: disc}
+	a := &admitter{
+		maxInFlight: maxInFlight,
+		depth:       depth,
+		disc:        disc,
+		tenants:     make(map[string]*tenantQueue),
+	}
 	a.idle.L = &a.mu
 	return a
+}
+
+// queueFor returns the tenant's flow, creating it on first contact
+// and refreshing its limits (the registry is the source of truth and
+// may have been reloaded).
+func (a *admitter) queueFor(lim tenantLimits) *tenantQueue {
+	tq, ok := a.tenants[lim.id]
+	if !ok {
+		tq = &tenantQueue{id: lim.id}
+		a.tenants[lim.id] = tq
+	}
+	tq.weight = lim.weight
+	if tq.weight <= 0 {
+		tq.weight = 1
+	}
+	tq.maxQueued = lim.maxQueued
+	tq.maxInFlight = lim.maxInFlight
+	return tq
 }
 
 // admit blocks until the caller holds an execution slot, the context
 // dies, or the request is rejected. On success the returned release
 // function must be called exactly once when the work completes.
-func (a *admitter) admit(ctx context.Context, cost int64) (release func(), err error) {
+func (a *admitter) admit(ctx context.Context, lim tenantLimits, cost int64) (release func(), err error) {
 	a.mu.Lock()
 	if a.draining {
 		a.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if a.inflight < a.maxInFlight && a.queued == 0 {
-		a.inflight++
-		a.mu.Unlock()
-		return a.release, nil
-	}
+	tq := a.queueFor(lim)
 	if a.queued >= a.depth {
+		q := a.queued
 		a.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, &AdmitError{Err: ErrQueueFull, Queued: q}
+	}
+	if tq.maxQueued > 0 && tq.queued >= tq.maxQueued {
+		q := tq.queued
+		a.mu.Unlock()
+		return nil, &AdmitError{Err: ErrTenantQuota, Queued: q}
 	}
 	w := &waiter{cost: cost, seq: a.seq, ready: make(chan struct{})}
 	a.seq++
 	a.queued++
-	a.queue = append(a.queue, w)
+	tq.queued++
+	tq.queue = append(tq.queue, w)
+	if !tq.active {
+		tq.active = true
+		a.active = append(a.active, tq)
+	}
+	a.fill()
 	a.mu.Unlock()
 
 	select {
 	case <-w.ready:
-		return a.release, nil
+		return func() { a.release(tq) }, nil
 	case <-ctx.Done():
 		a.mu.Lock()
 		if w.granted {
 			// The grant raced the cancellation; the slot is ours and
 			// must be handed back, not leaked.
 			a.mu.Unlock()
-			a.release()
+			a.release(tq)
 			return nil, ctx.Err()
 		}
 		w.abandoned = true
 		a.queued--
+		tq.queued--
 		a.idle.Broadcast()
 		a.mu.Unlock()
 		return nil, ctx.Err()
 	}
 }
 
-// release returns a slot: the best queued waiter inherits it, or the
-// in-flight gauge drops.
-func (a *admitter) release() {
+// release returns a slot; queued waiters inherit it via fill.
+func (a *admitter) release(tq *tenantQueue) {
 	a.mu.Lock()
-	if w := a.pop(); w != nil {
-		w.granted = true
-		a.queued--
-		close(w.ready)
-	} else {
-		a.inflight--
-	}
+	tq.inflight--
+	a.inflight--
+	a.fill()
 	a.idle.Broadcast()
 	a.mu.Unlock()
 }
 
-// pop removes and returns the next waiter per the discipline, skipping
-// and compacting abandoned entries. Callers hold a.mu.
-func (a *admitter) pop() *waiter {
-	best := -1
-	live := a.queue[:0]
-	for _, w := range a.queue {
-		if w.abandoned {
+// fill grants free execution slots to queued waiters, one DRR pick at
+// a time, until slots or grantable waiters run out. Callers hold a.mu.
+func (a *admitter) fill() {
+	for a.inflight < a.maxInFlight {
+		w, tq := a.pick()
+		if w == nil {
+			return
+		}
+		a.inflight++
+		tq.inflight++
+		a.queued--
+		tq.queued--
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// compactActive drops emptied flows from the round-robin ring,
+// resetting their deficit so idle tenants cannot bank credit.
+// Callers hold a.mu.
+func (a *admitter) compactActive() {
+	live := a.active[:0]
+	for i, tq := range a.active {
+		if tq.queued > 0 {
+			live = append(live, tq)
 			continue
 		}
-		live = append(live, w)
-		i := len(live) - 1
-		if best == -1 {
-			best = i
-			continue
+		tq.active = false
+		tq.deficit = 0
+		tq.queue = tq.queue[:0]
+		if i < a.rrPos {
+			a.rrPos--
 		}
-		b := live[best]
-		switch a.disc {
-		case ShortestJob:
+	}
+	// Zero dangling tail slots so emptied flows are collectable.
+	for i := len(live); i < len(a.active); i++ {
+		a.active[i] = nil
+	}
+	a.active = live
+	if len(a.active) == 0 {
+		a.rrPos = 0
+	} else {
+		a.rrPos %= len(a.active)
+	}
+}
+
+// pick chooses the next waiter by weighted deficit round robin across
+// eligible tenants (live waiters, in-flight below the tenant cap),
+// with the configured discipline ordering each tenant's own queue.
+// When no eligible head is affordable, every eligible flow's deficit
+// is topped up by the same whole number of weight-scaled quanta —
+// just enough for the cheapest shortfall — so service stays
+// proportional to weight and each grant costs O(active tenants).
+// Callers hold a.mu.
+func (a *admitter) pick() (*waiter, *tenantQueue) {
+	a.compactActive()
+	if len(a.active) == 0 {
+		return nil, nil
+	}
+	for round := 0; round < 2; round++ {
+		// Scan from the round-robin cursor for an affordable head.
+		minTopUp := int64(-1)
+		for i := 0; i < len(a.active); i++ {
+			pos := (a.rrPos + i) % len(a.active)
+			tq := a.active[pos]
+			if tq.maxInFlight > 0 && tq.inflight >= tq.maxInFlight {
+				continue
+			}
+			idx := tq.head(a.disc)
+			if idx < 0 {
+				continue
+			}
+			w := tq.queue[idx]
+			if tq.deficit >= w.cost {
+				tq.deficit -= w.cost
+				tq.queue = append(tq.queue[:idx], tq.queue[idx+1:]...)
+				a.rrPos = pos
+				return w, tq
+			}
+			quanta := (w.cost - tq.deficit + int64(tq.weight)*drrQuantum - 1) / (int64(tq.weight) * drrQuantum)
+			if minTopUp < 0 || quanta < minTopUp {
+				minTopUp = quanta
+			}
+		}
+		if minTopUp < 0 {
+			// Every flow is quota-blocked or abandoned-only.
+			a.compactActive()
+			return nil, nil
+		}
+		// Top up all eligible flows proportionally to weight; the next
+		// scan is guaranteed to find an affordable head.
+		for _, tq := range a.active {
+			if tq.maxInFlight > 0 && tq.inflight >= tq.maxInFlight {
+				continue
+			}
+			tq.deficit += minTopUp * int64(tq.weight) * drrQuantum
+		}
+	}
+	return nil, nil // unreachable: the post-top-up scan always grants
+}
+
+// head returns the index of the tenant's next waiter per the
+// discipline, compacting abandoned entries first; -1 when none live.
+func (tq *tenantQueue) head(disc Discipline) int {
+	live := tq.queue[:0]
+	for _, w := range tq.queue {
+		if !w.abandoned {
+			live = append(live, w)
+		}
+	}
+	for i := len(live); i < len(tq.queue); i++ {
+		tq.queue[i] = nil
+	}
+	tq.queue = live
+	if len(tq.queue) == 0 {
+		return -1
+	}
+	best := 0
+	if disc == ShortestJob {
+		for i, w := range tq.queue[1:] {
+			b := tq.queue[best]
 			if w.cost < b.cost || (w.cost == b.cost && w.seq < b.seq) {
-				best = i
-			}
-		default: // FCFS
-			if w.seq < b.seq {
-				best = i
+				best = i + 1
 			}
 		}
 	}
-	a.queue = live
-	if best == -1 {
-		return nil
-	}
-	w := a.queue[best]
-	a.queue = append(a.queue[:best], a.queue[best+1:]...)
-	return w
+	// FCFS: queue order is arrival order, so index 0 is the head.
+	return best
 }
 
 // beginDrain stops admitting new work; queued and in-flight requests
@@ -214,9 +408,40 @@ func (a *admitter) drainWait(ctx context.Context) error {
 	return nil
 }
 
-// gauges reports the current queue depth and in-flight count.
+// gauges reports the current global queue depth and in-flight count.
 func (a *admitter) gauges() (queued, inflight int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.queued, a.inflight
+}
+
+// tenantGauge is one tenant's share of the admission gauges.
+type tenantGauge struct {
+	id       string
+	queued   int
+	inflight int
+}
+
+// tenantGauges snapshots per-tenant queue depth and in-flight counts,
+// sorted by tenant ID for deterministic metrics output.
+func (a *admitter) tenantGauges() []tenantGauge {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]tenantGauge, 0, len(a.tenants))
+	for id, tq := range a.tenants {
+		out = append(out, tenantGauge{id: id, queued: tq.queued, inflight: tq.inflight})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// retryAfterHeader formats a Retry-After duration as whole seconds,
+// rounding up with a floor of one second — the finest grain the
+// header supports.
+func retryAfterHeader(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }

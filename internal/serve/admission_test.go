@@ -30,7 +30,7 @@ func waitQueued(t *testing.T, a *admitter, n int) {
 func grantOrder(t *testing.T, disc Discipline, costs []int64) []int64 {
 	t.Helper()
 	a := newAdmitter(1, len(costs), disc)
-	hold, err := a.admit(context.Background(), 0)
+	hold, err := a.admit(context.Background(), anonLimits, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func grantOrder(t *testing.T, disc Discipline, costs []int64) []int64 {
 		wg.Add(1)
 		go func(c int64) {
 			defer wg.Done()
-			release, err := a.admit(context.Background(), c)
+			release, err := a.admit(context.Background(), anonLimits, c)
 			if err != nil {
 				t.Error(err)
 				return
@@ -80,14 +80,14 @@ func TestAdmitShortestJobOrder(t *testing.T) {
 
 func TestAdmitQueueOverflow(t *testing.T) {
 	a := newAdmitter(1, 1, FCFS)
-	hold, err := a.admit(context.Background(), 1)
+	hold, err := a.admit(context.Background(), anonLimits, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	queuedDone := make(chan struct{})
 	go func() {
 		defer close(queuedDone)
-		release, err := a.admit(context.Background(), 1)
+		release, err := a.admit(context.Background(), anonLimits, 1)
 		if err != nil {
 			t.Error(err)
 			return
@@ -95,7 +95,7 @@ func TestAdmitQueueOverflow(t *testing.T) {
 		release()
 	}()
 	waitQueued(t, a, 1)
-	if _, err := a.admit(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+	if _, err := a.admit(context.Background(), anonLimits, 1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
 	}
 	hold()
@@ -107,14 +107,14 @@ func TestAdmitQueueOverflow(t *testing.T) {
 
 func TestAdmitAbandonsCancelledWaiter(t *testing.T) {
 	a := newAdmitter(1, 4, FCFS)
-	hold, err := a.admit(context.Background(), 1)
+	hold, err := a.admit(context.Background(), anonLimits, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := a.admit(ctx, 1)
+		_, err := a.admit(ctx, anonLimits, 1)
 		errCh <- err
 	}()
 	waitQueued(t, a, 1)
@@ -128,7 +128,7 @@ func TestAdmitAbandonsCancelledWaiter(t *testing.T) {
 	// The slot must not be handed to the abandoned waiter.
 	granted := make(chan struct{})
 	go func() {
-		release, err := a.admit(context.Background(), 1)
+		release, err := a.admit(context.Background(), anonLimits, 1)
 		if err != nil {
 			t.Error(err)
 		} else {
@@ -147,12 +147,12 @@ func TestAdmitAbandonsCancelledWaiter(t *testing.T) {
 
 func TestDrainRejectsAndWaits(t *testing.T) {
 	a := newAdmitter(2, 4, FCFS)
-	release, err := a.admit(context.Background(), 1)
+	release, err := a.admit(context.Background(), anonLimits, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a.beginDrain()
-	if _, err := a.admit(context.Background(), 1); !errors.Is(err, ErrDraining) {
+	if _, err := a.admit(context.Background(), anonLimits, 1); !errors.Is(err, ErrDraining) {
 		t.Fatalf("draining admit err = %v, want ErrDraining", err)
 	}
 	waited := make(chan error, 1)
@@ -175,7 +175,7 @@ func TestDrainRejectsAndWaits(t *testing.T) {
 
 func TestDrainWaitHonorsContext(t *testing.T) {
 	a := newAdmitter(1, 4, FCFS)
-	release, err := a.admit(context.Background(), 1)
+	release, err := a.admit(context.Background(), anonLimits, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flowReq is one admission request in a fairness scenario: which
+// tenant submits it and its cost estimate.
+type flowReq struct {
+	lim  tenantLimits
+	cost int64
+}
+
+// grantSequence enqueues reqs in arrival order while a holder pins
+// the only execution slot, then releases it and returns the tenant
+// IDs in grant order. Grants serialize through release, so the order
+// is deterministic.
+func grantSequence(t *testing.T, disc Discipline, reqs []flowReq) []string {
+	t.Helper()
+	a := newAdmitter(1, len(reqs), disc)
+	hold, err := a.admit(context.Background(), tenantLimits{id: "holder", weight: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(r flowReq) {
+			defer wg.Done()
+			release, err := a.admit(context.Background(), r.lim, r.cost)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, r.lim.id)
+			mu.Unlock()
+			release()
+		}(r)
+		waitQueued(t, a, i+1) // fix arrival order
+	}
+	hold()
+	wg.Wait()
+	return order
+}
+
+// repeat builds n identical requests for one tenant.
+func repeat(lim tenantLimits, cost int64, n int) []flowReq {
+	reqs := make([]flowReq, n)
+	for i := range reqs {
+		reqs[i] = flowReq{lim: lim, cost: cost}
+	}
+	return reqs
+}
+
+// TestDRRWeightedSharesConverge drives equal-cost backlogs from
+// tenants of different weights through a single slot and checks that
+// grant counts converge to the weight ratio, for several ratios and
+// both intra-tenant disciplines.
+func TestDRRWeightedSharesConverge(t *testing.T) {
+	cases := []struct {
+		name    string
+		disc    Discipline
+		wA, wB  int
+		perFlow int
+		window  int // prefix of the grant order to measure
+		maxSkew float64
+	}{
+		{"equal-weights", FCFS, 1, 1, 30, 30, 0.15},
+		{"one-to-three", FCFS, 1, 3, 40, 40, 0.15},
+		{"one-to-four-sjf", ShortestJob, 1, 4, 40, 40, 0.15},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			limA := tenantLimits{id: "A", weight: c.wA}
+			limB := tenantLimits{id: "B", weight: c.wB}
+			// Interleave arrivals so neither tenant owns the queue front.
+			var reqs []flowReq
+			for i := 0; i < c.perFlow; i++ {
+				reqs = append(reqs, flowReq{limA, drrQuantum}, flowReq{limB, drrQuantum})
+			}
+			order := grantSequence(t, c.disc, reqs)
+			counts := map[string]int{}
+			for _, id := range order[:c.window] {
+				counts[id]++
+			}
+			wantB := float64(c.window) * float64(c.wB) / float64(c.wA+c.wB)
+			if skew := abs(float64(counts["B"])-wantB) / float64(c.window); skew > c.maxSkew {
+				t.Errorf("weights %d:%d gave grants A=%d B=%d in first %d (want B near %.0f, skew %.2f)",
+					c.wA, c.wB, counts["A"], counts["B"], c.window, wantB, skew)
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestDRRNoStarvation enqueues a large backlog for one tenant and a
+// single job for another arriving last: the 1-job tenant must be
+// served within a handful of grants, not behind the whole backlog —
+// the property FCFS lacks and the fair queue exists for.
+func TestDRRNoStarvation(t *testing.T) {
+	big := tenantLimits{id: "batch", weight: 1}
+	small := tenantLimits{id: "interactive", weight: 1}
+	const backlog = 1000
+	reqs := append(repeat(big, drrQuantum, backlog), flowReq{small, drrQuantum})
+	order := grantSequence(t, FCFS, reqs)
+	pos := -1
+	for i, id := range order {
+		if id == "interactive" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 3 {
+		t.Errorf("interactive tenant granted at position %d behind a %d-job backlog, want within the first 4", pos, backlog)
+	}
+}
+
+// TestDRRQuotaIsolation exhausts one tenant's queued-admission quota
+// and checks the rejection hits only that tenant, carries the queue
+// depth captured at rejection, and clears once the backlog drains.
+func TestDRRQuotaIsolation(t *testing.T) {
+	a := newAdmitter(1, 16, FCFS)
+	capped := tenantLimits{id: "capped", weight: 1, maxQueued: 2}
+	free := tenantLimits{id: "free", weight: 1}
+
+	hold, err := a.admit(context.Background(), tenantLimits{id: "holder", weight: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.admit(context.Background(), capped, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			release()
+		}()
+		waitQueued(t, a, i+1)
+	}
+
+	// The third capped request overflows the tenant quota...
+	_, err = a.admit(context.Background(), capped, 1)
+	var aerr *AdmitError
+	if !errors.As(err, &aerr) || !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("quota overflow err = %v, want ErrTenantQuota inside AdmitError", err)
+	}
+	if aerr.Queued != 2 {
+		t.Errorf("AdmitError.Queued = %d, want the tenant depth 2 captured at rejection", aerr.Queued)
+	}
+	// ...while the uncapped tenant still admits.
+	granted := make(chan struct{})
+	go func() {
+		release, err := a.admit(context.Background(), free, 1)
+		if err != nil {
+			t.Error(err)
+		} else {
+			release()
+		}
+		close(granted)
+	}()
+	waitQueued(t, a, 3)
+	hold()
+	wg.Wait()
+	<-granted
+	// Quota clears with the backlog: the capped tenant admits again.
+	release, err := a.admit(context.Background(), capped, 1)
+	if err != nil {
+		t.Fatalf("post-drain capped admit: %v", err)
+	}
+	release()
+}
+
+// TestDRRTenantInFlightCap bounds one tenant to a single execution
+// slot on a multi-slot server: its second request waits for its first
+// to finish even while global slots sit free, and other tenants use
+// those slots meanwhile.
+func TestDRRTenantInFlightCap(t *testing.T) {
+	a := newAdmitter(4, 16, FCFS)
+	capped := tenantLimits{id: "capped", weight: 1, maxInFlight: 1}
+	free := tenantLimits{id: "free", weight: 1}
+
+	rel1, err := a.admit(context.Background(), capped, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := make(chan func(), 1)
+	go func() {
+		rel2, err := a.admit(context.Background(), capped, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		second <- rel2
+	}()
+	waitQueued(t, a, 1)
+	select {
+	case <-second:
+		t.Fatal("second capped request ran alongside the first despite max_in_flight 1")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Global capacity stays available to other tenants.
+	relFree, err := a.admit(context.Background(), free, 1)
+	if err != nil {
+		t.Fatalf("free tenant blocked by another tenant's cap: %v", err)
+	}
+	relFree()
+	rel1()
+	select {
+	case rel2 := <-second:
+		rel2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("second capped request never granted after the first released")
+	}
+	if q, f := a.gauges(); q != 0 || f != 0 {
+		t.Errorf("admitter did not settle: queued=%d inflight=%d", q, f)
+	}
+}
+
+// TestAdmitErrorCapturesGlobalDepth fills the global queue and checks
+// the 429's depth is the depth at the instant of rejection.
+func TestAdmitErrorCapturesGlobalDepth(t *testing.T) {
+	const depth = 3
+	a := newAdmitter(1, depth, FCFS)
+	hold, err := a.admit(context.Background(), anonLimits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.admit(context.Background(), anonLimits, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			release()
+		}()
+		waitQueued(t, a, i+1)
+	}
+	_, err = a.admit(context.Background(), anonLimits, 1)
+	var aerr *AdmitError
+	if !errors.As(err, &aerr) || !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull inside AdmitError", err)
+	}
+	if aerr.Queued != depth {
+		t.Errorf("AdmitError.Queued = %d, want %d (depth at rejection)", aerr.Queued, depth)
+	}
+	if got := aerr.Error(); got != fmt.Sprintf("serve: admission queue full (%d queued)", depth) {
+		t.Errorf("AdmitError.Error() = %q", got)
+	}
+	hold()
+	wg.Wait()
+}
+
+// TestTenantGauges checks the per-tenant queue/in-flight snapshot the
+// metrics endpoint renders.
+func TestTenantGauges(t *testing.T) {
+	a := newAdmitter(1, 8, FCFS)
+	hold, err := a.admit(context.Background(), tenantLimits{id: "b-tenant", weight: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan struct{})
+	go func() {
+		release, err := a.admit(context.Background(), tenantLimits{id: "a-tenant", weight: 1}, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		<-queued
+		release()
+	}()
+	waitQueued(t, a, 1)
+	g := a.tenantGauges()
+	if len(g) != 2 || g[0].id != "a-tenant" || g[1].id != "b-tenant" {
+		t.Fatalf("tenantGauges = %+v, want a-tenant then b-tenant", g)
+	}
+	if g[0].queued != 1 || g[0].inflight != 0 || g[1].queued != 0 || g[1].inflight != 1 {
+		t.Errorf("gauges = %+v", g)
+	}
+	hold()
+	close(queued)
+}

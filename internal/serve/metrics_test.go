@@ -71,7 +71,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		}
 		sub := strings.SplitN(strings.TrimPrefix(name, "ringsim_"), "_", 2)[0]
 		switch sub {
-		case "serve", "engine", "obs":
+		case "serve", "engine", "obs", "tenant":
 		default:
 			t.Errorf("metric %q has unknown subsystem %q", name, sub)
 		}

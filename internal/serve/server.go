@@ -7,11 +7,14 @@
 // addressable by job content hash.
 //
 // The layer adds what a network service needs on top: bounded
-// admission with FCFS or shortest-job-first queueing (429 on
-// overflow), per-request deadlines propagated as context cancellation
-// into the engine (504 on expiry), idempotent GET-by-hash lookup
-// backed by the on-disk cache, Server-Sent-Events progress streaming,
-// Prometheus metrics, and graceful drain.
+// admission with weighted deficit-round-robin fair queueing across
+// tenants and FCFS or shortest-job-first order within one (429 on
+// overflow, with Retry-After), API-key authentication with per-tenant
+// rate limits, quotas, and usage metering, per-request deadlines
+// propagated as context cancellation into the engine (504 on expiry),
+// idempotent GET-by-hash lookup backed by the on-disk cache,
+// Server-Sent-Events progress streaming, Prometheus metrics, and
+// graceful drain.
 package serve
 
 import (
@@ -23,11 +26,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 )
 
 // Options configures a Server.
@@ -56,6 +61,11 @@ type Options struct {
 	// append additional exposition-format series (e.g. the cluster
 	// coordinator's ringsim_cluster_* family).
 	ExtraMetrics func(w io.Writer)
+	// Tenants is the tenant registry behind API-key authentication,
+	// rate limits, quotas, and fair-queue weights. Nil means an
+	// anonymous single-tenant registry: no keys, no limits — exactly
+	// the pre-multi-tenant behavior.
+	Tenants *tenant.Registry
 }
 
 // Server is the HTTP serving layer. Construct with New; it is safe
@@ -64,6 +74,7 @@ type Server struct {
 	eng         *sweep.Engine
 	adm         *admitter
 	met         *metricsRegistry
+	tenants     *tenant.Registry
 	mux         *http.ServeMux
 	maxDeadline time.Duration
 	fallback    func(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool)
@@ -92,10 +103,15 @@ func New(opts Options) *Server {
 	if maxDeadline <= 0 {
 		maxDeadline = 2 * time.Minute
 	}
+	reg := opts.Tenants
+	if reg == nil {
+		reg = tenant.NewAnonymous()
+	}
 	s := &Server{
 		eng:         eng,
 		adm:         newAdmitter(inflight, depth, opts.Discipline),
 		met:         newMetricsRegistry(),
+		tenants:     reg,
 		mux:         http.NewServeMux(),
 		maxDeadline: maxDeadline,
 		fallback:    opts.LookupFallback,
@@ -103,16 +119,58 @@ func New(opts Options) *Server {
 		start:       time.Now(),
 		drainCh:     make(chan struct{}),
 	}
-	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJob))
-	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweeps", s.handleSweep))
-	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
-	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument("experiments", s.handleExperiment))
-	s.mux.HandleFunc("GET /v1/results/{hash}", s.instrument("results", s.handleResult))
-	s.mux.HandleFunc("GET /v1/results/{hash}/trace", s.instrument("trace", s.handleResultTrace))
-	s.mux.HandleFunc("GET /v1/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.withTenant(s.handleJob)))
+	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweeps", s.withTenant(s.handleSweep)))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.withTenant(s.handleExperimentList)))
+	s.mux.HandleFunc("POST /v1/experiments/{name}", s.instrument("experiments", s.withTenant(s.handleExperiment)))
+	s.mux.HandleFunc("GET /v1/results/{hash}", s.instrument("results", s.withTenant(s.handleResult)))
+	s.mux.HandleFunc("GET /v1/results/{hash}/trace", s.instrument("trace", s.withTenant(s.handleResultTrace)))
+	s.mux.HandleFunc("GET /v1/events", s.instrument("events", s.withTenant(s.handleEvents)))
+	s.mux.HandleFunc("GET /v1/usage", s.instrument("usage", s.withTenant(s.handleUsage)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s
+}
+
+// tenantCtxKey carries the authenticated tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// bearerKey extracts the client's API key: the Authorization Bearer
+// token, or the api_key query parameter as a fallback for clients
+// that cannot set headers (EventSource). Empty means anonymous.
+func bearerKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+		return h // a malformed scheme fails authentication below
+	}
+	return r.URL.Query().Get("api_key")
+}
+
+// withTenant authenticates the request against the tenant registry
+// and stores the tenant record in the request context. Unknown keys
+// answer 401; so does a missing key when anonymous access is off.
+func (s *Server) withTenant(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, err := s.tenants.Authenticate(bearerKey(r))
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="ringsim"`)
+			writeError(w, http.StatusUnauthorized, "%v", err)
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tn)))
+	}
+}
+
+// tenantFrom recovers the authenticated tenant; handlers reached
+// outside withTenant fall back to anonymous.
+func tenantFrom(ctx context.Context) tenant.Tenant {
+	if tn, ok := ctx.Value(tenantCtxKey{}).(tenant.Tenant); ok {
+		return tn
+	}
+	return tenant.Tenant{ID: tenant.AnonymousID, Weight: 1}
 }
 
 // Handler returns the root HTTP handler.
@@ -287,18 +345,45 @@ func jobCost(jobs []sweep.Job) int64 {
 	return cost
 }
 
-// runAdmitted schedules jobs through admission control and the engine,
-// honoring ctx as the request deadline. The engine call runs in its
-// own goroutine: when the deadline fires mid-run the handler answers
-// 504 immediately while undispatched jobs are cancelled and
-// in-progress ones finish into the cache (work conservation).
-func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, jobs []sweep.Job) ([]*sweep.Result, []sweep.Source, bool) {
-	release, err := s.adm.admit(ctx, jobCost(jobs))
+// rejectBusy answers 429 with a Retry-After hint: the tenant's token
+// refill interval when it has a configured rate, else one second.
+func (s *Server) rejectBusy(w http.ResponseWriter, tn tenant.Tenant, format string, args ...any) {
+	retry := s.tenants.RefillInterval(tn.ID)
+	if retry <= 0 {
+		retry = time.Second
+	}
+	w.Header().Set("Retry-After", retryAfterHeader(retry))
+	s.tenants.Record(tn.ID, tenant.Usage{Rejected: 1})
+	writeError(w, http.StatusTooManyRequests, format, args...)
+}
+
+// runAdmitted schedules jobs through the tenant's rate limit,
+// admission control, and the engine, honoring ctx as the request
+// deadline. The engine call runs in its own goroutine: when the
+// deadline fires mid-run the handler answers 504 immediately while
+// undispatched jobs are cancelled and in-progress ones finish into
+// the cache (work conservation). Accepted work is metered against the
+// tenant whether it succeeds or errors.
+func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, tn tenant.Tenant, jobs []sweep.Job) ([]*sweep.Result, []sweep.Source, bool) {
+	if ok, retry := s.tenants.Acquire(tn.ID); !ok {
+		w.Header().Set("Retry-After", retryAfterHeader(retry))
+		s.tenants.Record(tn.ID, tenant.Usage{RateLimited: 1})
+		writeError(w, http.StatusTooManyRequests, "tenant %q rate limited; retry in %s", tn.ID, retryAfterHeader(retry)+"s")
+		return nil, nil, false
+	}
+	begin := time.Now()
+	release, err := s.adm.admit(ctx, limitsFor(tn), jobCost(jobs))
 	if err != nil {
+		var aerr *AdmitError
 		switch {
-		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, "admission queue full (%d queued)", func() int { q, _ := s.adm.gauges(); return q }())
+		case errors.Is(err, ErrQueueFull) && errors.As(err, &aerr):
+			// The depth is the one captured at the instant of rejection,
+			// not a later gauge read racing other requests.
+			s.rejectBusy(w, tn, "admission queue full (%d queued)", aerr.Queued)
+		case errors.Is(err, ErrTenantQuota) && errors.As(err, &aerr):
+			s.rejectBusy(w, tn, "tenant %q admission quota exhausted (%d queued)", tn.ID, aerr.Queued)
 		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "server draining")
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "deadline expired while queued; job cancelled")
@@ -306,6 +391,13 @@ func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, jobs []
 			writeError(w, http.StatusServiceUnavailable, "admission: %v", err)
 		}
 		return nil, nil, false
+	}
+
+	// Tag provenance after admission: the field is hash- and
+	// serialization-exempt, so identical jobs from different tenants
+	// still collapse to one cache entry.
+	for i := range jobs {
+		jobs[i].Tenant = tn.ID
 	}
 
 	type outcome struct {
@@ -324,24 +416,45 @@ func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, jobs []
 	case o := <-ch:
 		switch {
 		case errors.Is(o.err, context.DeadlineExceeded):
+			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
 			return nil, nil, false
 		case errors.Is(o.err, context.Canceled):
 			// Client went away; nothing useful to write.
+			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 			return nil, nil, false
 		case errors.Is(o.err, sweep.ErrUnavailable):
 			// The substrate, not the request, is at fault (e.g. the
-			// cluster has no live workers): retryable, so 503.
+			// cluster has no live workers): retryable, so 503 with a
+			// retry hint.
+			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "%v", o.err)
 			return nil, nil, false
 		case o.err != nil:
+			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 			writeError(w, http.StatusBadRequest, "%v", o.err)
 			return nil, nil, false
 		}
+		u := tenant.Usage{Jobs: uint64(len(jobs)), WallNS: time.Since(begin).Nanoseconds()}
+		for i, src := range o.sources {
+			switch src {
+			case sweep.SourceMemory:
+				u.CacheHits++
+			case sweep.SourceDisk:
+				u.DiskHits++
+			default:
+				u.Computed++
+				// Simulated time consumed by fresh computation, in ps.
+				u.SimulatedPS += int64(o.results[i].Summary().ExecTimeUS * 1e6)
+			}
+		}
+		s.tenants.Record(tn.ID, u)
 		return o.results, o.sources, true
 	case <-ctx.Done():
 		// The engine keeps draining in the background; its release fires
 		// when the last in-progress job completes.
+		s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
 		}
@@ -364,7 +477,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	results, sources, ok := s.runAdmitted(ctx, w, []sweep.Job{job})
+	results, sources, ok := s.runAdmitted(ctx, w, tenantFrom(r.Context()), []sweep.Job{job})
 	if !ok {
 		return
 	}
@@ -400,7 +513,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, name string,
 	}
 	defer cancel()
 	begin := time.Now()
-	results, sources, ok := s.runAdmitted(ctx, w, jobs)
+	results, sources, ok := s.runAdmitted(ctx, w, tenantFrom(r.Context()), jobs)
 	if !ok {
 		return
 	}
@@ -532,11 +645,15 @@ func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
 	tr.WriteTrace(w)
 }
 
-// sseEvent is the JSON payload of one progress event.
+// sseEvent is the JSON payload of one progress event. Tenant is the
+// submitter of the run that triggered the event — provenance for
+// operators watching a shared stream (the Job itself never carries it
+// on the wire).
 type sseEvent struct {
 	Type   string    `json:"type"`
 	Label  string    `json:"label"`
 	Hash   string    `json:"hash"`
+	Tenant string    `json:"tenant,omitempty"`
 	Job    sweep.Job `json:"job"`
 	WallNS int64     `json:"wall_ns,omitempty"`
 	Error  string    `json:"error,omitempty"`
@@ -573,6 +690,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				Type:   ev.Type.String(),
 				Label:  ev.Job.String(),
 				Hash:   ev.Hash,
+				Tenant: ev.Job.Tenant,
 				Job:    ev.Job,
 				WallNS: ev.Wall.Nanoseconds(),
 			}
@@ -602,6 +720,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// usageBody is the ?all=1 form of the /v1/usage response.
+type usageBody struct {
+	Tenants []tenant.TenantUsage `json:"tenants"`
+}
+
+// handleUsage serves GET /v1/usage: the caller's own usage record, or
+// every tenant's with ?all=1 (an operator surface — records carry no
+// API keys either way).
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("all") == "1" {
+		writeJSON(w, http.StatusOK, usageBody{Tenants: s.tenants.All()})
+		return
+	}
+	tn := tenantFrom(r.Context())
+	u, ok := s.tenants.Usage(tn.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no usage for tenant %q", tn.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, u)
 }
 
 // healthBody is the /healthz response.
@@ -707,8 +847,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.renderTenantMetrics(w)
 	s.met.render(w)
 	if s.extraMet != nil {
 		s.extraMet(w)
+	}
+}
+
+// renderTenantMetrics emits the ringsim_tenant_* family: per-tenant
+// job outcomes, rejections, resource consumption, and live admission
+// gauges. Tenants appear in registration order (the registry) and
+// lexicographic order (the admitter), both deterministic.
+func (s *Server) renderTenantMetrics(w io.Writer) {
+	all := s.tenants.All()
+	fmt.Fprintln(w, "# HELP ringsim_tenant_jobs_total Jobs served per tenant by outcome.")
+	fmt.Fprintln(w, "# TYPE ringsim_tenant_jobs_total counter")
+	for _, tu := range all {
+		fmt.Fprintf(w, "ringsim_tenant_jobs_total{tenant=%q,state=\"computed\"} %d\n", tu.ID, tu.Usage.Computed)
+		fmt.Fprintf(w, "ringsim_tenant_jobs_total{tenant=%q,state=\"cache_hits\"} %d\n", tu.ID, tu.Usage.CacheHits)
+		fmt.Fprintf(w, "ringsim_tenant_jobs_total{tenant=%q,state=\"disk_hits\"} %d\n", tu.ID, tu.Usage.DiskHits)
+		fmt.Fprintf(w, "ringsim_tenant_jobs_total{tenant=%q,state=\"errors\"} %d\n", tu.ID, tu.Usage.Errors)
+	}
+	fmt.Fprintln(w, "# HELP ringsim_tenant_rejected_total Requests refused per tenant, by which limit refused them.")
+	fmt.Fprintln(w, "# TYPE ringsim_tenant_rejected_total counter")
+	for _, tu := range all {
+		fmt.Fprintf(w, "ringsim_tenant_rejected_total{tenant=%q,reason=\"rate\"} %d\n", tu.ID, tu.Usage.RateLimited)
+		fmt.Fprintf(w, "ringsim_tenant_rejected_total{tenant=%q,reason=\"admission\"} %d\n", tu.ID, tu.Usage.Rejected)
+	}
+	fmt.Fprintln(w, "# HELP ringsim_tenant_simulated_ns_total Simulated nanoseconds computed on each tenant's behalf.")
+	fmt.Fprintln(w, "# TYPE ringsim_tenant_simulated_ns_total counter")
+	for _, tu := range all {
+		fmt.Fprintf(w, "ringsim_tenant_simulated_ns_total{tenant=%q} %d\n", tu.ID, tu.Usage.SimulatedPS/1000)
+	}
+	fmt.Fprintln(w, "# HELP ringsim_tenant_request_seconds_total Wall clock spent serving each tenant's admitted requests.")
+	fmt.Fprintln(w, "# TYPE ringsim_tenant_request_seconds_total counter")
+	for _, tu := range all {
+		fmt.Fprintf(w, "ringsim_tenant_request_seconds_total{tenant=%q} %g\n", tu.ID, time.Duration(tu.Usage.WallNS).Seconds())
+	}
+	gauges := s.adm.tenantGauges()
+	fmt.Fprintln(w, "# HELP ringsim_tenant_queue_depth Requests waiting in each tenant's admission flow.")
+	fmt.Fprintln(w, "# TYPE ringsim_tenant_queue_depth gauge")
+	for _, g := range gauges {
+		fmt.Fprintf(w, "ringsim_tenant_queue_depth{tenant=%q} %d\n", g.id, g.queued)
+	}
+	fmt.Fprintln(w, "# HELP ringsim_tenant_in_flight Requests holding execution slots per tenant.")
+	fmt.Fprintln(w, "# TYPE ringsim_tenant_in_flight gauge")
+	for _, g := range gauges {
+		fmt.Fprintf(w, "ringsim_tenant_in_flight{tenant=%q} %d\n", g.id, g.inflight)
 	}
 }

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/tenant"
+)
+
+// postJobAs submits one job authenticated as the given API key.
+func postJobAs(t *testing.T, url, key string, job sweep.Job) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp, raw
+}
+
+func mustRegistry(t *testing.T, tenants []tenant.Tenant, allowAnon bool) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.New(tenants, allowAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestTenantAuth(t *testing.T) {
+	reg := mustRegistry(t, []tenant.Tenant{
+		{ID: "acme", Keys: []string{"acme-key"}},
+	}, false)
+	_, ts := newTestServer(t, &fakeExecutor{}, Options{Tenants: reg})
+
+	if resp, raw := postJobAs(t, ts.URL, "", testJob(1)); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("anonymous submit with anon disabled: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp, raw := postJobAs(t, ts.URL, "wrong-key", testJob(1)); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("unknown key: status %d: %s", resp.StatusCode, raw)
+	} else if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 without WWW-Authenticate")
+	}
+	if resp, raw := postJobAs(t, ts.URL, "acme-key", testJob(1)); resp.StatusCode != http.StatusOK {
+		t.Errorf("valid key: status %d: %s", resp.StatusCode, raw)
+	}
+
+	// The api_key query parameter authenticates clients that cannot set
+	// headers (EventSource).
+	resp, err := http.Get(ts.URL + "/v1/usage?api_key=acme-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("api_key query auth: status %d", resp.StatusCode)
+	}
+	var u tenant.TenantUsage
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	if u.ID != "acme" || u.Usage.Jobs != 1 || u.Usage.Computed != 1 {
+		t.Errorf("usage after one computed job = %+v", u)
+	}
+}
+
+func TestTenantRateLimitRetryAfter(t *testing.T) {
+	reg := mustRegistry(t, []tenant.Tenant{
+		{ID: "slow", Keys: []string{"slow-key"}, RatePerSec: 0.5, Burst: 1},
+	}, false)
+	_, ts := newTestServer(t, &fakeExecutor{}, Options{Tenants: reg})
+
+	if resp, raw := postJobAs(t, ts.URL, "slow-key", testJob(1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("burst token submit: status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw := postJobAs(t, ts.URL, "slow-key", testJob(2))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit: status %d: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("rate-limit 429 Retry-After = %q, want a positive whole-second hint", ra)
+	}
+	var u tenant.TenantUsage
+	if tu, ok := reg.Usage("slow"); ok {
+		u = tu
+	}
+	if u.Usage.RateLimited != 1 {
+		t.Errorf("rate_limited count = %d, want 1", u.Usage.RateLimited)
+	}
+}
+
+// TestTwoTenantIsolation floods the server with one tenant's batch
+// jobs and checks the other tenant's interactive requests still
+// complete promptly: the flood saturates its own quota (429 with
+// Retry-After) instead of the shared queue, and the fair queue grants
+// the interactive tenant a slot per round instead of parking it
+// behind the backlog.
+func TestTwoTenantIsolation(t *testing.T) {
+	reg := mustRegistry(t, []tenant.Tenant{
+		{ID: "batch", Keys: []string{"batch-key"}, MaxQueued: 4, MaxInFlight: 1},
+		{ID: "inter", Keys: []string{"inter-key"}, Weight: 2},
+	}, false)
+	fake := &fakeExecutor{delay: 20 * time.Millisecond}
+	_, ts := newTestServer(t, fake, Options{Tenants: reg, MaxInFlight: 2, QueueDepth: 64})
+
+	// The flood: 24 concurrent distinct jobs from the batch tenant.
+	var flood sync.WaitGroup
+	var rejected atomic.Int64
+	var retryAfterSeen atomic.Bool
+	stop := make(chan struct{})
+	for i := 0; i < 24; i++ {
+		flood.Add(1)
+		go func(seed uint64) {
+			defer flood.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, _ := postJobAs(t, ts.URL, "batch-key", testJob(seed))
+				if resp.StatusCode == http.StatusTooManyRequests {
+					rejected.Add(1)
+					if resp.Header.Get("Retry-After") != "" {
+						retryAfterSeen.Store(true)
+					}
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				return
+			}
+		}(uint64(100 + i))
+	}
+
+	// The interactive tenant submits sequentially through the flood.
+	var worst time.Duration
+	for i := 0; i < 5; i++ {
+		begin := time.Now()
+		resp, raw := postJobAs(t, ts.URL, "inter-key", testJob(uint64(1000+i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("interactive job %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		if d := time.Since(begin); d > worst {
+			worst = d
+		}
+	}
+	close(stop)
+	flood.Wait()
+
+	if rejected.Load() == 0 {
+		t.Error("batch flood never hit its quota (want 429s)")
+	} else if !retryAfterSeen.Load() {
+		t.Error("quota 429s carried no Retry-After header")
+	}
+	// With max_in_flight 1 for batch, one of 2 slots is always free
+	// within ~one job time for the interactive tenant; 2s is orders of
+	// magnitude of headroom over the 20ms job.
+	if worst > 2*time.Second {
+		t.Errorf("interactive worst-case latency %v under batch flood, want bounded well under 2s", worst)
+	}
+
+	bu, _ := reg.Usage("batch")
+	if bu.Usage.Rejected == 0 {
+		t.Error("batch tenant usage recorded no admission rejections")
+	}
+}
+
+// TestTenantMetricsAndUsageAll checks the ringsim_tenant_* exposition
+// family and the operator-wide usage listing.
+func TestTenantMetricsAndUsageAll(t *testing.T) {
+	reg := mustRegistry(t, []tenant.Tenant{
+		{ID: "acme", Keys: []string{"acme-key"}, Weight: 3},
+	}, true)
+	_, ts := newTestServer(t, &fakeExecutor{}, Options{Tenants: reg})
+
+	postJobAs(t, ts.URL, "acme-key", testJob(1))
+	postJobAs(t, ts.URL, "acme-key", testJob(1)) // memory hit
+	postJobAs(t, ts.URL, "", testJob(2))         // anonymous
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		`ringsim_tenant_jobs_total{tenant="acme",state="computed"} 1`,
+		`ringsim_tenant_jobs_total{tenant="acme",state="cache_hits"} 1`,
+		`ringsim_tenant_jobs_total{tenant="anonymous",state="computed"} 1`,
+		`ringsim_tenant_queue_depth{tenant="acme"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/usage?all=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Tenants []tenant.TenantUsage `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Tenants) != 2 {
+		t.Fatalf("usage?all=1 listed %d tenants, want 2", len(body.Tenants))
+	}
+	if body.Tenants[0].ID != "acme" || body.Tenants[0].Usage.Jobs != 2 {
+		t.Errorf("acme usage = %+v", body.Tenants[0])
+	}
+	// The listing must never leak API keys.
+	if strings.Contains(fmt.Sprintf("%+v", body), "acme-key") {
+		t.Error("usage listing leaked an API key")
+	}
+}

@@ -79,6 +79,14 @@ type Job struct {
 	// is derived from the job hash (which covers Seed), so distinct
 	// jobs never share an RNG stream.
 	Seed uint64 `json:"seed"`
+
+	// Tenant is serving-layer provenance: which tenant submitted the
+	// job. It is deliberately excluded from serialization — the same
+	// simulation point submitted by two tenants is one experiment with
+	// one cache entry — so it never reaches the content hash, the disk
+	// cache, or the cluster wire body (the cluster carries it in a
+	// header instead).
+	Tenant string `json:"-"`
 }
 
 // Normalize fills the identity-defining defaults so that two spellings

@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTenantExcludedFromIdentity pins the multi-tenant cache
+// contract: the Tenant provenance tag never reaches a job's canonical
+// form, so the same simulation point submitted by different tenants
+// is byte-identical by hash — one experiment, one cache entry — and
+// the tag never leaks into serialized artifacts.
+func TestTenantExcludedFromIdentity(t *testing.T) {
+	base := Job{Benchmark: "MP3D", CPUs: 8, Seed: 7}
+	tagged := base
+	tagged.Tenant = "acme"
+	other := base
+	other.Tenant = "rival"
+
+	if !bytes.Equal(base.Canonical(), tagged.Canonical()) {
+		t.Errorf("canonical form differs with tenant tag:\n  %s\n  %s", base.Canonical(), tagged.Canonical())
+	}
+	if base.Hash() != tagged.Hash() || tagged.Hash() != other.Hash() {
+		t.Error("tenant tag changed the content hash")
+	}
+	if base.RNGSeed() != tagged.RNGSeed() {
+		t.Error("tenant tag changed the derived RNG seed")
+	}
+	if strings.Contains(string(tagged.Canonical()), "acme") {
+		t.Error("tenant id leaked into the canonical serialization")
+	}
+}

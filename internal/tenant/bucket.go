@@ -1,0 +1,39 @@
+package tenant
+
+import "time"
+
+// bucket is a token bucket: tokens refill continuously at rate per
+// second up to burst, and each admission takes one. rate <= 0 means
+// unlimited. Callers synchronize access (the registry's lock).
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) bucket {
+	return bucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take refills for the elapsed time, then takes one token. When the
+// bucket is empty it reports the wait until the next token accrues.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Time for the deficit to refill to one whole token.
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

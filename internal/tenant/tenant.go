@@ -1,0 +1,320 @@
+// Package tenant is the multi-tenant serving model: API keys resolve
+// to tenant records, each tenant carries a fair-queue weight, a
+// token-bucket rate limit, and admission quotas (max queued, max in
+// flight), and every tenant accumulates usage (jobs, cache hits,
+// simulated time, wall time) the serving layer surfaces as
+// `ringsim_tenant_*` metrics and `GET /v1/usage`.
+//
+// The model mirrors the paper's framing one level up: the admission
+// queue is the shared medium, tenants are the processors contending
+// for it, and the registry holds the arbitration parameters — weights
+// for the deficit-round-robin service discipline and per-tenant flow
+// control so one tenant's burst cannot monopolize the slot stream.
+//
+// The registry is loaded from a JSON file (`ringserved -tenants`) or
+// constructed in memory; an anonymous default tenant preserves the
+// keyless single-user mode every earlier layer was built against.
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// AnonymousID is the tenant every unauthenticated request maps to
+// when anonymous access is allowed. The anonymous tenant has weight 1
+// and no rate limit or quotas, which is exactly the pre-tenant
+// behavior of the serving layer.
+const AnonymousID = "anonymous"
+
+// Authentication errors; the HTTP layer maps both to 401.
+var (
+	ErrUnknownKey = errors.New("tenant: unknown API key")
+	ErrAnonymous  = errors.New("tenant: anonymous access disabled; present an API key")
+)
+
+// Tenant is one account's serving contract. The zero value of every
+// limit field means "unlimited" (weight zero means 1), so a minimal
+// record is just an ID and its keys.
+type Tenant struct {
+	// ID is the tenant's stable identity: the fair-queue flow key, the
+	// metrics label, and the provenance tag on jobs and SSE events.
+	ID string `json:"id"`
+	// Name is a human-readable label (reports, usage listings).
+	Name string `json:"name,omitempty"`
+	// Keys are the API keys that authenticate as this tenant
+	// (Authorization: Bearer <key>).
+	Keys []string `json:"keys,omitempty"`
+	// Weight is the tenant's deficit-round-robin share: under
+	// contention a weight-3 tenant receives 3x the admission service
+	// of a weight-1 tenant. Zero means 1.
+	Weight int `json:"weight,omitempty"`
+	// RatePerSec is the token-bucket refill rate in admissions per
+	// second; zero disables rate limiting for the tenant.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity; zero defaults to ceil(RatePerSec)
+	// (at least 1) when a rate is set.
+	Burst int `json:"burst,omitempty"`
+	// MaxQueued caps the tenant's waiting admission requests; zero
+	// means only the server-global queue depth bounds it.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxInFlight caps the tenant's concurrently executing requests;
+	// zero means only the server-global in-flight bound applies.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// normalize fills the defaulted fields.
+func (t Tenant) normalize() Tenant {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.RatePerSec > 0 && t.Burst <= 0 {
+		t.Burst = int(t.RatePerSec + 0.999)
+		if t.Burst < 1 {
+			t.Burst = 1
+		}
+	}
+	return t
+}
+
+// Usage is a tenant's cumulative consumption. Jobs counts submitted
+// jobs that completed (partitioned by Computed/CacheHits/DiskHits/
+// Errors); RateLimited and Rejected count admissions refused at the
+// door (token bucket vs queue/quota overflow); SimulatedPS and WallNS
+// are the simulated picoseconds and request wall-clock the tenant's
+// completed requests consumed.
+type Usage struct {
+	Jobs        uint64 `json:"jobs"`
+	Computed    uint64 `json:"computed"`
+	CacheHits   uint64 `json:"cache_hits"`
+	DiskHits    uint64 `json:"disk_hits"`
+	Errors      uint64 `json:"errors"`
+	RateLimited uint64 `json:"rate_limited"`
+	Rejected    uint64 `json:"rejected"`
+	SimulatedPS int64  `json:"simulated_ps"`
+	WallNS      int64  `json:"wall_ns"`
+}
+
+// add folds a delta in.
+func (u *Usage) add(d Usage) {
+	u.Jobs += d.Jobs
+	u.Computed += d.Computed
+	u.CacheHits += d.CacheHits
+	u.DiskHits += d.DiskHits
+	u.Errors += d.Errors
+	u.RateLimited += d.RateLimited
+	u.Rejected += d.Rejected
+	u.SimulatedPS += d.SimulatedPS
+	u.WallNS += d.WallNS
+}
+
+// TenantUsage is one tenant's public usage record — what GET
+// /v1/usage returns. It deliberately omits the tenant's keys.
+type TenantUsage struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Weight int    `json:"weight"`
+	Usage  Usage  `json:"usage"`
+}
+
+// state is one tenant's live registry entry.
+type state struct {
+	t      Tenant
+	bucket bucket
+	usage  Usage
+}
+
+// Registry resolves API keys to tenants, enforces their token-bucket
+// rate limits, and accumulates their usage. Safe for concurrent use.
+type Registry struct {
+	now func() time.Time
+
+	mu        sync.Mutex
+	byKey     map[string]*state
+	byID      map[string]*state
+	order     []string // tenant IDs in registration order, for stable listings
+	allowAnon bool
+}
+
+// New builds a registry over the given tenants. allowAnon additionally
+// registers the anonymous default tenant and maps keyless requests to
+// it; with allowAnon false every request must present a known key.
+func New(tenants []Tenant, allowAnon bool) (*Registry, error) {
+	r := &Registry{
+		now:       time.Now,
+		byKey:     make(map[string]*state),
+		byID:      make(map[string]*state),
+		allowAnon: allowAnon,
+	}
+	for _, t := range tenants {
+		if t.ID == "" {
+			return nil, fmt.Errorf("tenant: record with empty id")
+		}
+		if err := r.register(t); err != nil {
+			return nil, err
+		}
+	}
+	if allowAnon {
+		if _, ok := r.byID[AnonymousID]; !ok {
+			if err := r.register(Tenant{ID: AnonymousID}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// NewAnonymous is the compatibility registry: anonymous access only,
+// no limits — the serving layer's pre-tenant behavior.
+func NewAnonymous() *Registry {
+	r, err := New(nil, true)
+	if err != nil {
+		panic(err) // cannot fail: no tenants, no duplicate keys
+	}
+	return r
+}
+
+// tenantsFile is the -tenants JSON document. A bare array of tenant
+// records is also accepted.
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// Load reads a tenants file: either {"tenants": [...]} or a bare
+// [...] array of tenant records.
+func Load(path string, allowAnon bool) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %v", err)
+	}
+	var doc tenantsFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		var bare []Tenant
+		if berr := json.Unmarshal(data, &bare); berr != nil {
+			return nil, fmt.Errorf("tenant: parse %s: %v", path, err)
+		}
+		doc.Tenants = bare
+	}
+	if len(doc.Tenants) == 0 {
+		return nil, fmt.Errorf("tenant: %s defines no tenants", path)
+	}
+	return New(doc.Tenants, allowAnon)
+}
+
+// register adds one tenant under the lock-free construction path.
+func (r *Registry) register(t Tenant) error {
+	t = t.normalize()
+	if _, dup := r.byID[t.ID]; dup {
+		return fmt.Errorf("tenant: duplicate tenant id %q", t.ID)
+	}
+	st := &state{t: t, bucket: newBucket(t.RatePerSec, t.Burst, r.now())}
+	for _, k := range t.Keys {
+		if k == "" {
+			return fmt.Errorf("tenant: %s has an empty API key", t.ID)
+		}
+		if _, dup := r.byKey[k]; dup {
+			return fmt.Errorf("tenant: API key %q registered twice", k)
+		}
+		r.byKey[k] = st
+	}
+	r.byID[t.ID] = st
+	r.order = append(r.order, t.ID)
+	return nil
+}
+
+// AllowAnon reports whether keyless requests are accepted.
+func (r *Registry) AllowAnon() bool { return r.allowAnon }
+
+// Authenticate resolves an API key to its tenant. An empty key maps
+// to the anonymous tenant when anonymous access is allowed.
+func (r *Registry) Authenticate(key string) (Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if key == "" {
+		if !r.allowAnon {
+			return Tenant{}, ErrAnonymous
+		}
+		return r.byID[AnonymousID].t, nil
+	}
+	st, ok := r.byKey[key]
+	if !ok {
+		return Tenant{}, ErrUnknownKey
+	}
+	return st.t, nil
+}
+
+// Get returns a tenant by ID.
+func (r *Registry) Get(id string) (Tenant, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.byID[id]
+	if !ok {
+		return Tenant{}, false
+	}
+	return st.t, true
+}
+
+// Acquire takes one admission token from the tenant's bucket. When
+// the bucket is empty it reports false plus the wait until the next
+// token — the Retry-After hint. Unknown tenants and tenants without a
+// rate limit always succeed.
+func (r *Registry) Acquire(id string) (ok bool, retryAfter time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, found := r.byID[id]
+	if !found {
+		return true, 0
+	}
+	return st.bucket.take(r.now())
+}
+
+// RefillInterval returns the tenant's mean time between tokens — the
+// Retry-After hint for rejections that are not themselves bucket
+// misses (queue or quota overflow). Zero when the tenant is
+// unlimited or unknown.
+func (r *Registry) RefillInterval(id string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, found := r.byID[id]
+	if !found || st.t.RatePerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / st.t.RatePerSec)
+}
+
+// Record folds a usage delta into the tenant's accumulator. Deltas
+// for unknown tenants are dropped (a registry swap mid-request).
+func (r *Registry) Record(id string, d Usage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.byID[id]; ok {
+		st.usage.add(d)
+	}
+}
+
+// Usage returns one tenant's usage record.
+func (r *Registry) Usage(id string) (TenantUsage, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.byID[id]
+	if !ok {
+		return TenantUsage{}, false
+	}
+	return TenantUsage{ID: st.t.ID, Name: st.t.Name, Weight: st.t.Weight, Usage: st.usage}, true
+}
+
+// All returns every tenant's usage record in registration order.
+func (r *Registry) All() []TenantUsage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TenantUsage, 0, len(r.order))
+	for _, id := range r.order {
+		st := r.byID[id]
+		out = append(out, TenantUsage{ID: st.t.ID, Name: st.t.Name, Weight: st.t.Weight, Usage: st.usage})
+	}
+	return out
+}

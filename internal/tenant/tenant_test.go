@@ -1,0 +1,171 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testTenants() []Tenant {
+	return []Tenant{
+		{ID: "acme", Name: "Acme", Keys: []string{"acme-key-1", "acme-key-2"}, Weight: 4,
+			RatePerSec: 2, Burst: 2, MaxQueued: 8, MaxInFlight: 2},
+		{ID: "solo", Keys: []string{"solo-key"}},
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	r, err := New(testTenants(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"acme-key-1", "acme-key-2"} {
+		tn, err := r.Authenticate(key)
+		if err != nil || tn.ID != "acme" {
+			t.Errorf("Authenticate(%q) = %+v, %v", key, tn, err)
+		}
+		if tn.Weight != 4 {
+			t.Errorf("acme weight %d, want 4", tn.Weight)
+		}
+	}
+	if tn, err := r.Authenticate("solo-key"); err != nil || tn.ID != "solo" || tn.Weight != 1 {
+		t.Errorf("solo = %+v, %v (weight defaults to 1)", tn, err)
+	}
+	if _, err := r.Authenticate("no-such-key"); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown key err = %v", err)
+	}
+	if tn, err := r.Authenticate(""); err != nil || tn.ID != AnonymousID {
+		t.Errorf("anonymous = %+v, %v", tn, err)
+	}
+
+	strict, err := New(testTenants(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.Authenticate(""); !errors.Is(err, ErrAnonymous) {
+		t.Errorf("strict anonymous err = %v, want ErrAnonymous", err)
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New([]Tenant{{ID: "a", Keys: []string{"k"}}, {ID: "a"}}, false); err == nil {
+		t.Error("duplicate tenant id accepted")
+	}
+	if _, err := New([]Tenant{{ID: "a", Keys: []string{"k"}}, {ID: "b", Keys: []string{"k"}}}, false); err == nil {
+		t.Error("duplicate API key accepted")
+	}
+	if _, err := New([]Tenant{{ID: "", Keys: []string{"k"}}}, false); err == nil {
+		t.Error("empty tenant id accepted")
+	}
+	if _, err := New([]Tenant{{ID: "a", Keys: []string{""}}}, false); err == nil {
+		t.Error("empty API key accepted")
+	}
+}
+
+func TestLoadFileForms(t *testing.T) {
+	dir := t.TempDir()
+	obj := filepath.Join(dir, "obj.json")
+	os.WriteFile(obj, []byte(`{"tenants":[{"id":"a","keys":["ka"],"weight":2}]}`), 0o644)
+	bare := filepath.Join(dir, "bare.json")
+	os.WriteFile(bare, []byte(`[{"id":"b","keys":["kb"]}]`), 0o644)
+
+	for _, path := range []string{obj, bare} {
+		r, err := Load(path, true)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if got := len(r.All()); got != 2 { // the tenant plus anonymous
+			t.Errorf("%s: %d tenants, want 2", path, got)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json"), true); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"tenants":[]}`), 0o644)
+	if _, err := Load(empty, true); err == nil {
+		t.Error("empty tenants file accepted")
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	r, err := New(testTenants(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+
+	// acme: rate 2/s, burst 2 — two immediate tokens, then refusal with
+	// a refill hint.
+	for i := 0; i < 2; i++ {
+		if ok, _ := r.Acquire("acme"); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := r.Acquire("acme")
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Errorf("retry hint %v, want (0, 500ms] at rate 2/s", retry)
+	}
+	// After the hinted wait the next token exists.
+	now = now.Add(retry)
+	if ok, _ := r.Acquire("acme"); !ok {
+		t.Error("token missing after the hinted wait")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := r.Acquire("acme"); ok {
+			granted++
+		}
+	}
+	if granted != 2 {
+		t.Errorf("after long idle granted %d tokens, want burst 2", granted)
+	}
+
+	// Unlimited tenants never block.
+	for i := 0; i < 100; i++ {
+		if ok, _ := r.Acquire("solo"); !ok {
+			t.Fatal("unlimited tenant rate limited")
+		}
+	}
+	if iv := r.RefillInterval("acme"); iv != 500*time.Millisecond {
+		t.Errorf("RefillInterval(acme) = %v, want 500ms", iv)
+	}
+	if iv := r.RefillInterval("solo"); iv != 0 {
+		t.Errorf("RefillInterval(solo) = %v, want 0", iv)
+	}
+}
+
+func TestUsageAccumulation(t *testing.T) {
+	r, err := New(testTenants(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record("acme", Usage{Jobs: 3, Computed: 1, CacheHits: 2, SimulatedPS: 500, WallNS: 40})
+	r.Record("acme", Usage{Jobs: 1, DiskHits: 1, Rejected: 2, RateLimited: 1, WallNS: 10})
+	r.Record("ghost", Usage{Jobs: 99}) // dropped, not a crash
+
+	u, ok := r.Usage("acme")
+	if !ok {
+		t.Fatal("acme usage missing")
+	}
+	want := Usage{Jobs: 4, Computed: 1, CacheHits: 2, DiskHits: 1,
+		Rejected: 2, RateLimited: 1, SimulatedPS: 500, WallNS: 50}
+	if u.Usage != want {
+		t.Errorf("usage = %+v, want %+v", u.Usage, want)
+	}
+	all := r.All()
+	if len(all) != 3 || all[0].ID != "acme" || all[1].ID != "solo" || all[2].ID != AnonymousID {
+		t.Errorf("All() order = %+v", all)
+	}
+	if _, ok := r.Usage("ghost"); ok {
+		t.Error("unknown tenant reported usage")
+	}
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# bench6.sh — BENCH_6: multi-tenant serving (DESIGN.md §13).
+#
+# Two questions, answered with fixed-service-time jobs (kind "sleep",
+# enabled by -synthexec) so the numbers measure the serving plane and
+# not the simulator:
+#
+#  1. What does the tenancy layer cost when it is NOT used? The same
+#     workload runs against an anonymous server and against a
+#     tenant-enabled server with every request authenticating; the
+#     keyed run must stay within 3% of anonymous throughput.
+#  2. How does the shared queue behave as tenants multiply? The same
+#     aggregate workload runs split across 1, 2 and 4 keyed tenants
+#     (first tenant weight 2, rest weight 1) and the report records
+#     per-tenant throughput and latency percentiles.
+#
+# Usage: scripts/bench6.sh [out.json]   (default BENCH_6.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_6.json}"
+PORT_BASE="${PORT_BASE:-19180}"
+REQUESTS="${REQUESTS:-80}"
+REFS="${REFS:-20000}" # 20 ms synthetic service time per job
+CONCURRENCY="${CONCURRENCY:-8}"
+TMP="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/ringserved" ./cmd/ringserved
+go build -o "$TMP/ringload" ./cmd/ringload
+
+wait_healthz() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$1/healthz" >/dev/null && return 0
+    sleep 0.1
+  done
+  echo "bench6: port $1 never became healthy" >&2
+  return 1
+}
+
+# tenants_file <n> — n tenants t1..tn; t1 has weight 2, the rest 1.
+tenants_file() {
+  local n="$1" path="$TMP/tenants_$1.json" sep=""
+  {
+    printf '{"tenants": ['
+    for i in $(seq 1 "$n"); do
+      local w=1
+      [ "$i" = 1 ] && w=2
+      printf '%s{"id": "t%d", "keys": ["key%d"], "weight": %d}' "$sep" "$i" "$i" "$w"
+      sep=", "
+    done
+    printf ']}\n'
+  } >"$path"
+  echo "$path"
+}
+
+# run_phase <port> <outjson> <ringload tenant args...> -- <ringserved args...>
+run_phase() {
+  local port="$1" out="$2"
+  shift 2
+  local load_args=() srv_args=()
+  while [ "$1" != "--" ]; do load_args+=("$1"); shift; done
+  shift
+  srv_args=("$@")
+  "$TMP/ringserved" -synthexec -addr "127.0.0.1:$port" -workers 4 -inflight 4 \
+    -queue 256 "${srv_args[@]}" >"$TMP/srv_$port.log" 2>&1 &
+  local spid=$!
+  PIDS+=("$spid")
+  wait_healthz "$port"
+  # -jobs == -requests: every submission is a distinct, cache-cold job.
+  "$TMP/ringload" -url "http://127.0.0.1:$port" -kind sleep -refs "$REFS" \
+    -requests "$REQUESTS" -jobs "$REQUESTS" -concurrency "$CONCURRENCY" \
+    "${load_args[@]}" -out "$out" >"$TMP/load_$port.log"
+  kill "$spid" 2>/dev/null || true
+  wait "$spid" 2>/dev/null || true
+}
+
+echo "bench6: anonymous vs keyed overhead ($REQUESTS jobs x ${REFS}us)"
+run_phase "$PORT_BASE" "$TMP/anon.json" -- # no tenants file, keyless
+TF1="$(tenants_file 1)"
+run_phase $((PORT_BASE + 1)) "$TMP/keyed.json" -apikey key1 -- \
+  -tenants "$TF1" -allowanon=false
+
+echo "bench6: per-tenant shares at 1, 2, 4 tenants"
+run_phase $((PORT_BASE + 2)) "$TMP/ten1.json" -tenants "t1=key1" -- \
+  -tenants "$(tenants_file 1)" -allowanon=false
+run_phase $((PORT_BASE + 3)) "$TMP/ten2.json" -tenants "t1=key1,t2=key2" -- \
+  -tenants "$(tenants_file 2)" -allowanon=false
+run_phase $((PORT_BASE + 4)) "$TMP/ten4.json" \
+  -tenants "t1=key1,t2=key2,t3=key3,t4=key4" -- \
+  -tenants "$(tenants_file 4)" -allowanon=false
+
+python3 - "$TMP" "$OUT" "$REQUESTS" "$REFS" "$CONCURRENCY" <<'EOF'
+import json, sys
+tmp, out, requests, refs, conc = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+
+def load(name):
+    rep = json.load(open(f"{tmp}/{name}.json"))
+    assert rep["errors"] == 0 and rep.get("rejected", 0) == 0, (name, rep)
+    return rep
+
+anon, keyed = load("anon"), load("keyed")
+overhead = 1.0 - keyed["req_per_sec"] / anon["req_per_sec"]
+
+phases = []
+for n in (1, 2, 4):
+    rep = load(f"ten{n}")
+    per = [{
+        "tenant": t["label"],
+        "requests": t["requests"],
+        "p50_ms": t["p50_ms"],
+        "p95_ms": t["p95_ms"],
+        "p99_ms": t["p99_ms"],
+    } for t in rep["tenants"]]
+    assert len(per) == n, (n, per)
+    phases.append({
+        "tenants": n,
+        "req_per_sec": round(rep["req_per_sec"], 2),
+        "p50_ms": rep["p50_ms"],
+        "p99_ms": rep["p99_ms"],
+        "per_tenant": per,
+    })
+
+doc = {
+    "workload": {"kind": "sleep", "service_time_us": refs,
+                 "requests": requests, "distinct_jobs": requests,
+                 "concurrency": conc},
+    "note": ("fixed-service-time jobs via -synthexec: measures the tenancy layer "
+             "(auth, token buckets, DRR fair queueing), independent of the simulator"),
+    "anonymous_req_per_sec": round(anon["req_per_sec"], 2),
+    "keyed_req_per_sec": round(keyed["req_per_sec"], 2),
+    "tenancy_overhead": round(overhead, 4),
+    "phases": phases,
+}
+json.dump(doc, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(f"bench6: tenancy overhead {overhead * 100:.2f}%, "
+      f"shares at 4 tenants: {[t['requests'] for t in phases[2]['per_tenant']]} -> {out}")
+assert overhead <= 0.03, f"tenancy overhead {overhead:.4f} > 3%"
+EOF
