@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// parallelScalePoint is one partition count's measurement in the
+// parallel-kernel scaling experiment.
+type parallelScalePoint struct {
+	Partitions int   `json:"partitions"`
+	WallNS     int64 `json:"wall_ns"`
+	// Speedup is sequential wall clock over this point's wall clock.
+	Speedup float64 `json:"speedup"`
+	// Identical records whether this point's result artifact matched
+	// the sequential reference field for field. The suite treats any
+	// false here as a hard failure.
+	Identical      bool    `json:"identical"`
+	Fallback       string  `json:"fallback,omitempty"`
+	Windows        uint64  `json:"windows"`
+	CrossEvents    uint64  `json:"cross_events"`
+	BarrierStallNS []int64 `json:"barrier_stall_ns"`
+}
+
+// parallelScaleReport is the parallelscale experiment's record in the
+// benchmark JSON. Speedup claims are only meaningful when NumCPU
+// covers the partition count, so the host's core count is part of the
+// record.
+type parallelScaleReport struct {
+	Benchmark  string               `json:"benchmark"`
+	CPUs       int                  `json:"cpus"`
+	RefsPerCPU int                  `json:"refs_per_cpu"`
+	Seed       uint64               `json:"seed"`
+	NumCPU     int                  `json:"num_cpu"`
+	SeqWallNS  int64                `json:"seq_wall_ns"`
+	Points     []parallelScalePoint `json:"points"`
+}
+
+// scaleRefsMultiplier stretches the calibration-length -refs into a
+// simulation long enough that per-run wall clock dominates partition
+// startup cost.
+const scaleRefsMultiplier = 10
+
+// parallelScaleConfig is the covered-class configuration the scaling
+// experiment measures: the 64-processor private-workload machine on
+// the directory protocol, the largest configuration the profile table
+// carries.
+func parallelScaleConfig(refs int, seed uint64, partitions int) repro.Config {
+	return repro.Config{
+		Protocol:       "directory-ring",
+		Benchmark:      "PRIVATE",
+		CPUs:           64,
+		ProcCycleNS:    5,
+		RingMHz:        500,
+		RingWidthBits:  32,
+		DataRefsPerCPU: refs,
+		Seed:           seed,
+		Parallel:       partitions,
+	}
+}
+
+// canonResult strips the execution-metadata fields from a result so
+// two runs can be compared on simulated outcomes alone.
+func canonResult(r repro.Result) repro.Result {
+	r.Partitions = 0
+	r.ParallelFallback = ""
+	r.ParallelWindows = 0
+	r.ParallelCrossEvents = 0
+	r.BarrierStallNS = nil
+	return r
+}
+
+// runParallelScale measures wall clock and verifies result identity for
+// the covered-class machine across partition counts 1..maxP. Each
+// point is the best of two runs, damping scheduler noise.
+func runParallelScale(refs int, seed uint64, maxP int) (*parallelScaleReport, string, error) {
+	if maxP <= 1 {
+		maxP = runtime.NumCPU()
+		if maxP > 8 {
+			maxP = 8
+		}
+		// Even on small hosts, sweep to 4 partitions: identity under
+		// real concurrency is worth checking regardless of whether the
+		// cores exist to make it faster.
+		if maxP < 4 {
+			maxP = 4
+		}
+	}
+	var plist []int
+	for p := 1; p <= maxP; p *= 2 {
+		plist = append(plist, p)
+	}
+	if last := plist[len(plist)-1]; last != maxP {
+		plist = append(plist, maxP)
+	}
+
+	srefs := refs * scaleRefsMultiplier
+	rep := &parallelScaleReport{
+		Benchmark:  "PRIVATE",
+		CPUs:       64,
+		RefsPerCPU: srefs,
+		Seed:       seed,
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	run := func(p int) (*repro.Result, time.Duration, error) {
+		var best *repro.Result
+		var wall time.Duration
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			res, err := repro.Run(parallelScaleConfig(srefs, seed, p))
+			w := time.Since(start)
+			if err != nil {
+				return nil, 0, err
+			}
+			if best == nil || w < wall {
+				best, wall = res, w
+			}
+		}
+		return best, wall, nil
+	}
+
+	ref, seqWall, err := run(1)
+	if err != nil {
+		return nil, "", err
+	}
+	rep.SeqWallNS = seqWall.Nanoseconds()
+	want := canonResult(*ref)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel kernel scaling: %s/%d CPUs, %d refs/CPU, %d host cores\n",
+		rep.Benchmark, rep.CPUs, srefs, rep.NumCPU)
+	fmt.Fprintf(&b, "%5s %10s %8s %9s %7s %s\n",
+		"parts", "wall", "speedup", "identical", "windows", "barrier stall / partition")
+	for _, p := range plist {
+		res, wall, err := run(p)
+		if err != nil {
+			return nil, "", err
+		}
+		pt := parallelScalePoint{
+			Partitions:     res.Partitions,
+			WallNS:         wall.Nanoseconds(),
+			Speedup:        float64(seqWall) / float64(wall),
+			Identical:      reflect.DeepEqual(canonResult(*res), want),
+			Fallback:       res.ParallelFallback,
+			Windows:        res.ParallelWindows,
+			CrossEvents:    res.ParallelCrossEvents,
+			BarrierStallNS: res.BarrierStallNS,
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(&b, "%5d %10s %7.2fx %9v %7d %s\n",
+			pt.Partitions, wall.Round(time.Millisecond), pt.Speedup,
+			pt.Identical, pt.Windows, stallSummary(pt.BarrierStallNS))
+		if !pt.Identical {
+			return nil, "", fmt.Errorf(
+				"parallelscale: P=%d result diverged from sequential", p)
+		}
+		if pt.Fallback != "" {
+			return nil, "", fmt.Errorf(
+				"parallelscale: covered configuration fell back: %s", pt.Fallback)
+		}
+	}
+	return rep, b.String(), nil
+}
+
+// stallSummary renders per-partition barrier-stall wall clock.
+func stallSummary(ns []int64) string {
+	if len(ns) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ns))
+	for i, v := range ns {
+		parts[i] = time.Duration(v).Round(100 * time.Microsecond).String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -57,7 +57,12 @@ type Engine struct {
 
 	// WriteBacks counts dirty-eviction transfers.
 	WriteBacks uint64
+	wbByNode   []uint64
 }
+
+// WriteBacksOf returns the write-backs caused by node's own evictions;
+// the core's per-processor warmup gating reads it.
+func (e *Engine) WriteBacksOf(node int) uint64 { return e.wbByNode[node] }
 
 // New returns a bus snooping engine over b.
 func New(b *bus.Bus, opts Options) *Engine {
@@ -72,6 +77,7 @@ func New(b *bus.Bus, opts Options) *Engine {
 		home:   homeMapFor(n, opts),
 		meta:   make(map[uint64]*blockMeta),
 	}
+	e.wbByNode = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		e.caches[i] = cache.New(opts.Cache)
 		e.banks[i] = memory.NewBank(k, "mem")
@@ -123,6 +129,7 @@ func (e *Engine) fill(node int, block uint64, st coherence.State) {
 // writeBack moves a dirty block home, off the critical path.
 func (e *Engine) writeBack(node int, block uint64) {
 	e.WriteBacks++
+	e.wbByNode[node]++
 	h := e.home.Home(block)
 	land := func(sim.Time) {
 		m := e.metaFor(block)

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// privateGen builds the PRIVATE workload the parallel covered class
+// requires.
+func privateGen(cpus, refs int, seed uint64) *workload.Generator {
+	prof, ok := workload.ProfileFor("PRIVATE", cpus)
+	if !ok {
+		panic(fmt.Sprintf("no PRIVATE/%d profile", cpus))
+	}
+	return workload.NewGenerator(workload.Config{Profile: prof, DataRefsPerCPU: refs, Seed: seed})
+}
+
+// snapJSON renders a run's result artifact in its canonical serialized
+// form — the byte string the cross-check compares.
+func snapJSON(t *testing.T, m *Metrics) string {
+	t.Helper()
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestParallelByteIdenticalToSequential is the headline correctness
+// guarantee: for covered configurations, a partitioned run's result
+// artifact is byte-for-byte the sequential kernel's, across seeds,
+// partition counts, and warmup gating.
+func TestParallelByteIdenticalToSequential(t *testing.T) {
+	for _, cpus := range []int{8, 16} {
+		for _, seed := range []uint64{1, 7, 1993} {
+			cfg := Config{Protocol: DirectoryRing, Seed: seed, WarmupDataRefs: 150}
+			gen := privateGen(cpus, 600, seed)
+			seq := Run(cfg, gen)
+			if seq.Parallel.Partitions != 1 || seq.Parallel.Fallback != "" {
+				t.Fatalf("sequential run reported %+v", seq.Parallel)
+			}
+			if seq.DataRefs == 0 || seq.PrivateMisses == 0 {
+				t.Fatalf("degenerate sequential run: %+v", seq)
+			}
+			want := snapJSON(t, seq)
+			for _, p := range []int{2, 3, 4, 8} {
+				if p > cpus {
+					continue
+				}
+				pcfg := cfg
+				pcfg.Parallel = p
+				got := Run(pcfg, privateGen(cpus, 600, seed))
+				if got.Parallel.Fallback != "" {
+					t.Fatalf("cpus=%d seed=%d P=%d: unexpected fallback %q",
+						cpus, seed, p, got.Parallel.Fallback)
+				}
+				if got.Parallel.Partitions != p {
+					t.Fatalf("cpus=%d seed=%d: partitions = %d, want %d",
+						cpus, seed, got.Parallel.Partitions, p)
+				}
+				if g := snapJSON(t, got); g != want {
+					t.Errorf("cpus=%d seed=%d P=%d: parallel result diverged from sequential\nseq: %s\npar: %s",
+						cpus, seed, p, want, g)
+				}
+				if got.Parallel.Windows == 0 || len(got.Parallel.BarrierStallNS) != p {
+					t.Errorf("cpus=%d seed=%d P=%d: missing sync stats %+v",
+						cpus, seed, p, got.Parallel)
+				}
+				if got.Parallel.CrossEvents != 0 {
+					t.Errorf("covered class posted %d cross events; domains must be independent",
+						got.Parallel.CrossEvents)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFallsBackLoudly pins the other half of the contract:
+// every configuration outside the covered class runs sequentially,
+// names why, and produces exactly the sequential artifact.
+func TestParallelFallsBackLoudly(t *testing.T) {
+	mp3d := func(seed uint64) *workload.Generator {
+		return workload.NewGenerator(workload.Config{
+			Profile: workload.MustProfile("MP3D", 16), DataRefsPerCPU: 400, Seed: seed})
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		gen  func() workload.Source
+	}{
+		{"snoop-ring", Config{Protocol: SnoopRing, Seed: 3, WarmupDataRefs: 100},
+			func() workload.Source { return mp3d(3) }},
+		{"sci-ring", Config{Protocol: SCIRing, Seed: 3, WarmupDataRefs: 100},
+			func() workload.Source { return mp3d(3) }},
+		{"snoop-bus", Config{Protocol: SnoopBus, Seed: 3, WarmupDataRefs: 100},
+			func() workload.Source { return mp3d(3) }},
+		{"hier-ring", Config{Protocol: HierRing, Clusters: 4, Seed: 3, WarmupDataRefs: 100},
+			func() workload.Source { return mp3d(3) }},
+		{"shared-workload", Config{Protocol: DirectoryRing, Seed: 3, WarmupDataRefs: 100},
+			func() workload.Source { return mp3d(3) }},
+		{"traced", Config{Protocol: DirectoryRing, Seed: 3, Trace: obs.Config{SampleEvery: 8}},
+			func() workload.Source { return privateGen(16, 400, 3) }},
+		{"non-blocking-stores", Config{Protocol: DirectoryRing, Seed: 3, NonBlockingStores: true},
+			func() workload.Source { return privateGen(16, 400, 3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqCfg := tc.cfg
+			seq := NewSystem(seqCfg, tc.gen()).Run()
+			want := snapJSON(t, seq)
+
+			parCfg := tc.cfg
+			parCfg.Parallel = 4
+			got := Run(parCfg, tc.gen())
+			if got.Parallel.Partitions != 1 {
+				t.Fatalf("uncovered config ran with %d partitions", got.Parallel.Partitions)
+			}
+			if got.Parallel.Fallback == "" {
+				t.Fatal("fallback reason missing: uncovered configs must report why")
+			}
+			if got.Parallel.Requested != 4 {
+				t.Fatalf("Requested = %d, want 4", got.Parallel.Requested)
+			}
+			if g := snapJSON(t, got); g != want {
+				t.Errorf("fallback run diverged from plain sequential\nseq: %s\nfb:  %s", want, g)
+			}
+		})
+	}
+}
+
+// TestParallelClampsToCPUs: requesting more partitions than processors
+// clamps rather than building empty domains.
+func TestParallelClampsToCPUs(t *testing.T) {
+	cfg := Config{Protocol: DirectoryRing, Seed: 2, Parallel: 64}
+	m := Run(cfg, privateGen(8, 300, 2))
+	if m.Parallel.Partitions != 8 {
+		t.Fatalf("partitions = %d, want clamp to 8 CPUs", m.Parallel.Partitions)
+	}
+	if m.Parallel.Fallback != "" {
+		t.Fatalf("unexpected fallback %q", m.Parallel.Fallback)
+	}
+}

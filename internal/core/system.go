@@ -132,6 +132,13 @@ type Config struct {
 	// ring buffers; ring and bus occupancy timelines are captured for
 	// the whole measured window.
 	Trace obs.Config
+	// Parallel requests a partitioned parallel run with that many
+	// domains (see Run and ParallelStats). 0 or 1 runs the sequential
+	// kernel exactly as before; higher values are honored only for
+	// configurations the partitioner covers, and fall back loudly
+	// (Metrics.Parallel.Fallback) otherwise. Only the Run entry point
+	// consults it; System always executes sequentially.
+	Parallel int
 }
 
 // Metrics aggregates one run's results.
@@ -198,6 +205,36 @@ type Metrics struct {
 	// of the run, not part of the deterministic simulated-machine
 	// results.
 	Trace *obs.Tracer
+
+	// Parallel describes how the run was executed (partition count,
+	// synchronization counters, fallback reason). Like EventsFired it is
+	// excluded from MetricsSnapshot: it describes the simulator's
+	// execution strategy, and the covered-config guarantee is precisely
+	// that the strategy never changes the simulated-machine results.
+	Parallel ParallelStats
+}
+
+// ParallelStats reports how a Run executed: the partitioning actually
+// used, the conservative-window synchronization counters, and — when
+// the requested parallelism could not be honored — the loud fallback
+// reason.
+type ParallelStats struct {
+	// Requested is Config.Parallel as asked for.
+	Requested int `json:"requested"`
+	// Partitions is the partition count actually used (1 = sequential).
+	Partitions int `json:"partitions"`
+	// Fallback is empty when the request was honored; otherwise it names
+	// why the run fell back to the sequential kernel. Configurations the
+	// partitioner cannot prove independent are never run in parallel
+	// silently.
+	Fallback string `json:"fallback,omitempty"`
+	// Windows and CrossEvents are the parallel kernel's barrier-window
+	// and cross-partition-event counts.
+	Windows     uint64 `json:"windows"`
+	CrossEvents uint64 `json:"cross_events"`
+	// BarrierStallNS is wall-clock nanoseconds each partition spent
+	// waiting at window barriers (imbalance signal).
+	BarrierStallNS []int64 `json:"barrier_stall_ns,omitempty"`
 }
 
 // ProcUtil returns the average processor utilization: busy over
@@ -227,7 +264,10 @@ func (m *Metrics) TotalMissRate() float64 {
 	return float64(m.SharedMisses+m.PrivateMisses) / float64(m.DataRefs)
 }
 
-// System is a runnable simulated multiprocessor.
+// System is a runnable simulated multiprocessor — or, for parallel
+// runs, one partition of it: a System owns the processors in the node
+// range [lo, hi) of its workload, which is the full range for the
+// sequential entry points.
 type System struct {
 	cfg    Config
 	k      *sim.Kernel
@@ -237,13 +277,69 @@ type System struct {
 	bus    *bus.Bus
 	tracer *obs.Tracer
 	procs  []*proc
+	lo, hi int
 	m      Metrics
+
+	// Latency aggregates accumulate in integer picoseconds and become
+	// the public stats.Mean fields in one finalize step. Integer sums
+	// are exact and order-free, which is what lets a partitioned run
+	// merge per-domain aggregates into byte-identical results; the
+	// incremental float path the Means used to take is neither.
+	missAcc, invAcc, bufAcc latAcc
 
 	running    int
 	finished   int
 	warmed     int
-	wbBase     uint64
 	blockBytes int
+}
+
+// latAcc accumulates a latency population exactly: integer-picosecond
+// sum, count, min and max. mean() converts to the reported stats.Mean
+// with a single division per moment, so the result is independent of
+// observation order and of how the population was split across
+// partitions.
+type latAcc struct {
+	n            uint64
+	sumPS        int64
+	minPS, maxPS sim.Time
+}
+
+func (a *latAcc) observe(lat sim.Time) {
+	if a.n == 0 || lat < a.minPS {
+		a.minPS = lat
+	}
+	if a.n == 0 || lat > a.maxPS {
+		a.maxPS = lat
+	}
+	a.n++
+	a.sumPS += int64(lat)
+}
+
+// merge folds b into a; used by the parallel runner in fixed domain
+// order (the integer moments make the order irrelevant, but a fixed
+// order keeps the reduction auditable).
+func (a *latAcc) merge(b *latAcc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 || b.minPS < a.minPS {
+		a.minPS = b.minPS
+	}
+	if a.n == 0 || b.maxPS > a.maxPS {
+		a.maxPS = b.maxPS
+	}
+	a.n += b.n
+	a.sumPS += b.sumPS
+}
+
+// mean renders the accumulator as the public nanosecond stats.Mean.
+func (a *latAcc) mean() stats.Mean {
+	if a.n == 0 {
+		return stats.Mean{}
+	}
+	return stats.MeanFromMoments(a.n,
+		float64(a.sumPS)/float64(sim.Nanosecond),
+		a.minPS.Nanoseconds(), a.maxPS.Nanoseconds())
 }
 
 // proc is one blocking processor. It doubles as the sim.EventHandler
@@ -260,6 +356,13 @@ type proc struct {
 	finish     sim.Time
 	dataIssued int
 	warm       bool
+	// wbBase is the processor's engine write-back count at the instant
+	// it warmed; the run's WriteBacks metric is the per-processor
+	// post-warm sum. Gating each node at its own warm instant (like
+	// every other per-processor aggregate, and like the tracer's span
+	// counts) makes the metric independent of how processors are
+	// partitioned across domains.
+	wbBase uint64
 	// Pending issue event state: the data reference to access when the
 	// compute cycles elapse, or eol when the stream is exhausted.
 	ref   trace.Ref
@@ -284,6 +387,17 @@ type proc struct {
 // NewSystem builds a system running src under cfg. The node count comes
 // from the workload.
 func NewSystem(cfg Config, src workload.Source) *System {
+	return newSystemOn(sim.NewKernel(), cfg, src, 0, src.NumCPUs())
+}
+
+// newSystemOn builds a system on an existing kernel, owning only the
+// processors in [lo, hi). The sequential path passes the full range; the
+// parallel runner builds one domain per partition, each on its own
+// kernel shard. A domain still models the full machine's geometry (ring,
+// home placement) so node ids and addresses mean the same thing
+// everywhere, but it drives — and for the directory engine, allocates —
+// only its own nodes.
+func newSystemOn(k *sim.Kernel, cfg Config, src workload.Source, lo, hi int) *System {
 	if cfg.ProcCycle == 0 {
 		cfg.ProcCycle = DefaultProcCycle
 	}
@@ -291,8 +405,7 @@ func NewSystem(cfg Config, src workload.Source) *System {
 		cfg.WriteBufferDepth = 8
 	}
 	n := src.NumCPUs()
-	k := sim.NewKernel()
-	s := &System{cfg: cfg, k: k, src: src}
+	s := &System{cfg: cfg, k: k, src: src, lo: lo, hi: hi}
 	s.m.ClassCount = make(map[coherence.MissClass]uint64)
 	s.m.MissTraversals = stats.NewDistribution()
 	s.m.InvTraversals = stats.NewDistribution()
@@ -318,7 +431,14 @@ func NewSystem(cfg Config, src workload.Source) *System {
 		case SnoopRing:
 			s.engine = snoop.New(r, snoop.Options{Cache: cfg.Cache, Home: home, Tracer: s.tracer})
 		case DirectoryRing:
-			s.engine = directory.New(r, directory.Options{Cache: cfg.Cache, Home: home, Tracer: s.tracer})
+			dopts := directory.Options{Cache: cfg.Cache, Home: home, Tracer: s.tracer}
+			if lo != 0 || hi != n {
+				// A partition domain: allocate caches/banks only for the
+				// owned nodes. Touching a foreign node then fails fast on
+				// a nil cache instead of corrupting a peer domain's twin.
+				dopts.NodeLo, dopts.NodeHi = lo, hi
+			}
+			s.engine = directory.New(r, dopts)
 		case SCIRing:
 			s.engine = scilist.New(r, scilist.Options{Cache: cfg.Cache, Home: home})
 		}
@@ -370,10 +490,10 @@ func NewSystem(cfg Config, src workload.Source) *System {
 	if s.blockBytes == 0 {
 		s.blockBytes = cache.DefaultConfig.BlockBytes
 	}
-	s.procs = make([]*proc, n)
+	s.procs = make([]*proc, hi-lo)
 	for i := range s.procs {
 		p := &proc{
-			id:            i,
+			id:            lo + i,
 			sys:           s,
 			warm:          cfg.WarmupDataRefs == 0,
 			pendingBlocks: make(map[uint64]bool),
@@ -389,7 +509,7 @@ func NewSystem(cfg Config, src workload.Source) *System {
 		s.procs[i] = p
 		if p.warm {
 			s.warmed++
-			s.tracer.SetWarm(i)
+			s.tracer.SetWarm(p.id)
 		}
 	}
 	return s
@@ -402,6 +522,7 @@ func (s *System) crossWarmup(p *proc) {
 	p.warm = true
 	p.busy = 0
 	p.stall = 0
+	p.wbBase = s.writeBacksOf(p.id)
 	s.warmed++
 	s.tracer.SetWarm(p.id)
 	if s.warmed == len(s.procs) {
@@ -415,25 +536,12 @@ func (s *System) crossWarmup(p *proc) {
 		if rs, ok := s.engine.(interface{ ResetNetStats() }); ok {
 			rs.ResetNetStats()
 		}
-		s.wbBase = s.scrapeWriteBacks()
 	}
 }
 
-// scrapeWriteBacks reads the engine's write-back counter.
-func (s *System) scrapeWriteBacks() uint64 {
-	switch e := s.engine.(type) {
-	case *snoop.Engine:
-		return e.WriteBacks
-	case *directory.Engine:
-		return e.WriteBacks
-	case *scilist.Engine:
-		return e.WriteBacks
-	case *bussnoop.Engine:
-		return e.WriteBacks
-	case *hier.Engine:
-		return e.WriteBacks
-	}
-	return 0
+// writeBacksOf reads node's eviction write-back count from the engine.
+func (s *System) writeBacksOf(node int) uint64 {
+	return s.engine.(interface{ WriteBacksOf(int) uint64 }).WriteBacksOf(node)
 }
 
 // Kernel returns the simulation kernel (tests and tools).
@@ -451,11 +559,28 @@ func (s *System) Bus() *bus.Bus { return s.bus }
 // Run executes every processor's stream to completion and returns the
 // metrics.
 func (s *System) Run() *Metrics {
+	s.start()
+	s.k.Run()
+	s.collect()
+	s.finalize()
+	return &s.m
+}
+
+// start schedules every processor's first issue event. The parallel
+// runner calls it on each domain before driving the shared parallel
+// kernel.
+func (s *System) start() {
 	s.running = len(s.procs)
 	for _, p := range s.procs {
 		s.advance(p)
 	}
-	s.k.Run()
+}
+
+// collect folds the post-run state into the metrics: completion checks,
+// interconnect utilization, write-backs, kernel counters. It leaves the
+// latency accumulators raw so the parallel runner can merge domains
+// exactly; finalize renders them.
+func (s *System) collect() {
 	if s.finished != len(s.procs) {
 		panic(fmt.Sprintf("core: %d of %d processors did not finish (deadlock?)",
 			len(s.procs)-s.finished, len(s.procs)))
@@ -470,12 +595,24 @@ func (s *System) Run() *Metrics {
 			s.m.NetworkUtil = rep.NetworkUtilization()
 		}
 	}
-	s.m.WriteBacks = s.scrapeWriteBacks() - s.wbBase
+	var wb uint64
+	for _, p := range s.procs {
+		wb += s.writeBacksOf(p.id) - p.wbBase
+	}
+	s.m.WriteBacks = wb
 	s.m.EventsFired = s.k.Fired()
 	s.m.EventSlab = s.k.SlabSize()
 	s.tracer.Finish(s.k.Now())
 	s.m.Trace = s.tracer
-	return &s.m
+}
+
+// finalize renders the integer latency accumulators into the public
+// Mean fields — the single division per moment that keeps the result
+// independent of observation order and domain partitioning.
+func (s *System) finalize() {
+	s.m.MissLatency = s.missAcc.mean()
+	s.m.InvLatency = s.invAcc.mean()
+	s.m.BufferedLatency = s.bufAcc.mean()
 }
 
 // Metrics returns the metrics collected so far.
@@ -618,7 +755,7 @@ func (s *System) recordNonBlocking(p *proc, r trace.Ref, lat sim.Time, res coher
 	}
 	s.m.TxnCount[res.Txn]++
 	s.m.BufferedStores++
-	s.m.BufferedLatency.Observe(lat.Nanoseconds())
+	s.bufAcc.observe(lat)
 	switch res.Txn {
 	case coherence.Invalidation:
 		s.m.Upgrades++
@@ -660,7 +797,7 @@ func (s *System) record(p *proc, r trace.Ref, lat sim.Time, res coherence.Result
 		if res.Local {
 			s.m.LocalInvs++
 		}
-		s.m.InvLatency.Observe(lat.Nanoseconds())
+		s.invAcc.observe(lat)
 		if res.Traversals > 0 {
 			s.m.InvTraversals.Observe(res.Traversals)
 		}
@@ -676,7 +813,7 @@ func (s *System) record(p *proc, r trace.Ref, lat sim.Time, res coherence.Result
 		} else {
 			s.m.PrivateMisses++
 		}
-		s.m.MissLatency.Observe(lat.Nanoseconds())
+		s.missAcc.observe(lat)
 		if res.Traversals > 0 {
 			s.m.MissTraversals.Observe(res.Traversals)
 		}

@@ -44,6 +44,13 @@ type Options struct {
 	// Tracer, when non-nil, records coherence transactions as obs
 	// spans with phase annotations.
 	Tracer *obs.Tracer
+	// NodeLo/NodeHi, when NodeHi > 0, restrict the engine to nodes in
+	// [NodeLo, NodeHi): only their caches and banks are allocated. The
+	// parallel partitioner uses this for domain replicas — a node-range
+	// engine that somehow touches a node outside its range hits a nil
+	// cache or bank immediately instead of silently corrupting a peer
+	// partition's state. Zero values mean all nodes.
+	NodeLo, NodeHi int
 }
 
 func (o *Options) fill() {
@@ -64,7 +71,12 @@ type Engine struct {
 
 	// WriteBacks counts dirty-eviction block messages.
 	WriteBacks uint64
+	wbByNode   []uint64
 }
+
+// WriteBacksOf returns the write-backs caused by node's own evictions;
+// the core's per-processor warmup gating reads it.
+func (e *Engine) WriteBacksOf(node int) uint64 { return e.wbByNode[node] }
 
 // New returns a directory engine over r.
 func New(r *ring.Ring, opts Options) *Engine {
@@ -80,7 +92,12 @@ func New(r *ring.Ring, opts Options) *Engine {
 		dir:    memory.NewDirectory(),
 		tr:     opts.Tracer,
 	}
-	for i := 0; i < n; i++ {
+	e.wbByNode = make([]uint64, n)
+	lo, hi := 0, n
+	if opts.NodeHi > 0 {
+		lo, hi = opts.NodeLo, opts.NodeHi
+	}
+	for i := lo; i < hi; i++ {
 		e.caches[i] = cache.New(opts.Cache)
 		e.banks[i] = memory.NewBank(k, "mem")
 	}
@@ -132,6 +149,7 @@ var DebugEvict func(node int, filler, victim uint64)
 // writeBack returns a dirty block to its home, off the critical path.
 func (e *Engine) writeBack(node int, block uint64) {
 	e.WriteBacks++
+	e.wbByNode[node]++
 	sp := e.tr.Begin(node, e.k.Now())
 	h := e.home.Home(block)
 	land := func() {

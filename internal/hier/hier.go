@@ -68,6 +68,7 @@ type Engine struct {
 
 	// WriteBacks counts dirty-eviction transfers.
 	WriteBacks uint64
+	wbByNode   []uint64
 	// Txns counts coherence transactions (misses and upgrades);
 	// GlobalTxns the subset that crossed the global ring. Both span the
 	// whole run.
@@ -95,6 +96,7 @@ func New(k *sim.Kernel, nodes int, opts Options) *Engine {
 		perClus:  per,
 		caches:   make([]*cache.Cache, nodes),
 		banks:    make([]*memory.Bank, nodes),
+		wbByNode: make([]uint64, nodes),
 		meta:     make(map[uint64]*hmeta),
 	}
 	gc := opts.Ring
@@ -244,9 +246,14 @@ func (e *Engine) fill(node int, block uint64, st coherence.State) {
 	}
 }
 
+// WriteBacksOf returns the write-backs caused by node's own evictions;
+// the core's per-processor warmup gating reads it.
+func (e *Engine) WriteBacksOf(node int) uint64 { return e.wbByNode[node] }
+
 // writeBack returns a dirty block to its home, off the critical path.
 func (e *Engine) writeBack(node int, block uint64) {
 	e.WriteBacks++
+	e.wbByNode[node]++
 	h := e.home.Home(block)
 	land := func(sim.Time) {
 		m := e.metaFor(block)

@@ -58,7 +58,12 @@ type Engine struct {
 
 	// WriteBacks counts dirty-eviction block messages.
 	WriteBacks uint64
+	wbByNode   []uint64
 }
+
+// WriteBacksOf returns the write-backs caused by node's own evictions;
+// the core's per-processor warmup gating reads it.
+func (e *Engine) WriteBacksOf(node int) uint64 { return e.wbByNode[node] }
 
 // New returns a linked-list engine over r.
 func New(r *ring.Ring, opts Options) *Engine {
@@ -73,6 +78,7 @@ func New(r *ring.Ring, opts Options) *Engine {
 		home:   homeMapFor(n, opts),
 		dir:    memory.NewDirectory(),
 	}
+	e.wbByNode = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		e.caches[i] = cache.New(opts.Cache)
 		e.banks[i] = memory.NewBank(k, "mem")
@@ -117,6 +123,7 @@ func (e *Engine) fill(node int, block uint64, st coherence.State) {
 	}
 	if v.Dirty {
 		e.WriteBacks++
+		e.wbByNode[node]++
 		h := e.home.Home(v.Block)
 		land := func() {
 			e.banks[h].Access(func() { e.dir.Line(v.Block).RemoveSharer(node) })

@@ -326,6 +326,18 @@ func (k *Kernel) peekMin() (uint32, bool) {
 	}
 }
 
+// PeekTime reports the timestamp of the earliest pending event
+// without dispatching it. The parallel kernel's window scheduler uses
+// it to anchor each barrier window at the global minimum next-event
+// time.
+func (k *Kernel) PeekTime() (Time, bool) {
+	idx, ok := k.peekMin()
+	if !ok {
+		return 0, false
+	}
+	return k.recs[idx].at, true
+}
+
 // popMin removes and returns the earliest pending event.
 func (k *Kernel) popMin() (uint32, bool) {
 	idx, ok := k.peekMin()

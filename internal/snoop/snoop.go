@@ -73,7 +73,12 @@ type Engine struct {
 	// WriteBacks counts the block messages sent home on dirty
 	// evictions (off the critical path).
 	WriteBacks uint64
+	wbByNode   []uint64
 }
+
+// WriteBacksOf returns the write-backs caused by node's own evictions;
+// the core's per-processor warmup gating reads it.
+func (e *Engine) WriteBacksOf(node int) uint64 { return e.wbByNode[node] }
 
 // New returns a snooping engine over r.
 func New(r *ring.Ring, opts Options) *Engine {
@@ -89,6 +94,7 @@ func New(r *ring.Ring, opts Options) *Engine {
 		meta:   make(map[uint64]*blockMeta),
 		tr:     opts.Tracer,
 	}
+	e.wbByNode = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		e.caches[i] = cache.New(opts.Cache)
 		e.banks[i] = memory.NewBank(k, "mem")
@@ -142,6 +148,7 @@ func (e *Engine) fill(node int, block uint64, st coherence.State) {
 // path. The home clears the dirty bit when the block message arrives.
 func (e *Engine) writeBack(node int, block uint64) {
 	e.WriteBacks++
+	e.wbByNode[node]++
 	sp := e.tr.Begin(node, e.k.Now())
 	m := e.metaFor(block)
 	h := e.home.Home(block)

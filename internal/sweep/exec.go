@@ -64,12 +64,13 @@ func (j Job) SystemConfig() (core.Config, error) {
 // excludes from measurement, matching the repro facade.
 const standaloneWarmup = 600
 
-// standaloneExecutor builds the default executor with an engine-wide
-// tracing config. Tracing is an observer, never part of a job's
-// identity: the simulated results are bit-identical with it on or off,
-// so traced and untraced runs of the same job share one cache entry.
-func standaloneExecutor(trace obs.Config) Executor {
-	return func(j Job) (*core.Metrics, error) { return runStandalone(j, trace) }
+// standaloneExecutor builds the default executor with engine-wide
+// tracing and parallelism configs. Both are execution details, never
+// part of a job's identity: the simulated results are bit-identical
+// with them on or off, so all variants of the same job share one cache
+// entry.
+func standaloneExecutor(trace obs.Config, parallel int) Executor {
+	return func(j Job) (*core.Metrics, error) { return runStandalone(j, trace, parallel) }
 }
 
 // runStandalone is the default executor: one complete machine over the
@@ -77,7 +78,7 @@ func standaloneExecutor(trace obs.Config) Executor {
 // builds. The workload and home-placement RNG seed is derived from the
 // job's content hash, so every job owns an independent, reproducible
 // random stream no matter which worker runs it.
-func runStandalone(j Job, trace obs.Config) (*core.Metrics, error) {
+func runStandalone(j Job, trace obs.Config, parallel int) (*core.Metrics, error) {
 	j = j.Normalize()
 	prof, ok := workload.ProfileFor(j.Benchmark, j.CPUs)
 	if !ok {
@@ -90,6 +91,7 @@ func runStandalone(j Job, trace obs.Config) (*core.Metrics, error) {
 	seed := j.RNGSeed()
 	cfg.Seed = seed
 	cfg.Trace = trace
+	cfg.Parallel = parallel
 	if cfg.WarmupDataRefs == 0 {
 		cfg.WarmupDataRefs = standaloneWarmup
 	}
@@ -98,5 +100,5 @@ func runStandalone(j Job, trace obs.Config) (*core.Metrics, error) {
 		DataRefsPerCPU: j.DataRefsPerCPU + cfg.WarmupDataRefs,
 		Seed:           seed,
 	})
-	return core.NewSystem(cfg, gen).Run(), nil
+	return core.Run(cfg, gen), nil
 }

@@ -133,7 +133,7 @@ func TestDuplicateJobsInOneBatchComputeOnce(t *testing.T) {
 	var computed atomic.Int64
 	counting := func(j Job) (*core.Metrics, error) {
 		computed.Add(1)
-		return runStandalone(j, obs.Config{})
+		return runStandalone(j, obs.Config{}, 0)
 	}
 	e := New(Options{Workers: 8, Executors: map[string]Executor{"": counting}})
 	job := Job{Benchmark: "MP3D", CPUs: 8, DataRefsPerCPU: 200}
@@ -260,7 +260,7 @@ func TestStandaloneMatchesDirectSimulation(t *testing.T) {
 	// hand with the derived seed — memoization never changes results.
 	job := Job{Protocol: "snoop-ring", Benchmark: "WATER", CPUs: 8,
 		ProcCyclePS: int64(5 * sim.Nanosecond), DataRefsPerCPU: 400, Seed: 3}
-	direct, err := runStandalone(job, obs.Config{})
+	direct, err := runStandalone(job, obs.Config{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,6 +112,14 @@ type Config struct {
 	// resulting Perfetto trace. Zero (the default) disables tracing
 	// entirely; the simulated results are identical either way.
 	TraceSample int
+	// Parallel, when > 1, requests a partitioned parallel simulation
+	// with that many domains. Covered configurations (directory-ring
+	// protocol over a private-only workload such as the PRIVATE
+	// benchmarks, untraced, blocking stores) produce results
+	// byte-identical to the sequential kernel; everything else falls
+	// back to sequential execution with Result.ParallelFallback naming
+	// why. 0 or 1 (the default) is today's sequential kernel, untouched.
+	Parallel int
 }
 
 func (c *Config) fill() error {
@@ -185,6 +193,20 @@ type Result struct {
 	TotalMissRate float64
 	// Misses and Upgrades count coherence transactions.
 	Misses, Upgrades uint64
+
+	// Partitions is how many parallel domains executed the run (1 =
+	// sequential); ParallelFallback names why a Config.Parallel request
+	// was not honored (empty when it was, or was never made).
+	Partitions       int
+	ParallelFallback string
+	// ParallelWindows counts conservative barrier windows,
+	// ParallelCrossEvents the events exchanged between partitions, and
+	// BarrierStallNS the wall-clock nanoseconds each partition spent
+	// waiting at window barriers (per-partition imbalance signal); all
+	// zero for sequential runs.
+	ParallelWindows     uint64
+	ParallelCrossEvents uint64
+	BarrierStallNS      []int64
 
 	// tr is the run's transaction tracer when Config.TraceSample
 	// enabled it (see HasTrace / WriteTrace / SpanClasses).
@@ -267,7 +289,7 @@ func Run(cfg Config) (*Result, error) {
 		DataRefsPerCPU: cfg.DataRefsPerCPU + warmup,
 		Seed:           cfg.Seed,
 	})
-	sys := core.NewSystem(core.Config{
+	m := core.Run(core.Config{
 		Protocol:       proto,
 		ProcCycle:      sim.Time(cfg.ProcCycleNS * float64(sim.Nanosecond)),
 		Ring:           ring.Config{ClockPS: sim.Time(1e6 / float64(cfg.RingMHz)), WidthBits: cfg.RingWidthBits},
@@ -276,19 +298,24 @@ func Run(cfg Config) (*Result, error) {
 		Seed:           cfg.Seed,
 		WarmupDataRefs: warmup,
 		Trace:          obs.Config{SampleEvery: cfg.TraceSample},
+		Parallel:       cfg.Parallel,
 	}, gen)
-	m := sys.Run()
 	return &Result{
-		tr:             m.Trace,
-		ProcUtil:       m.ProcUtil(),
-		NetworkUtil:    m.NetworkUtil,
-		MissLatencyNS:  m.MissLatency.Value(),
-		InvLatencyNS:   m.InvLatency.Value(),
-		ExecTimeUS:     m.ExecTime.Nanoseconds() / 1000,
-		SharedMissRate: m.SharedMissRate(),
-		TotalMissRate:  m.TotalMissRate(),
-		Misses:         m.SharedMisses + m.PrivateMisses,
-		Upgrades:       m.Upgrades,
+		tr:                  m.Trace,
+		ProcUtil:            m.ProcUtil(),
+		NetworkUtil:         m.NetworkUtil,
+		MissLatencyNS:       m.MissLatency.Value(),
+		InvLatencyNS:        m.InvLatency.Value(),
+		ExecTimeUS:          m.ExecTime.Nanoseconds() / 1000,
+		SharedMissRate:      m.SharedMissRate(),
+		TotalMissRate:       m.TotalMissRate(),
+		Misses:              m.SharedMisses + m.PrivateMisses,
+		Upgrades:            m.Upgrades,
+		Partitions:          m.Parallel.Partitions,
+		ParallelFallback:    m.Parallel.Fallback,
+		ParallelWindows:     m.Parallel.Windows,
+		ParallelCrossEvents: m.Parallel.CrossEvents,
+		BarrierStallNS:      m.Parallel.BarrierStallNS,
 	}, nil
 }
 

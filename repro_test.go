@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -58,7 +59,7 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config differed:\n%+v\n%+v", a, b)
 	}
 }
@@ -196,7 +197,7 @@ func TestRunTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *res != *res2 {
+	if !reflect.DeepEqual(res, res2) {
 		t.Fatal("trace replay not deterministic")
 	}
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench7.sh — BENCH_7: parallel partitioned simulation kernel (DESIGN.md §14).
+#
+# Runs the ringbench parallelscale experiment: the covered-class
+# machine (PRIVATE/64 on the directory protocol) simulated sequentially
+# and across 2..P event-kernel partitions, timing each and comparing
+# every parallel result field-for-field against the sequential
+# reference. The assertions below enforce the contract:
+#
+#  1. Every partition count produces a result identical to sequential,
+#     with no silent fallback, and zero cross-partition events (the
+#     covered class is provably decoupled).
+#  2. On hosts with >= 4 cores, >= 4 partitions deliver >= 2x the
+#     sequential wall clock. On smaller hosts the speedup target is
+#     recorded but not enforced — partitions can't outrun the cores
+#     that run them.
+#
+# Usage: scripts/bench7.sh [out.json]   (default BENCH_7.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_7.json}"
+REFS="${REFS:-2000}"      # calibration length; parallelscale stretches it 10x
+PARALLEL="${PARALLEL:-1}" # 1 = sweep to the host default (>=4 partitions)
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/ringbench" ./cmd/ringbench
+"$TMP/ringbench" -only parallelscale -refs "$REFS" -parallel "$PARALLEL" -json "$OUT"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+ps = doc.get("parallel_scale")
+assert ps, "parallelscale experiment produced no parallel_scale record"
+
+points = ps["points"]
+assert points and points[0]["partitions"] == 1, points
+assert any(p["partitions"] >= 4 for p in points), \
+    f"sweep never reached 4 partitions: {[p['partitions'] for p in points]}"
+
+for p in points:
+    assert p["identical"], f"P={p['partitions']} diverged from sequential"
+    assert not p.get("fallback"), \
+        f"P={p['partitions']} fell back: {p['fallback']}"
+    if p["partitions"] > 1:
+        assert p["windows"] > 0, f"P={p['partitions']} advanced no windows"
+        assert p["cross_events"] == 0, \
+            f"covered class posted {p['cross_events']} cross events"
+        assert len(p["barrier_stall_ns"]) == p["partitions"], p
+
+seq_s = ps["seq_wall_ns"] / 1e9
+refs_per_sec = ps["refs_per_cpu"] * ps["cpus"] / seq_s
+best = max((p for p in points if p["partitions"] >= 4),
+           key=lambda p: p["speedup"])
+print(f"bench7: sequential {seq_s:.2f}s ({refs_per_sec / 1e6:.2f}M refs/s), "
+      f"P={best['partitions']} speedup {best['speedup']:.2f}x "
+      f"on {ps['num_cpu']} cores, all results identical")
+if ps["num_cpu"] >= 4:
+    assert best["speedup"] >= 2.0, \
+        f"{best['speedup']:.2f}x < 2x at P={best['partitions']} on {ps['num_cpu']} cores"
+else:
+    print(f"bench7: {ps['num_cpu']} host core(s) < 4 — "
+          "the 2x speedup target needs cores and is recorded, not enforced")
+EOF

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""benchdiff.py — compare two BENCH_*.json reports for throughput regressions.
+
+Usage: benchdiff.py [--tolerance 0.05] [--absolute] baseline.json current.json
+
+Extracts the comparable throughput metrics both reports carry and fails
+(exit 1) when any of them regressed by more than the tolerance in the
+current report. Two classes of metric:
+
+ - Dimensionless ratios (parallel-kernel speedups): compared whenever
+   the host that produced each report had the cores to make the ratio
+   meaningful (num_cpu >= partitions). These transfer across machines,
+   so they are the default CI gate.
+ - Absolute throughput (sweep sim_ns/s, events/s, per-experiment ring
+   cycles/s): only meaningful between runs on comparable hosts, so they
+   are compared only under --absolute.
+
+Boolean result-identity flags in parallel_scale are always enforced:
+a point that was byte-identical in the baseline must stay identical.
+"""
+
+import argparse
+import json
+import sys
+
+
+def metrics(doc, absolute):
+    """Yield (name, value, is_ratio) throughput metrics from a report."""
+    sweep = doc.get("sweep") or {}
+    if absolute:
+        for key in ("sim_ns_per_sec", "events_per_sec"):
+            if sweep.get(key):
+                yield f"sweep.{key}", float(sweep[key]), False
+        for p in doc.get("points") or []:
+            if p.get("sim_ring_cycles_per_sec"):
+                yield (f"point.{p['name']}.ring_cycles_per_sec",
+                       float(p["sim_ring_cycles_per_sec"]), False)
+    ps = doc.get("parallel_scale")
+    if ps:
+        cores = ps.get("num_cpu", 0)
+        if absolute and ps.get("seq_wall_ns"):
+            yield ("parallel_scale.seq_refs_per_sec",
+                   ps["refs_per_cpu"] * ps["cpus"] / (ps["seq_wall_ns"] / 1e9),
+                   False)
+        for p in ps.get("points") or []:
+            if p["partitions"] > 1 and cores >= p["partitions"]:
+                yield (f"parallel_scale.p{p['partitions']}.speedup",
+                       float(p["speedup"]), True)
+
+
+def identity_flags(doc):
+    ps = doc.get("parallel_scale") or {}
+    return {p["partitions"]: p["identical"] for p in ps.get("points") or []}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="max fractional regression before failing (default 0.05)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also compare host-dependent absolute throughput")
+    args = ap.parse_args()
+
+    base = json.load(open(args.baseline))
+    cur = json.load(open(args.current))
+
+    failed = False
+
+    base_ident, cur_ident = identity_flags(base), identity_flags(cur)
+    for parts, ok in sorted(base_ident.items()):
+        now = cur_ident.get(parts)
+        if ok and now is False:
+            print(f"FAIL parallel_scale.p{parts}.identical: true -> false")
+            failed = True
+
+    base_m = {name: (v, ratio) for name, v, ratio in metrics(base, args.absolute)}
+    cur_m = {name: v for name, v, _ in metrics(cur, args.absolute)}
+    compared = 0
+    for name, (bv, _ratio) in sorted(base_m.items()):
+        cv = cur_m.get(name)
+        if cv is None or bv <= 0:
+            continue
+        compared += 1
+        delta = cv / bv - 1.0
+        mark = "ok"
+        if delta < -args.tolerance:
+            mark, failed = "FAIL", True
+        print(f"{mark:>4} {name}: {bv:.4g} -> {cv:.4g} ({delta:+.1%})")
+    if compared == 0:
+        print("benchdiff: no comparable throughput metrics between the "
+              "two reports (host too small for ratio metrics?); "
+              "identity flags checked only")
+
+    if failed:
+        print(f"benchdiff: regression beyond {args.tolerance:.0%} tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
