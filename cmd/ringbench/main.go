@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/buildinfo"
 )
 
 // benchPoint records one experiment's cost: its wall clock and the
@@ -85,9 +86,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 		parallel   = fs.Int("parallel", 1, "partition covered simulations across this many event-kernel shards; also the top partition count the parallelscale experiment sweeps (1 = host default)")
+		version    = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "ringbench %s\n", buildinfo.Read())
+		return 0
 	}
 
 	if *cpuProfile != "" {

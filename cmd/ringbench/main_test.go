@@ -62,3 +62,13 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Errorf("stderr: %s", errb.String())
 	}
 }
+
+func TestRunVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "ringbench ") {
+		t.Errorf("stdout: %q", out.String())
+	}
+}

@@ -54,6 +54,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
+	"repro/internal/obs/reqtrace"
+	olog "repro/internal/obs/slog"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -80,6 +83,12 @@ type report struct {
 	P95MS        float64 `json:"p95_ms"`
 	P99MS        float64 `json:"p99_ms"`
 	MaxMS        float64 `json:"max_ms"`
+
+	// SampleRequestID is the X-Ringsim-Request ID of the first
+	// successful uncached submission — a request that actually computed
+	// (and, on a coordinator, dispatched), so GET
+	// /v1/requests/{id}/trace on the server shows a full span tree.
+	SampleRequestID string `json:"sample_request_id,omitempty"`
 
 	// Server holds the server-side view of the same run, from /metrics
 	// histogram deltas. Nil when the server's /metrics was unreachable.
@@ -151,10 +160,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		apikey      = fs.String("apikey", "", "API key sent as Authorization: Bearer on every request")
 		tenantsCSV  = fs.String("tenants", "", "comma-separated label=key pairs; submissions cycle across them and the report carries a per-tenant block (overrides -apikey)")
 		out         = fs.String("out", "", "write the report JSON to this file")
+		version     = fs.Bool("version", false, "print build version and exit")
+		logLevel    = fs.String("loglevel", "info", "structured JSON log level on stderr (debug logs every request with its ID, status and latency)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Fprintf(stdout, "ringload %s\n", buildinfo.Read())
+		return 0
+	}
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringload:", err)
+		return 1
+	}
+	logger := olog.New(stderr, level, "ringload")
 	if *requests <= 0 || *jobs <= 0 || *concurrency <= 0 {
 		fmt.Fprintln(stderr, "ringload: requests, jobs and concurrency must be positive")
 		return 1
@@ -241,6 +262,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		hitsAll     int64
 		errsAll     int64
 		rejectedAll int64
+		sampleReqID string
 	)
 	client := &http.Client{}
 	before, scrapeErr := scrapeMetrics(ctx, client, scrapeBase)
@@ -260,8 +282,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				body := pool[n%int64(len(pool))]
 				target := endpoints[ep] + "/v1/jobs" + query
 				reqBegin := time.Now()
-				status, cached := submit(ctx, client, target, body, tenantSpecs[ti].key)
+				status, cached, reqID := submit(ctx, client, target, body, tenantSpecs[ti].key)
 				lat := time.Since(reqBegin)
+				logger.Debug("request", olog.KeyRequest, reqID,
+					"endpoint", endpoints[ep], "status", status,
+					"cached", cached, "dur_ms", lat.Milliseconds())
 				mu.Lock()
 				switch status {
 				case http.StatusOK:
@@ -269,6 +294,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 						perEP[ep].hits++
 						perTen[ti].hits++
 						hitsAll++
+					} else if sampleReqID == "" && reqID != "" {
+						// First computed (uncached) success: the request
+						// whose trace shows the full execution path.
+						sampleReqID = reqID
 					}
 					perEP[ep].lats = append(perEP[ep].lats, lat.Seconds())
 					perTen[ti].lats = append(perTen[ti].lats, lat.Seconds())
@@ -315,6 +344,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		P95MS:        1000 * stats.Percentile(latAll, 0.95),
 		P99MS:        1000 * stats.Percentile(latAll, 0.99),
 		MaxMS:        1000 * stats.Percentile(latAll, 1.0),
+
+		SampleRequestID: sampleReqID,
 	}
 	if len(endpoints) > 1 {
 		for i, ep := range endpoints {
@@ -369,6 +400,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		fmt.Fprintln(stdout, "          server view unavailable (/metrics scrape failed)")
+	}
+	if rep.SampleRequestID != "" {
+		fmt.Fprintf(stdout, "          sample request %s (GET %s/v1/requests/%s/trace)\n",
+			rep.SampleRequestID, scrapeBase, rep.SampleRequestID)
 	}
 	for _, ev := range rep.Endpoints {
 		fmt.Fprintf(stdout, "          endpoint %s: %d requests, %d errors, hit rate %.3f, p50 %.2fms p99 %.2fms\n",
@@ -545,12 +580,12 @@ func histQuantile(les []float64, cum []uint64, q float64) float64 {
 }
 
 // submit posts one job, authenticated with apikey when non-empty, and
-// reports the HTTP status (0 on transport failure) plus whether the
-// server answered from cache.
-func submit(ctx context.Context, client *http.Client, target string, body []byte, apikey string) (status int, cached bool) {
+// reports the HTTP status (0 on transport failure), whether the server
+// answered from cache, and the request ID the server assigned.
+func submit(ctx context.Context, client *http.Client, target string, body []byte, apikey string) (status int, cached bool, reqID string) {
 	req, err := http.NewRequestWithContext(ctx, "POST", target, bytes.NewReader(body))
 	if err != nil {
-		return 0, false
+		return 0, false, ""
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if apikey != "" {
@@ -558,18 +593,19 @@ func submit(ctx context.Context, client *http.Client, target string, body []byte
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false
+		return 0, false, ""
 	}
 	defer resp.Body.Close()
+	reqID = resp.Header.Get(reqtrace.HeaderRequest)
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, false
+		return resp.StatusCode, false, reqID
 	}
 	var jr struct {
 		Cached bool `json:"cached"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
-		return resp.StatusCode, false
+		return resp.StatusCode, false, reqID
 	}
-	return resp.StatusCode, jr.Cached
+	return resp.StatusCode, jr.Cached, reqID
 }

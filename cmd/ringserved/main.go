@@ -61,8 +61,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
+	olog "repro/internal/obs/slog"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
@@ -92,6 +95,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tenantsFile  = fs.String("tenants", "", "tenants JSON file: API keys, fair-queue weights, rate limits, quotas (empty = anonymous single-tenant mode)")
 		allowAnon    = fs.Bool("allowanon", true, "accept keyless requests as the anonymous tenant; -allowanon=false requires -tenants and rejects requests without a known API key")
 
+		version   = fs.Bool("version", false, "print build version and exit")
+		logLevel  = fs.String("loglevel", "info", "structured JSON log level on stderr: debug | info | warn | error")
+		reqTraces = fs.Int("reqtrace", reqtrace.DefaultCapacity, "retain span trees for this many recent requests, served at GET /v1/requests/{id}/trace (0 = request IDs only, no span recording)")
+
 		coordMode   = fs.Bool("coordinator", false, "run as cluster coordinator: dispatch jobs to joined workers instead of executing locally")
 		workerMode  = fs.Bool("worker", false, "run as cluster worker: join a coordinator and execute forwarded jobs")
 		joinURL     = fs.String("join", "", "coordinator base URL a -worker joins (e.g. http://coord:8080)")
@@ -105,6 +112,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "ringserved %s\n", buildinfo.Read())
+		return 0
+	}
+	level, err := olog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "ringserved:", err)
+		return 1
 	}
 	if *coordMode && *workerMode {
 		fmt.Fprintln(stderr, "ringserved: -coordinator and -worker are mutually exclusive")
@@ -159,18 +175,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Tenants:     tenants,
 	}
 	mux := http.NewServeMux()
-	var (
-		coord *cluster.Coordinator
-		wk    *cluster.Worker
-		role  = "standalone"
-	)
+	role := "standalone"
 	switch {
 	case *coordMode:
 		role = "coordinator"
+	case *workerMode:
+		role = "worker"
+		if *workerID != "" {
+			// Carry the worker's identity in the service field so a
+			// cross-hop trace shows which worker executed the job.
+			role = "worker:" + *workerID
+		}
+	}
+	// One tracer and one logger per process, shared by the serving
+	// layer and the cluster plane so a request's serve-side and
+	// cluster-side spans land in the same store and every log line
+	// carries the same service field.
+	rt := reqtrace.NewTracer(role, *reqTraces)
+	logger := olog.New(stderr, level, "ringserved")
+	srvOpts.ReqTracer = rt
+	srvOpts.Logger = logger
+	var (
+		coord *cluster.Coordinator
+		wk    *cluster.Worker
+	)
+	switch {
+	case *coordMode:
 		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
 			HeartbeatTTL: *hbTTL,
 			ExecTimeout:  *execTimeout,
 			MaxAttempts:  *execRetries,
+			Tracer:       rt,
+			Logger:       logger,
 		})
 		// The dispatcher replaces local execution for every job kind the
 		// coordinator accepts; workers decide which kinds they support.
@@ -180,8 +216,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		srvOpts.LookupFallback = coord.LookupFallback
 		srvOpts.ExtraMetrics = coord.WriteMetrics
+		srvOpts.ClusterStatus = func() any { return coord.Status() }
+		srvOpts.FederateMetrics = coord.FederateMetrics
 	case *workerMode:
-		role = "worker"
 		if *synthExec {
 			engOpts.Executors = map[string]sweep.Executor{cluster.SynthKind: cluster.SynthExecutor}
 		}
@@ -200,6 +237,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Coordinator:    *joinURL,
 			Advertise:      adv,
 			HeartbeatEvery: *heartbeat,
+			Tracer:         rt,
+			Logger:         logger,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "ringserved:", err)

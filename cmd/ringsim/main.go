@@ -17,6 +17,8 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/buildinfo"
+	olog "repro/internal/obs/slog"
 )
 
 func main() {
@@ -41,10 +43,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut = fs.String("trace-out", "", "write a Perfetto/Chrome trace of coherence transactions to this file (load at ui.perfetto.dev)")
 		traceSmp = fs.Int("trace-sample", 0, "record every k-th transaction as a full span (0 = 64 when -trace-out is set)")
 		parallel = fs.Int("parallel", 1, "partition the simulation across this many event-kernel shards (1 = sequential; uncovered configs fall back loudly)")
+		version  = fs.Bool("version", false, "print build version and exit")
+		logLevel = fs.String("loglevel", "info", "structured JSON log level on stderr: debug | info | warn | error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Fprintf(stdout, "ringsim %s\n", buildinfo.Read())
+		return 0
+	}
+	level, lerr := olog.ParseLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintln(stderr, "ringsim:", lerr)
+		return 2
+	}
+	logger := olog.New(stderr, level, "ringsim")
 
 	if *list {
 		fmt.Fprintln(stdout, "benchmark profiles (Table 2):")
@@ -74,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ringsim: -trace-sample requires -trace-out")
 		return 2
 	}
+	logger.Debug("simulation start", "protocol", *protocol, "bench", *bench,
+		"cpus", *cpus, "refs", *refs, "seed", *seed, "parallel", *parallel)
 	var res *repro.Result
 	var err error
 	if *traceIn != "" {
@@ -82,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res, err = repro.Run(cfg)
 	}
 	if err != nil {
+		logger.Error("simulation failed", olog.KeyError, err.Error())
 		fmt.Fprintln(stderr, "ringsim:", err)
 		return 1
 	}

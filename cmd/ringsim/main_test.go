@@ -89,3 +89,23 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		t.Errorf("stderr: %s", errb.String())
 	}
 }
+
+func TestRunVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "ringsim ") {
+		t.Errorf("stdout: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadLogLevel(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-loglevel", "loud"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "log level") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}

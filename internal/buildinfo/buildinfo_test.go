@@ -1,0 +1,50 @@
+package buildinfo
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	i := Read()
+	if i.Version == "" {
+		t.Error("Version empty")
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion = %q", i.GoVersion)
+	}
+	if s := i.String(); !strings.Contains(s, i.Version) || !strings.Contains(s, i.GoVersion) {
+		t.Errorf("String() = %q does not carry identity", s)
+	}
+}
+
+func TestStringTruncatesRevision(t *testing.T) {
+	i := Info{Version: "v1.2.3", GoVersion: "go1.22.0",
+		Revision: "0123456789abcdef0123456789abcdef01234567", Modified: true}
+	s := i.String()
+	if !strings.Contains(s, "0123456789ab+dirty") {
+		t.Errorf("String() = %q, want truncated dirty revision", s)
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q, revision not truncated to 12 chars", s)
+	}
+}
+
+func TestWriteMetricShape(t *testing.T) {
+	var b strings.Builder
+	WriteMetric(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ringsim_build_info ",
+		"# TYPE ringsim_build_info gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	re := regexp.MustCompile(`(?m)^ringsim_build_info\{version="[^"]+",goversion="go[^"]+",revision="[^"]*"\} 1$`)
+	if !re.MatchString(out) {
+		t.Errorf("sample line malformed:\n%s", out)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs/reqtrace"
+	olog "repro/internal/obs/slog"
 	"repro/internal/sweep"
 )
 
@@ -37,6 +39,15 @@ type CoordinatorOptions struct {
 	// Client is the HTTP client for worker calls. Its timeout is
 	// ignored for exec (ExecTimeout governs); default has no timeout.
 	Client *http.Client
+	// Tracer, when set, records a dispatch span per attempt under the
+	// requesting span carried in Job.TraceParent, and adopts the
+	// worker-side spans returned over the exec response header — so one
+	// GET /v1/requests/{id}/trace on the coordinator shows the whole
+	// cross-process tree. nil disables span recording.
+	Tracer *reqtrace.Tracer
+	// Logger receives structured membership and dispatch-failure events
+	// (join, leave, mark-down, steals). nil discards them.
+	Logger *olog.Logger
 }
 
 // Coordinator is the fleet's control plane: worker registry, job
@@ -51,6 +62,8 @@ type Coordinator struct {
 	client *http.Client
 	reg    *registry
 	mux    *http.ServeMux
+	rt     *reqtrace.Tracer
+	log    *olog.Logger
 
 	engMu sync.RWMutex
 	eng   *sweep.Engine
@@ -88,11 +101,17 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	if client == nil {
 		client = &http.Client{}
 	}
+	log := opts.Logger
+	if log == nil {
+		log = olog.Nop()
+	}
 	c := &Coordinator{
 		opts:          opts,
 		client:        client,
 		reg:           newRegistry(opts.HeartbeatTTL, opts.VirtualNodes),
 		mux:           http.NewServeMux(),
+		rt:            opts.Tracer,
+		log:           log,
 		perWorkerDone: make(map[string]uint64),
 	}
 	c.mux.HandleFunc("POST "+pathJoin, c.handleJoin)
@@ -134,6 +153,11 @@ func (c *Coordinator) Workers() []MemberStatus { return c.reg.status() }
 func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
 	job = job.Normalize()
 	hash := job.Hash()
+	// The requesting span rides the job's hash-exempt TraceParent tag;
+	// when the submission was untraced (or this job was coalesced under
+	// another submission's singleflight) the context is invalid and
+	// dispatch spans are simply not recorded.
+	parent, _ := reqtrace.ParseContext(job.TraceParent)
 	body, err := json.Marshal(job)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: encode job: %v", err)
@@ -153,22 +177,36 @@ func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
 			return nil, fmt.Errorf("cluster: no live workers: %w", sweep.ErrUnavailable)
 		}
 		tried[pl.id] = true
+		outcome := "home"
+		switch {
+		case attempt > 0:
+			outcome = "steal"
+		case pl.homeless:
+			outcome = "forward"
+		}
 		c.count(func() {
-			switch {
-			case attempt > 0:
+			switch outcome {
+			case "steal":
 				c.steals++
-			case pl.homeless:
+			case "forward":
 				c.forwards++
 			default:
 				c.homeDispatches++
 			}
 		})
-		m, permanent, execErr := c.execOn(pl, body, hash, job.Tenant)
+		sp := c.rt.Start(parent, "dispatch")
+		sp.SetAttr("worker", pl.id)
+		sp.SetAttr("outcome", outcome)
+		sp.SetAttr("attempt", fmt.Sprint(attempt+1))
+		m, permanent, execErr := c.execOn(pl, body, hash, job.Tenant, sp.Context())
 		c.reg.release(pl.id)
 		if execErr == nil {
+			sp.End()
 			c.count(func() { c.perWorkerDone[pl.id]++ })
 			return m, nil
 		}
+		sp.SetAttr("error", execErr.Error())
+		sp.End()
 		if permanent {
 			return nil, execErr
 		}
@@ -176,6 +214,9 @@ func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
 		// it heartbeats back, and let the next live owner steal the job.
 		c.reg.markDown(pl.id)
 		c.count(func() { c.execFailures++ })
+		c.log.Warn("dispatch failed; marking worker down",
+			olog.KeyWorker, pl.id, olog.KeyJobHash, hash,
+			olog.KeyRequest, parent.TraceID, olog.KeyError, execErr.Error())
 		lastErr = execErr
 	}
 	return nil, fmt.Errorf("cluster: job %s failed on %d workers: %v: %w",
@@ -184,8 +225,11 @@ func (c *Coordinator) Execute(job sweep.Job) (*core.Metrics, error) {
 
 // execOn runs one exec POST against one worker. permanent=true marks
 // job errors retrying cannot fix. tenantID rides a header, never the
-// body, preserving byte-identical job encodings across tenants.
-func (c *Coordinator) execOn(pl placement, body []byte, hash, tenantID string) (m *core.Metrics, permanent bool, err error) {
+// body, preserving byte-identical job encodings across tenants; the
+// trace context travels the same way, and the worker's spans come back
+// over a response header so result bodies stay byte-identical with
+// tracing on or off.
+func (c *Coordinator) execOn(pl placement, body []byte, hash, tenantID string, traceCtx reqtrace.SpanContext) (m *core.Metrics, permanent bool, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ExecTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, "POST", pl.addr+pathExec, bytes.NewReader(body))
@@ -196,11 +240,17 @@ func (c *Coordinator) execOn(pl placement, body []byte, hash, tenantID string) (
 	if tenantID != "" {
 		req.Header.Set(headerTenant, tenantID)
 	}
+	if traceCtx.Valid() {
+		req.Header.Set(reqtrace.HeaderTrace, traceCtx.String())
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, false, fmt.Errorf("cluster: exec on %s: %v", pl.id, err)
 	}
 	defer drainClose(resp)
+	if traceCtx.Valid() {
+		c.rt.Inject(traceCtx.TraceID, reqtrace.DecodeSpans(resp.Header.Get(reqtrace.HeaderSpans)))
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 	case resp.StatusCode == http.StatusUnprocessableEntity || resp.StatusCode == http.StatusBadRequest:
@@ -242,15 +292,50 @@ func (c *Coordinator) LookupFallback(ctx context.Context, hash string) (*sweep.R
 		if !ok {
 			continue
 		}
+		// The serving layer parks its lookup span context on ctx; the
+		// adoption (peer fetch + verify + local cache fill) is the slow
+		// part of a fleet miss, so it gets its own span.
+		sp := c.rt.Start(reqtrace.SpanFromContext(ctx), "adopt")
+		sp.SetAttr("peer", addr)
+		sp.SetAttr("hash", hash)
 		if eng := c.engine(); eng != nil {
 			if err := eng.Adopt(res); err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.End()
 				continue
 			}
 		}
+		sp.End()
 		c.count(func() { c.peerFetches++ })
 		return res, sweep.SourcePeer, true
 	}
 	return nil, sweep.SourceComputed, false
+}
+
+// Status snapshots the fleet and the coordinator's dispatch accounting
+// for GET /v1/cluster/status. It satisfies serve.Options.ClusterStatus
+// (modulo the any wrapper the daemon supplies).
+func (c *Coordinator) Status() StatusDoc {
+	c.mu.Lock()
+	doc := StatusDoc{
+		Dispatches:   c.homeDispatches + c.forwards + c.steals,
+		Forwards:     c.forwards,
+		Steals:       c.steals,
+		ExecFailures: c.execFailures,
+		NoWorker:     c.noWorker,
+		PeerFetches:  c.peerFetches,
+	}
+	c.mu.Unlock()
+	doc.Workers = c.reg.status()
+	for _, m := range doc.Workers {
+		if m.Live {
+			doc.Live++
+		} else {
+			doc.Down++
+		}
+		doc.InFlightTotal += m.Outstanding
+	}
+	return doc
 }
 
 // handleJoin serves POST /internal/v1/join.
@@ -265,6 +350,7 @@ func (c *Coordinator) handleJoin(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.reg.join(req)
+	c.log.Info("worker joined", olog.KeyWorker, req.ID, "addr", req.Addr, "capacity", req.Workers)
 	rw.WriteHeader(http.StatusOK)
 }
 
@@ -292,6 +378,7 @@ func (c *Coordinator) handleLeave(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.reg.leave(req.ID)
+	c.log.Info("worker left", olog.KeyWorker, req.ID)
 	rw.WriteHeader(http.StatusOK)
 }
 

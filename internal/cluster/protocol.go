@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
 // Internal API routes. The coordinator serves join/heartbeat/leave and
-// a results relay; workers serve exec/results/health. Both live under
+// a results relay; workers serve exec/results/health plus the
+// observability aggregate used by metrics federation. Both live under
 // /internal/v1/ so deployments can firewall the plane off from the
 // public /v1/ API.
 const (
@@ -15,6 +17,7 @@ const (
 	pathExec      = "/internal/v1/exec"
 	pathResults   = "/internal/v1/results/"
 	pathHealth    = "/internal/v1/health"
+	pathObsAgg    = "/internal/v1/obsagg"
 )
 
 // Response headers the exec and results endpoints attach, so callers
@@ -71,4 +74,32 @@ type WorkerHealth struct {
 // help); 5xx marks worker trouble the coordinator should retry.
 type execErrorBody struct {
 	Error string `json:"error"`
+}
+
+// ClassAggSnapshot is one transaction class's span aggregate on the
+// federation wire: the worker's engine-lifetime span count and latency
+// histogram as a validated, mergeable snapshot. The worker serves a
+// list of these at GET /internal/v1/obsagg; the coordinator merges
+// same-class histograms across the fleet with ExpHistogram.Merge.
+type ClassAggSnapshot struct {
+	Class   string             `json:"class"`
+	Spans   uint64             `json:"spans"`
+	Latency stats.HistSnapshot `json:"latency"`
+}
+
+// StatusDoc is the coordinator's GET /v1/cluster/status body: fleet
+// membership with liveness and load, plus the coordinator's dispatch
+// accounting — the one page an operator reads before anything else
+// when a fleet misbehaves.
+type StatusDoc struct {
+	Workers       []MemberStatus `json:"workers"`
+	Live          int            `json:"live"`
+	Down          int            `json:"down"`
+	Dispatches    uint64         `json:"dispatches"` // home + forward + steal
+	Forwards      uint64         `json:"forwards"`
+	Steals        uint64         `json:"steals"`
+	ExecFailures  uint64         `json:"exec_failures"`
+	NoWorker      uint64         `json:"no_worker_errors"`
+	PeerFetches   uint64         `json:"peer_fetches"`
+	InFlightTotal int            `json:"inflight_total"` // coordinator-side outstanding dispatches
 }

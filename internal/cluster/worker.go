@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/reqtrace"
+	olog "repro/internal/obs/slog"
 	"repro/internal/sweep"
 )
 
@@ -36,6 +38,14 @@ type WorkerOptions struct {
 	// Client is the HTTP client for coordinator calls (default: 5s
 	// timeout).
 	Client *http.Client
+	// Tracer, when set, records an exec span per forwarded job under
+	// the coordinator's dispatch span (carried in the X-Ringsim-Trace
+	// request header) and ships the span back over the exec response
+	// header, so the coordinator's trace store holds the whole tree.
+	Tracer *reqtrace.Tracer
+	// Logger receives structured exec events (request ID, tenant, job
+	// hash, worker ID, cache source). nil discards them.
+	Logger *olog.Logger
 }
 
 // Worker is the daemon side of the cluster plane: the internal
@@ -45,6 +55,8 @@ type Worker struct {
 	opts     WorkerOptions
 	client   *http.Client
 	mux      *http.ServeMux
+	rt       *reqtrace.Tracer
+	log      *olog.Logger
 	inflight atomic.Int64
 }
 
@@ -66,10 +78,15 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
-	w := &Worker{opts: opts, client: client, mux: http.NewServeMux()}
+	log := opts.Logger
+	if log == nil {
+		log = olog.Nop()
+	}
+	w := &Worker{opts: opts, client: client, mux: http.NewServeMux(), rt: opts.Tracer, log: log}
 	w.mux.HandleFunc("POST "+pathExec, w.handleExec)
 	w.mux.HandleFunc("GET "+pathResults+"{hash}", w.handleResult)
 	w.mux.HandleFunc("GET "+pathHealth, w.handleHealth)
+	w.mux.HandleFunc("GET "+pathObsAgg, w.handleObsAgg)
 	return w, nil
 }
 
@@ -99,20 +116,57 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	}
 	// Tenant provenance travels as a header, not in the body (the body
 	// must stay byte-identical across tenants); restoring it here makes
-	// the worker's progress events and metering tenant-attributed.
+	// the worker's progress events and metering tenant-attributed. The
+	// trace context rides the same way.
 	job.Tenant = r.Header.Get(headerTenant)
+	parent, _ := reqtrace.ParseContext(r.Header.Get(reqtrace.HeaderTrace))
+	sp := w.rt.Start(parent, "exec")
+	sp.SetAttr("worker", w.opts.ID)
 	w.inflight.Add(1)
 	defer w.inflight.Add(-1)
+	start := time.Now()
 	res, src, err := w.opts.Engine.RunOneCtx(r.Context(), job)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		w.log.Warn("exec failed", olog.KeyRequest, parent.TraceID,
+			olog.KeyWorker, w.opts.ID, olog.KeyTenant, job.Tenant, olog.KeyError, err.Error())
 		// An executor failure is a property of the job, not the worker:
 		// 422 tells the coordinator not to burn retries elsewhere.
 		writeExecError(rw, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	sp.SetAttr("hash", res.Hash)
+	sp.SetAttr("source", src.String())
+	// End before writing headers so the span ships with its duration;
+	// spans ride a response header, never the result body.
+	sp.End()
+	if parent.Valid() && sp != nil {
+		rw.Header().Set(reqtrace.HeaderSpans, reqtrace.EncodeSpans([]reqtrace.SpanData{sp.Data()}))
+	}
+	w.log.Info("exec", olog.KeyRequest, parent.TraceID, olog.KeyWorker, w.opts.ID,
+		olog.KeyTenant, job.Tenant, olog.KeyJobHash, res.Hash,
+		"source", src.String(), "dur_ms", time.Since(start).Milliseconds())
 	rw.Header().Set(headerWorker, w.opts.ID)
 	rw.Header().Set(headerSource, src.String())
 	writeResultJSON(rw, res)
+}
+
+// handleObsAgg serves GET /internal/v1/obsagg: the worker engine's
+// per-class coherence-span aggregates as validated, mergeable
+// histogram snapshots — the raw material of fleet metrics federation.
+func (w *Worker) handleObsAgg(rw http.ResponseWriter, r *http.Request) {
+	aggs := w.opts.Engine.TraceAgg()
+	out := make([]ClassAggSnapshot, 0, len(aggs))
+	for _, a := range aggs {
+		out = append(out, ClassAggSnapshot{
+			Class:   a.Class,
+			Spans:   a.Spans,
+			Latency: a.Latency.Snapshot(),
+		})
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(out)
 }
 
 // handleResult serves GET /internal/v1/results/{hash}: the worker-local

@@ -1,0 +1,60 @@
+package reqtrace
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkRequestSpanTree is the serving hot path in miniature: the
+// root + auth + admit + run quartet one cache-hit request records,
+// with the attrs serve attaches. BENCH_8's <=3% overhead gate rides on
+// this path staying cheap.
+func BenchmarkRequestSpanTree(b *testing.B) {
+	t := NewTracer("serve", 1024)
+	b.ReportAllocs()
+	var n atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := "aabbccdd" + strconv.FormatUint(n.Add(1), 16)
+			root := t.StartRoot(id, "jobs")
+			root.SetAttr("method", "POST")
+			auth := t.StartChild(root, "auth")
+			auth.SetAttr("tenant", "anonymous")
+			auth.End()
+			admit := t.StartChild(root, "admit")
+			admit.SetAttr("outcome", "granted")
+			admit.End()
+			run := t.StartChild(root, "run")
+			run.SetAttr("hash", "deadbeef")
+			run.SetAttr("source", "cache")
+			run.End()
+			root.SetAttr("status", "200")
+			root.End()
+		}
+	})
+}
+
+// BenchmarkRequestSpanTreeSerial is the same quartet without
+// goroutine parallelism: per-op CPU cost, no lock contention.
+func BenchmarkRequestSpanTreeSerial(b *testing.B) {
+	t := NewTracer("serve", 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := "aabbccdd" + strconv.FormatUint(uint64(i), 16)
+		root := t.StartRoot(id, "jobs")
+		root.SetAttr("method", "POST")
+		auth := t.StartChild(root, "auth")
+		auth.SetAttr("tenant", "anonymous")
+		auth.End()
+		admit := t.StartChild(root, "admit")
+		admit.SetAttr("outcome", "granted")
+		admit.End()
+		run := t.StartChild(root, "run")
+		run.SetAttr("hash", "deadbeef")
+		run.SetAttr("source", "cache")
+		run.End()
+		root.SetAttr("status", "200")
+		root.End()
+	}
+}

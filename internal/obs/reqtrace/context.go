@@ -1,0 +1,56 @@
+package reqtrace
+
+import "context"
+
+// The request ID and the active span context ride the request's
+// context.Context so layers that only see a context (engine callbacks,
+// LookupFallback, cluster hops initiated from serve handlers) can
+// continue the trace without a dependency on internal/serve.
+
+type requestIDKey struct{}
+type spanCtxKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// WithSpanContext returns a context carrying the active span context.
+// It shares a key with WithSpan: whichever was set last wins, so a
+// layer can re-parent the trace for its callees either way.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// WithSpan returns a context carrying the active span itself. In-
+// process callees can then open batched children via Tracer.StartChild
+// (the cheap path); cross-process callees still read SpanFromContext.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the active span context carried by ctx —
+// from either carrier — or the zero (invalid) context.
+func SpanFromContext(ctx context.Context) SpanContext {
+	switch v := ctx.Value(spanCtxKey{}).(type) {
+	case *Span:
+		return v.Context()
+	case SpanContext:
+		return v
+	}
+	return SpanContext{}
+}
+
+// SpanObj returns the active span object carried by ctx, if the
+// carrier was WithSpan; nil otherwise (including across process hops,
+// where only the wire-form context survives).
+func SpanObj(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,555 @@
+// Package reqtrace is request-scoped distributed tracing for the
+// serving plane: every request entering internal/serve gets a request
+// ID and a span tree that follows it through auth, admission queueing,
+// engine execution, the coordinator dispatch hop, worker-side
+// execution, and result adoption.
+//
+// The design mirrors internal/obs's simulator tracer discipline: a nil
+// *Tracer is fully inert (every method is nil-receiver safe and costs
+// one branch), spans never allocate on the request path beyond their
+// own record, and completed traces live in a bounded in-process store
+// with FIFO eviction — this is a debugging ring buffer, not a durable
+// trace backend.
+//
+// Identity and propagation:
+//
+//   - The trace ID is the request ID. It is minted by the first serve
+//     instance that sees the request (or accepted from a well-formed
+//     client-supplied X-Ringsim-Request header) and echoed on every
+//     response.
+//   - Across process hops the active span context travels as
+//     "traceID:spanID" in the X-Ringsim-Trace header, next to the
+//     existing X-Ringsim-Tenant provenance header.
+//   - Spans created on the far side of a hop come back as a JSON
+//     array in the X-Ringsim-Trace-Spans response header and are
+//     injected into the caller's store, so one GET
+//     /v1/requests/{id}/trace returns the whole connected tree.
+//     Headers, not bodies, carry trace data: result artifacts stay
+//     byte-identical with tracing on or off.
+package reqtrace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Propagation headers. Defined here so internal/serve and
+// internal/cluster share one contract.
+const (
+	// HeaderRequest carries the request ID on every public API
+	// response (and may be supplied by the client to name its own
+	// request, e.g. for cross-system correlation).
+	HeaderRequest = "X-Ringsim-Request"
+	// HeaderTrace carries the active span context ("traceID:spanID")
+	// on internal cluster hops.
+	HeaderTrace = "X-Ringsim-Trace"
+	// HeaderSpans returns the spans recorded on the far side of a hop
+	// to the caller, as a JSON-encoded []SpanData.
+	HeaderSpans = "X-Ringsim-Trace-Spans"
+)
+
+// SpanContext names a position in a trace: the trace (== request) ID
+// and the active span within it. The zero value is invalid.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context names a trace.
+func (c SpanContext) Valid() bool { return ValidID(c.TraceID) }
+
+// String renders the wire form "traceID:spanID" (or just the trace ID
+// when no span is active). Invalid contexts render empty.
+func (c SpanContext) String() string {
+	if !c.Valid() {
+		return ""
+	}
+	if c.SpanID == "" {
+		return c.TraceID
+	}
+	return c.TraceID + ":" + c.SpanID
+}
+
+// ParseContext parses the wire form produced by SpanContext.String.
+// It returns false for anything malformed.
+func ParseContext(s string) (SpanContext, bool) {
+	if s == "" {
+		return SpanContext{}, false
+	}
+	tid, sid, _ := strings.Cut(s, ":")
+	c := SpanContext{TraceID: tid, SpanID: sid}
+	if !c.Valid() || len(sid) > 64 {
+		return SpanContext{}, false
+	}
+	return c, true
+}
+
+// ValidID reports whether s is an acceptable trace/request ID: 8–64
+// characters of lowercase hex or '-'. Generated IDs are 16 hex chars;
+// the wider grammar admits client-supplied correlation IDs while
+// keeping IDs safe to embed in headers, URLs and log lines unquoted.
+func ValidID(s string) bool {
+	if len(s) < 8 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanData is the serialized form of one completed span — the unit
+// stored, returned over HeaderSpans, and exported.
+type SpanData struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Service string            `json:"service"`
+	StartUS int64             `json:"start_us"` // µs since the Unix epoch
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records request spans into a bounded per-process store.
+// A nil Tracer is valid and inert: spans are not recorded, Start
+// returns a nil Span whose methods no-op, and Get finds nothing.
+type Tracer struct {
+	service string
+	proc    string // per-process span-ID prefix, avoids cross-hop collisions
+	cap     int
+	nextID  atomic.Uint64 // span-ID counter, off the store lock: Start must not contend with End
+
+	mu      sync.Mutex
+	traces  map[string]*traceEntry
+	order   []string // trace insertion order, for FIFO eviction
+	spans   uint64
+	dropped uint64
+}
+
+// traceEntry retains a trace as the batches that arrived for it — the
+// store keeps each batch slice by reference, so committing a request
+// costs one append here and zero record copies. Retention of the
+// request's span machinery is bounded by the store's trace capacity.
+type traceEntry struct {
+	batches [][]spanRec
+	nspans  int
+}
+
+// spanRec is the stored form of a completed span, built to cost
+// nothing beyond value copies on the request path: attributes stay as
+// the span's frozen key/value slice (no map until a trace is read),
+// and batched child spans carry integer sequence numbers instead of
+// ID strings — their "rootID.seq" form is rendered only by
+// materialize.
+type spanRec struct {
+	data      SpanData
+	root      string // owning root's ID, for seq-based rendering (shared string, not a copy)
+	seq       int    // >0: a batched child; ID renders as root+"."+seq when data.ID is unset
+	parentSeq int    // >0: parent is the sibling with that seq; 0 with seq>0: parent is the root
+	attrs     []attrKV
+}
+
+func (r spanRec) materialize() SpanData {
+	d := r.data
+	if r.seq > 0 {
+		if d.ID == "" {
+			d.ID = r.root + "." + strconv.Itoa(r.seq)
+		}
+		if d.Parent == "" {
+			if r.parentSeq > 0 {
+				d.Parent = r.root + "." + strconv.Itoa(r.parentSeq)
+			} else {
+				d.Parent = r.root
+			}
+		}
+	}
+	if d.Attrs == nil && len(r.attrs) > 0 {
+		m := make(map[string]string, len(r.attrs))
+		for _, a := range r.attrs {
+			m[a.k] = a.v
+		}
+		d.Attrs = m
+	}
+	return d
+}
+
+// DefaultCapacity is the trace-store bound daemons use unless
+// configured otherwise: enough recent requests to debug an incident,
+// small enough to never matter for memory.
+const DefaultCapacity = 1024
+
+// NewTracer returns a tracer whose spans carry the given service name
+// ("serve", "coordinator", "worker:w1", ...) and whose store retains at
+// most capacity traces, evicting oldest-first. capacity <= 0 returns a
+// nil (inert) tracer.
+func NewTracer(service string, capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{
+		service: service,
+		proc:    randomID(4),
+		cap:     capacity,
+		traces:  make(map[string]*traceEntry),
+	}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Service returns the tracer's service name, or "" when inert.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// NewTraceID mints a fresh request/trace ID. Works on a nil tracer so
+// request IDs exist even when span recording is off.
+func (t *Tracer) NewTraceID() string { return randomID(16) }
+
+func randomID(hexChars int) string {
+	b := make([]byte, (hexChars+1)/2)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on the supported platforms; a
+		// deterministic fallback would silently break ID uniqueness.
+		panic(fmt.Sprintf("reqtrace: rand: %v", err))
+	}
+	return hex.EncodeToString(b)[:hexChars]
+}
+
+// StartRoot opens the root span of trace traceID. On a nil tracer it
+// returns nil, which is safe to use. A root span owns its request's
+// record batch: children opened with StartChild buffer their completed
+// records on it, and the root's End commits the whole request to the
+// store in one insertion.
+func (t *Tracer) StartRoot(traceID, name string) *Span {
+	sp := t.start(SpanContext{TraceID: traceID}, name)
+	if sp != nil {
+		sp.owner = sp
+		sp.batch = &rootBatch{}
+		sp.batch.recs = sp.batch.recsBuf[:0]
+	}
+	return sp
+}
+
+// StartChild opens a child of an in-process span. This is the serving
+// hot path: the child is identified by a root-scoped sequence number
+// (its "rootID.seq" string renders only if the trace is read or
+// propagated) and its completed record is buffered on the request's
+// root rather than individually inserted into the store. A nil parent
+// (or tracer) yields a nil, inert span.
+func (t *Tracer) StartChild(parent *Span, name string) *Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	root := parent.owner
+	if root == nil {
+		root = parent
+	}
+	root.mu.Lock()
+	root.batch.seq++
+	n := root.batch.seq
+	root.mu.Unlock()
+	sp := &Span{
+		t:     t,
+		trace: parent.trace,
+		owner: root,
+		seq:   n,
+		pseq:  parent.seq,
+		start: time.Now(),
+		data: SpanData{
+			Name:    name,
+			Service: t.service,
+		},
+	}
+	sp.attrs = sp.attrsBuf[:0]
+	return sp
+}
+
+// Start opens a child span under parent. An invalid parent context
+// (e.g. a missing or malformed propagation header) yields a nil span.
+func (t *Tracer) Start(parent SpanContext, name string) *Span {
+	if !parent.Valid() {
+		return nil
+	}
+	return t.start(parent, name)
+}
+
+func (t *Tracer) start(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	// Mint the span ID without fmt or the store lock: this runs several
+	// times per request on the serving hot path.
+	buf := make([]byte, 0, len(t.proc)+1+16)
+	buf = append(buf, t.proc...)
+	buf = append(buf, '-')
+	buf = strconv.AppendUint(buf, t.nextID.Add(1), 16)
+	sp := &Span{
+		t:     t,
+		trace: parent.TraceID,
+		start: time.Now(),
+		data: SpanData{
+			ID:      string(buf),
+			Parent:  parent.SpanID,
+			Name:    name,
+			Service: t.service,
+		},
+	}
+	sp.attrs = sp.attrsBuf[:0]
+	return sp
+}
+
+// Inject records spans completed elsewhere (decoded from a
+// HeaderSpans response header) into trace traceID.
+func (t *Tracer) Inject(traceID string, spans []SpanData) {
+	if t == nil || !ValidID(traceID) || len(spans) == 0 {
+		return
+	}
+	recs := make([]spanRec, len(spans))
+	for i, d := range spans {
+		recs[i] = spanRec{data: d}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(traceID, recs)
+}
+
+// record appends a batch of spans to a trace, creating and evicting as
+// needed. The batch slice is retained by reference — callers hand over
+// ownership and must not append to it afterwards. Caller holds t.mu.
+func (t *Tracer) record(traceID string, batch []spanRec) {
+	e := t.traces[traceID]
+	if e == nil {
+		e = &traceEntry{}
+		t.traces[traceID] = e
+		t.order = append(t.order, traceID)
+		for len(t.order) > t.cap {
+			victim := t.order[0]
+			t.order = t.order[1:]
+			if v := t.traces[victim]; v != nil {
+				t.dropped += uint64(v.nspans)
+			}
+			delete(t.traces, victim)
+		}
+	}
+	e.batches = append(e.batches, batch)
+	e.nspans += len(batch)
+	t.spans += uint64(len(batch))
+}
+
+// TraceDoc is the JSON document served for one request's trace.
+type TraceDoc struct {
+	RequestID string     `json:"request_id"`
+	Service   string     `json:"service"` // the service whose store answered
+	Spans     []SpanData `json:"spans"`   // start-time order
+}
+
+// Get returns the recorded trace for a request ID, if any spans for it
+// are still retained.
+func (t *Tracer) Get(traceID string) (TraceDoc, bool) {
+	if t == nil {
+		return TraceDoc{}, false
+	}
+	t.mu.Lock()
+	e := t.traces[traceID]
+	var spans []SpanData
+	if e != nil {
+		spans = make([]SpanData, 0, e.nspans)
+		for _, batch := range e.batches {
+			for _, rec := range batch {
+				spans = append(spans, rec.materialize())
+			}
+		}
+	}
+	t.mu.Unlock()
+	if len(spans) == 0 {
+		return TraceDoc{}, false
+	}
+	sortSpans(spans)
+	return TraceDoc{RequestID: traceID, Service: t.service, Spans: spans}, true
+}
+
+// Stats reports store occupancy: retained traces, total spans
+// recorded, and spans dropped by eviction.
+func (t *Tracer) Stats() (traces int, spans, dropped uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces), t.spans, t.dropped
+}
+
+// Span is one in-flight timed operation. A nil *Span is valid and
+// inert, so call sites never branch on whether tracing is on.
+type Span struct {
+	t     *Tracer
+	trace string
+	start time.Time
+	owner *Span // request root owning the record batch; self for roots, nil for unowned (cross-hop) spans
+	seq   int   // root-scoped sequence for batched children; their ID string renders lazily
+	pseq  int   // parent's seq (0 = the root itself) for batched children
+
+	mu       sync.Mutex // guards attrs, ended, and (on roots) the batch; spans may be touched from timeout paths
+	ended    bool
+	attrs    []attrKV // slice, not map: spans carry 0–4 attrs and maps cost on the hot path
+	attrsBuf [4]attrKV
+	data     SpanData
+
+	batch *rootBatch // root spans only
+}
+
+// rootBatch is the per-request record buffer a root span owns
+// (guarded by the root's mu): children append completed records here
+// and the root's End commits the whole request to the store in one
+// insertion that hands the batch slice over by reference — no record
+// is ever copied into the store. The store therefore retains the
+// request's batch (and, via frozen attr slices, its Spans) until the
+// trace is evicted; the store's trace capacity bounds that. recsBuf
+// covers the serving plane's deepest request (root + auth + admit +
+// run + lookup) without a second allocation.
+type rootBatch struct {
+	recs    []spanRec
+	recsBuf [6]spanRec
+	seq     int // child ID sequence
+	flushed bool
+}
+
+type attrKV struct{ k, v string }
+
+// Context returns the span's context for propagation to children and
+// across hops. A nil span returns the zero (invalid) context. For
+// batched children the ID string is rendered (and cached) here — the
+// one place the hot path pays for it, and only when a hop actually
+// propagates the span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	if s.data.ID == "" && s.seq > 0 {
+		s.data.ID = s.owner.data.ID + "." + strconv.Itoa(s.seq)
+	}
+	id := s.data.ID
+	s.mu.Unlock()
+	return SpanContext{TraceID: s.trace, SpanID: id}
+}
+
+// SetAttr attaches a key=value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrKV{key, value})
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span and records it. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.StartUS = s.start.UnixMicro()
+	s.data.DurUS = time.Since(s.start).Microseconds()
+	// attrs are frozen once ended, so the record carries the slice by
+	// reference — no per-attribute copy on the request path.
+	rec := spanRec{data: s.data, seq: s.seq, parentSeq: s.pseq, attrs: s.attrs}
+	if s.owner == s {
+		// Root: commit the whole request's batch in one store insertion.
+		// Children stamp rec.root now, while the batch is in hand.
+		s.batch.flushed = true
+		recs := append(s.batch.recs, rec)
+		for i := range recs {
+			if recs[i].seq > 0 {
+				recs[i].root = s.data.ID
+			}
+		}
+		s.batch.recs = nil
+		s.mu.Unlock()
+		s.t.mu.Lock()
+		s.t.record(s.trace, recs)
+		s.t.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	if o := s.owner; o != nil {
+		o.mu.Lock()
+		if !o.batch.flushed {
+			o.batch.recs = append(o.batch.recs, rec)
+			o.mu.Unlock()
+			return
+		}
+		o.mu.Unlock() // root already committed; record directly
+		rec.root = o.data.ID
+	}
+	s.t.mu.Lock()
+	s.t.record(s.trace, []spanRec{rec})
+	s.t.mu.Unlock()
+}
+
+// Data returns the span's record as of now; the span need not have
+// ended (DurUS is zero until End). Used to ship spans over HeaderSpans.
+func (s *Span) Data() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := spanRec{data: s.data, seq: s.seq, parentSeq: s.pseq, attrs: s.attrs}
+	if s.owner != nil && s.owner != s {
+		rec.root = s.owner.data.ID
+	}
+	return rec.materialize()
+}
+
+// EncodeSpans renders spans for the HeaderSpans response header.
+func EncodeSpans(spans []SpanData) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(spans)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// DecodeSpans parses a HeaderSpans value, tolerating absence and
+// garbage (a peer without tracing simply contributes no spans).
+func DecodeSpans(s string) []SpanData {
+	if s == "" {
+		return nil
+	}
+	var spans []SpanData
+	if err := json.Unmarshal([]byte(s), &spans); err != nil {
+		return nil
+	}
+	return spans
+}
+
+func sortSpans(spans []SpanData) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+}

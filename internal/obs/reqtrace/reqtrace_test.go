@@ -1,0 +1,274 @@
+package reqtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValidID(t *testing.T) {
+	cases := []struct {
+		id string
+		ok bool
+	}{
+		{"0123456789abcdef", true},
+		{"abcd1234", true},
+		{"abc-def-123", true},
+		{strings.Repeat("a", 64), true},
+		{strings.Repeat("a", 65), false},
+		{"short", false},
+		{"", false},
+		{"ABCDEF1234567890", false},      // uppercase rejected
+		{"abcd1234\n", false},            // control chars rejected
+		{"abcd1234xyz", false},           // non-hex letters rejected
+		{"../../../etc/passwd00", false}, // path chars rejected
+		{"abcd efgh", false},             // spaces rejected
+	}
+	for _, c := range cases {
+		if got := ValidID(c.id); got != c.ok {
+			t.Errorf("ValidID(%q) = %v, want %v", c.id, got, c.ok)
+		}
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "0123456789abcdef", SpanID: "ab12-3"}
+	got, ok := ParseContext(sc.String())
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+
+	root := SpanContext{TraceID: "0123456789abcdef"}
+	got, ok = ParseContext(root.String())
+	if !ok || got != root {
+		t.Fatalf("root round trip: got %+v ok=%v", got, ok)
+	}
+
+	for _, bad := range []string{"", ":", "short:span", "UPPER0123456789:x"} {
+		if _, ok := ParseContext(bad); ok {
+			t.Errorf("ParseContext(%q) accepted", bad)
+		}
+	}
+	if (SpanContext{}).String() != "" {
+		t.Errorf("zero context renders %q, want empty", SpanContext{}.String())
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if id := tr.NewTraceID(); !ValidID(id) {
+		t.Fatalf("nil tracer NewTraceID %q invalid", id)
+	}
+	sp := tr.StartRoot("0123456789abcdef", "root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// All span methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if _, ok := tr.Get("0123456789abcdef"); ok {
+		t.Fatal("nil tracer returned a trace")
+	}
+	tr.Inject("0123456789abcdef", []SpanData{{ID: "x"}})
+	if NewTracer("x", 0) != nil {
+		t.Fatal("capacity 0 should yield a nil tracer")
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	tr := NewTracer("serve", 16)
+	id := tr.NewTraceID()
+
+	root := tr.StartRoot(id, "jobs")
+	root.SetAttr("endpoint", "jobs")
+	admit := tr.Start(root.Context(), "admit")
+	admit.SetAttr("tenant", "anonymous")
+	admit.End()
+	run := tr.Start(root.Context(), "run")
+	run.End()
+	root.End()
+
+	doc, ok := tr.Get(id)
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	if doc.RequestID != id || len(doc.Spans) != 3 {
+		t.Fatalf("doc = %+v, want 3 spans for %s", doc, id)
+	}
+	byName := map[string]SpanData{}
+	ids := map[string]bool{}
+	for _, s := range doc.Spans {
+		byName[s.Name] = s
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %s", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Service != "serve" {
+			t.Errorf("span %s service = %q", s.Name, s.Service)
+		}
+	}
+	if byName["jobs"].Parent != "" {
+		t.Errorf("root has parent %q", byName["jobs"].Parent)
+	}
+	for _, name := range []string{"admit", "run"} {
+		if byName[name].Parent != byName["jobs"].ID {
+			t.Errorf("%s parent = %q, want root %q", name, byName[name].Parent, byName["jobs"].ID)
+		}
+	}
+	if byName["admit"].Attrs["tenant"] != "anonymous" {
+		t.Errorf("admit attrs = %v", byName["admit"].Attrs)
+	}
+
+	// End is idempotent: a second End must not duplicate the record.
+	admit.End()
+	doc, _ = tr.Get(id)
+	if len(doc.Spans) != 3 {
+		t.Fatalf("after double End: %d spans, want 3", len(doc.Spans))
+	}
+}
+
+func TestInjectAndCrossProcessSpans(t *testing.T) {
+	coord := NewTracer("coordinator", 16)
+	worker := NewTracer("worker:w1", 16)
+	id := coord.NewTraceID()
+
+	dispatch := coord.StartRoot(id, "dispatch")
+
+	// Worker side: parse the propagated context, run, ship span back.
+	sc, ok := ParseContext(dispatch.Context().String())
+	if !ok {
+		t.Fatal("propagated context failed to parse")
+	}
+	exec := worker.Start(sc, "exec")
+	exec.SetAttr("worker", "w1")
+	exec.End()
+	wire := EncodeSpans([]SpanData{exec.Data()})
+
+	coord.Inject(id, DecodeSpans(wire))
+	dispatch.End()
+
+	doc, ok := coord.Get(id)
+	if !ok || len(doc.Spans) != 2 {
+		t.Fatalf("doc = %+v, want 2 spans", doc)
+	}
+	var ex, disp SpanData
+	for _, s := range doc.Spans {
+		switch s.Name {
+		case "exec":
+			ex = s
+		case "dispatch":
+			disp = s
+		}
+	}
+	if ex.Parent != disp.ID {
+		t.Errorf("exec parent = %q, want dispatch %q", ex.Parent, disp.ID)
+	}
+	if ex.Service != "worker:w1" {
+		t.Errorf("exec service = %q", ex.Service)
+	}
+	if ex.DurUS < 0 || ex.StartUS == 0 {
+		t.Errorf("exec timing = start %d dur %d", ex.StartUS, ex.DurUS)
+	}
+
+	// Garbage header values contribute nothing instead of failing.
+	if got := DecodeSpans("not json"); got != nil {
+		t.Errorf("DecodeSpans(garbage) = %v", got)
+	}
+	if got := DecodeSpans(""); got != nil {
+		t.Errorf("DecodeSpans(empty) = %v", got)
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	tr := NewTracer("serve", 4)
+	var first string
+	for i := 0; i < 10; i++ {
+		id := tr.NewTraceID()
+		if i == 0 {
+			first = id
+		}
+		sp := tr.StartRoot(id, "jobs")
+		sp.End()
+	}
+	traces, spans, dropped := tr.Stats()
+	if traces != 4 {
+		t.Fatalf("retained %d traces, want 4", traces)
+	}
+	if spans != 10 || dropped != 6 {
+		t.Fatalf("spans=%d dropped=%d, want 10/6", spans, dropped)
+	}
+	if _, ok := tr.Get(first); ok {
+		t.Fatal("oldest trace survived eviction")
+	}
+}
+
+func TestContextCarriers(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || SpanFromContext(ctx).Valid() {
+		t.Fatal("empty context carries trace state")
+	}
+	sc := SpanContext{TraceID: "0123456789abcdef", SpanID: "s1"}
+	ctx = WithRequestID(WithSpanContext(ctx, sc), sc.TraceID)
+	if RequestID(ctx) != sc.TraceID {
+		t.Errorf("RequestID = %q", RequestID(ctx))
+	}
+	if got := SpanFromContext(ctx); got != sc {
+		t.Errorf("SpanFromContext = %+v", got)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer("serve", 8)
+	wk := NewTracer("worker:w1", 8)
+	id := tr.NewTraceID()
+	root := tr.StartRoot(id, "jobs")
+	ex := wk.Start(root.Context(), "exec")
+	ex.End()
+	tr.Inject(id, []SpanData{ex.Data()})
+	root.End()
+
+	doc, ok := tr.Get(id)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome export is not JSON: %v\n%s", err, buf.String())
+	}
+	var slices, metas int
+	for _, e := range f.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			slices++
+			if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+				t.Errorf("slice ts = %v", e["ts"])
+			}
+		case "M":
+			metas++
+		}
+	}
+	if slices != 2 {
+		t.Errorf("%d slices, want 2", slices)
+	}
+	if metas != 2 { // one process_name per service
+		t.Errorf("%d metadata events, want 2", metas)
+	}
+	if f.OtherData["request_id"] != id {
+		t.Errorf("otherData request_id = %v", f.OtherData["request_id"])
+	}
+}

@@ -1,0 +1,98 @@
+package slog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLogLineGoldenSchema pins the wire schema of one structured log
+// line: JSON object, one per line, with the standard joinable keys
+// spelled exactly as the contract says.
+func TestLogLineGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelFor(t, "info"), "serve")
+	lg.Info("request",
+		KeyRequest, "0123456789abcdef",
+		KeyTenant, "inter",
+		KeyJobHash, strings.Repeat("ab", 32),
+		KeyWorker, "w1",
+		"endpoint", "jobs",
+		"status", 200,
+		"dur_ms", 12.75,
+	)
+
+	line := buf.String()
+	if n := strings.Count(line, "\n"); n != 1 || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("want exactly one newline-terminated line, got %q", line)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(line), &doc); err != nil {
+		t.Fatalf("line is not JSON: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"level":      "INFO",
+		"msg":        "request",
+		"service":    "serve",
+		"request_id": "0123456789abcdef",
+		"tenant":     "inter",
+		"job_hash":   strings.Repeat("ab", 32),
+		"worker":     "w1",
+		"endpoint":   "jobs",
+		"status":     float64(200),
+		"dur_ms":     12.75,
+	}
+	for k, v := range want {
+		if doc[k] != v {
+			t.Errorf("line[%q] = %v (%T), want %v", k, doc[k], doc[k], v)
+		}
+	}
+	if _, ok := doc["time"]; !ok {
+		t.Error("line has no time field")
+	}
+}
+
+// LevelFor parses a level or fails the test.
+func LevelFor(t *testing.T, s string) Level {
+	t.Helper()
+	lv, err := ParseLevel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": -4, "info": 0, "": 0, "WARN": 4, "warning": 4, "Error": 8,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) did not fail")
+	}
+}
+
+func TestLevelGating(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelFor(t, "warn"), "serve")
+	lg.Info("quiet")
+	if buf.Len() != 0 {
+		t.Fatalf("info line emitted at warn level: %s", buf.String())
+	}
+	lg.Warn("loud")
+	if buf.Len() == 0 {
+		t.Fatal("warn line suppressed at warn level")
+	}
+}
+
+func TestNop(t *testing.T) {
+	lg := Nop()
+	// Must not panic, must not write anywhere.
+	lg.Error("dropped", KeyRequest, "x")
+	lg.With("k", "v").Info("dropped too")
+}

@@ -71,7 +71,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		}
 		sub := strings.SplitN(strings.TrimPrefix(name, "ringsim_"), "_", 2)[0]
 		switch sub {
-		case "serve", "engine", "sim", "obs", "tenant":
+		case "serve", "engine", "sim", "obs", "tenant", "build", "reqtrace", "cluster", "fleet":
 		default:
 			t.Errorf("metric %q has unknown subsystem %q", name, sub)
 		}

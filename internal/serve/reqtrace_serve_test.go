@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs/reqtrace"
+	olog "repro/internal/obs/slog"
+)
+
+// syncBuffer is a goroutine-safe log sink: handler goroutines write,
+// the test reads after the response lands.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRequestIDIssuedAndTraceRetrievable drives a request through a
+// traced server and pins the tentpole contract: the response carries
+// X-Ringsim-Request, and GET /v1/requests/{id}/trace returns one
+// connected span tree covering the endpoint, auth, admission, and
+// engine run.
+func TestRequestIDIssuedAndTraceRetrievable(t *testing.T) {
+	fake := &fakeExecutor{}
+	rt := reqtrace.NewTracer("serve", 64)
+	_, ts := newTestServer(t, fake, Options{ReqTracer: rt})
+
+	resp, raw := postJob(t, ts.URL, testJob(1), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	reqID := resp.Header.Get(reqtrace.HeaderRequest)
+	if !reqtrace.ValidID(reqID) {
+		t.Fatalf("response request id %q invalid", reqID)
+	}
+	hash := decodeJobResult(t, raw).Hash
+
+	get, err := http.Get(ts.URL + "/v1/requests/" + reqID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d", get.StatusCode)
+	}
+	var doc reqtrace.TraceDoc
+	if err := json.NewDecoder(get.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.RequestID != reqID {
+		t.Errorf("doc request id %q, want %q", doc.RequestID, reqID)
+	}
+
+	byName := map[string]reqtrace.SpanData{}
+	ids := map[string]bool{}
+	for _, s := range doc.Spans {
+		byName[s.Name] = s
+		ids[s.ID] = true
+	}
+	for _, want := range []string{"jobs", "auth", "admit", "run"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("span %q missing; have %v", want, names(doc.Spans))
+		}
+	}
+	// Connectivity: exactly one root, every parent resolves in-tree.
+	roots := 0
+	for _, s := range doc.Spans {
+		if s.Parent == "" {
+			roots++
+		} else if !ids[s.Parent] {
+			t.Errorf("span %s has dangling parent %s", s.Name, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d roots, want 1", roots)
+	}
+	if got := byName["admit"].Attrs["outcome"]; got != "granted" {
+		t.Errorf("admit outcome = %q", got)
+	}
+	if got := byName["run"].Attrs["hash"]; got != hash {
+		t.Errorf("run hash attr = %q, want %q", got, hash)
+	}
+	if got := byName["jobs"].Attrs["status"]; got != "200" {
+		t.Errorf("root status attr = %q", got)
+	}
+
+	// Chrome export of the same trace parses.
+	chrome, err := http.Get(ts.URL + "/v1/requests/" + reqID + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chrome.Body.Close()
+	var cf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(chrome.Body).Decode(&cf); err != nil {
+		t.Fatalf("chrome format: %v", err)
+	}
+	if len(cf.TraceEvents) == 0 {
+		t.Error("chrome export empty")
+	}
+}
+
+func names(spans []reqtrace.SpanData) []string {
+	var out []string
+	for _, s := range spans {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// TestClientSuppliedRequestID: a well-formed client ID is honored,
+// a malformed one replaced.
+func TestClientSuppliedRequestID(t *testing.T) {
+	fake := &fakeExecutor{}
+	rt := reqtrace.NewTracer("serve", 64)
+	_, ts := newTestServer(t, fake, Options{ReqTracer: rt})
+
+	body, _ := json.Marshal(testJob(1))
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set(reqtrace.HeaderRequest, "cafe0123deadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(reqtrace.HeaderRequest); got != "cafe0123deadbeef" {
+		t.Errorf("client id not honored: %q", got)
+	}
+
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set(reqtrace.HeaderRequest, "NOT VALID/../id")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(reqtrace.HeaderRequest); !reqtrace.ValidID(got) || got == "NOT VALID/../id" {
+		t.Errorf("malformed client id echoed: %q", got)
+	}
+}
+
+// TestErrorBodiesCarryRequestID pins the satellite contract: 4xx/5xx
+// envelopes carry the request ID that names their trace.
+func TestErrorBodiesCarryRequestID(t *testing.T) {
+	fake := &fakeExecutor{}
+	_, ts := newTestServer(t, fake, Options{}) // untraced: IDs still issued
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var eb struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !reqtrace.ValidID(eb.RequestID) {
+		t.Errorf("error body request_id = %q", eb.RequestID)
+	}
+	if eb.RequestID != resp.Header.Get(reqtrace.HeaderRequest) {
+		t.Errorf("body id %q != header id %q", eb.RequestID, resp.Header.Get(reqtrace.HeaderRequest))
+	}
+}
+
+// TestRequestTraceEndpointEdges: disabled tracing, unknown and
+// malformed IDs.
+func TestRequestTraceEndpointEdges(t *testing.T) {
+	fake := &fakeExecutor{}
+	_, ts := newTestServer(t, fake, Options{}) // tracing off
+
+	for path, want := range map[string]int{
+		"/v1/requests/0123456789abcdef/trace": http.StatusNotFound, // disabled
+		"/v1/requests/NOPE/trace":             http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	rt := reqtrace.NewTracer("serve", 8)
+	_, ts2 := newTestServer(t, fake, Options{ReqTracer: rt})
+	resp, err := http.Get(ts2.URL + "/v1/requests/0123456789abcdef/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestClusterEndpointsWithoutCoordinator: a plain node answers 404 on
+// the cluster surfaces; with hooks set they serve the hook's output.
+func TestClusterEndpoints(t *testing.T) {
+	fake := &fakeExecutor{}
+	_, ts := newTestServer(t, fake, Options{})
+	for _, path := range []string{"/v1/cluster/status", "/v1/cluster/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	type statusDoc struct {
+		Live int `json:"live"`
+	}
+	_, ts2 := newTestServer(t, fake, Options{
+		ClusterStatus: func() any { return statusDoc{Live: 3} },
+		FederateMetrics: func(ctx context.Context, self func(io.Writer), w io.Writer) {
+			self(w)
+		},
+	})
+	resp, err := http.Get(ts2.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd statusDoc
+	json.NewDecoder(resp.Body).Decode(&sd)
+	resp.Body.Close()
+	if sd.Live != 3 {
+		t.Errorf("status live = %d", sd.Live)
+	}
+	resp, err = http.Get(ts2.URL + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "ringsim_build_info") {
+		t.Error("federated self exposition missing build info")
+	}
+}
+
+// TestStructuredRequestLog: one request emits one JSON log line with
+// the joinable keys.
+func TestStructuredRequestLog(t *testing.T) {
+	fake := &fakeExecutor{}
+	var buf syncBuffer
+	// Access lines are debug-level (see instrument); the schema contract
+	// is pinned at the level where they appear.
+	lg := olog.New(&buf, slog.LevelDebug, "serve")
+	rt := reqtrace.NewTracer("serve", 8)
+	_, ts := newTestServer(t, fake, Options{ReqTracer: rt, Logger: lg})
+
+	resp, _ := postJob(t, ts.URL, testJob(1), "")
+	reqID := resp.Header.Get(reqtrace.HeaderRequest)
+
+	var line map[string]any
+	found := false
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var doc map[string]any
+		if json.Unmarshal([]byte(l), &doc) == nil && doc["request_id"] == reqID {
+			line, found = doc, true
+		}
+	}
+	if !found {
+		t.Fatalf("no log line for request %s in:\n%s", reqID, buf.String())
+	}
+	if line["msg"] != "request" || line["endpoint"] != "jobs" || line["service"] != "serve" {
+		t.Errorf("log line = %v", line)
+	}
+	if line["tenant"] != "anonymous" {
+		t.Errorf("log tenant = %v", line["tenant"])
+	}
+	if hash, _ := line["job_hash"].(string); len(hash) != 64 {
+		t.Errorf("log job_hash = %v", line["job_hash"])
+	}
+	if line["status"] != float64(200) {
+		t.Errorf("log status = %v", line["status"])
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -30,7 +31,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/obs/reqtrace"
+	olog "repro/internal/obs/slog"
 	"repro/internal/sweep"
 	"repro/internal/tenant"
 )
@@ -66,6 +70,25 @@ type Options struct {
 	// anonymous single-tenant registry: no keys, no limits — exactly
 	// the pre-multi-tenant behavior.
 	Tenants *tenant.Registry
+	// ReqTracer records request-scoped span trees (admission, engine
+	// run, cluster dispatch, cache lookup) retrievable via GET
+	// /v1/requests/{id}/trace. Nil turns span recording off; request
+	// IDs are still issued and echoed, because error correlation is
+	// part of the API contract, not an observability option.
+	ReqTracer *reqtrace.Tracer
+	// Logger emits structured request logs (one JSON line per
+	// request, tagged with request ID, tenant, and job hash). Nil
+	// discards.
+	Logger *olog.Logger
+	// ClusterStatus, when set, backs GET /v1/cluster/status — the
+	// coordinator supplies its membership/dispatch view here. Nil
+	// answers 404 (this node is not a coordinator).
+	ClusterStatus func() any
+	// FederateMetrics, when set, backs GET /v1/cluster/metrics: it
+	// receives a renderer for this server's own exposition and must
+	// write the merged, worker-labeled fleet exposition. Nil answers
+	// 404.
+	FederateMetrics func(ctx context.Context, self func(io.Writer), w io.Writer)
 }
 
 // Server is the HTTP serving layer. Construct with New; it is safe
@@ -79,6 +102,10 @@ type Server struct {
 	maxDeadline time.Duration
 	fallback    func(ctx context.Context, hash string) (*sweep.Result, sweep.Source, bool)
 	extraMet    func(w io.Writer)
+	rt          *reqtrace.Tracer
+	log         *olog.Logger
+	cstatus     func() any
+	federate    func(ctx context.Context, self func(io.Writer), w io.Writer)
 	start       time.Time
 
 	drainOnce sync.Once
@@ -107,6 +134,10 @@ func New(opts Options) *Server {
 	if reg == nil {
 		reg = tenant.NewAnonymous()
 	}
+	lg := opts.Logger
+	if lg == nil {
+		lg = olog.Nop()
+	}
 	s := &Server{
 		eng:         eng,
 		adm:         newAdmitter(inflight, depth, opts.Discipline),
@@ -116,6 +147,10 @@ func New(opts Options) *Server {
 		maxDeadline: maxDeadline,
 		fallback:    opts.LookupFallback,
 		extraMet:    opts.ExtraMetrics,
+		rt:          opts.ReqTracer,
+		log:         lg,
+		cstatus:     opts.ClusterStatus,
+		federate:    opts.FederateMetrics,
 		start:       time.Now(),
 		drainCh:     make(chan struct{}),
 	}
@@ -127,6 +162,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/results/{hash}/trace", s.instrument("trace", s.withTenant(s.handleResultTrace)))
 	s.mux.HandleFunc("GET /v1/events", s.instrument("events", s.withTenant(s.handleEvents)))
 	s.mux.HandleFunc("GET /v1/usage", s.instrument("usage", s.withTenant(s.handleUsage)))
+	s.mux.HandleFunc("GET /v1/requests/{id}/trace", s.instrument("reqtrace", s.withTenant(s.handleRequestTrace)))
+	s.mux.HandleFunc("GET /v1/cluster/status", s.instrument("cluster", s.handleClusterStatus))
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.instrument("clustermetrics", s.handleClusterMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return s
@@ -154,12 +192,18 @@ func bearerKey(r *http.Request) string {
 // answer 401; so does a missing key when anonymous access is off.
 func (s *Server) withTenant(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		sp := s.rt.StartChild(reqtrace.SpanObj(r.Context()), "auth")
 		tn, err := s.tenants.Authenticate(bearerKey(r))
 		if err != nil {
+			sp.SetAttr("outcome", "unauthorized")
+			sp.End()
 			w.Header().Set("WWW-Authenticate", `Bearer realm="ringsim"`)
-			writeError(w, http.StatusUnauthorized, "%v", err)
+			errorCtx(r.Context(), w, http.StatusUnauthorized, "%v", err)
 			return
 		}
+		sp.SetAttr("tenant", tn.ID)
+		sp.End()
+		metaFrom(r.Context()).set(tn.ID, "")
 		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tn)))
 	}
 }
@@ -184,6 +228,7 @@ func (s *Server) Engine() *sweep.Engine { return s.eng }
 // completion. Safe to call more than once.
 func (s *Server) BeginDrain() {
 	s.drainOnce.Do(func() {
+		s.log.Info("drain begin")
 		s.adm.beginDrain()
 		close(s.drainCh)
 	})
@@ -244,22 +289,123 @@ func canFlush(w http.ResponseWriter) bool {
 	}
 }
 
-// instrument wraps a handler with latency and status-code accounting.
+// reqMeta is the mutable per-request record instrument shares with
+// the layers below it: middlewares and handlers fill in what they
+// learn (who the tenant is, which job hash ran) and instrument folds
+// it into the request's structured log line after the handler returns.
+type reqMeta struct {
+	mu      sync.Mutex
+	tenant  string
+	jobHash string
+}
+
+type reqMetaKey struct{}
+
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(reqMetaKey{}).(*reqMeta)
+	return m
+}
+
+func (m *reqMeta) set(tenant, jobHash string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if tenant != "" {
+		m.tenant = tenant
+	}
+	if jobHash != "" {
+		m.jobHash = jobHash
+	}
+	m.mu.Unlock()
+}
+
+func (m *reqMeta) get() (tenant, jobHash string) {
+	if m == nil {
+		return "", ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenant, m.jobHash
+}
+
+// instrument wraps a handler with the request-scoped observability
+// envelope: a request ID (client-supplied via X-Ringsim-Request when
+// well-formed, minted otherwise) echoed on the response and carried
+// down the context, a root trace span on API endpoints, latency and
+// status-code accounting, and one structured log line per request.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	// Scrape and liveness endpoints are polled forever by machines;
+	// tracing and logging them would drown the signal in probes.
+	quiet := endpoint == "metrics" || endpoint == "healthz" || endpoint == "clustermetrics"
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
+
+		reqID := r.Header.Get(reqtrace.HeaderRequest)
+		if !reqtrace.ValidID(reqID) {
+			reqID = s.rt.NewTraceID()
+		}
+		w.Header().Set(reqtrace.HeaderRequest, reqID)
+		meta := &reqMeta{}
+		ctx := context.WithValue(r.Context(), reqMetaKey{}, meta)
+		ctx = reqtrace.WithRequestID(ctx, reqID)
+		var root *reqtrace.Span
+		if !quiet {
+			root = s.rt.StartRoot(reqID, endpoint)
+			root.SetAttr("method", r.Method)
+			ctx = reqtrace.WithSpan(ctx, root)
+		}
+		r = r.WithContext(ctx)
+
 		h(sw, r)
+
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
-		s.met.observe(endpoint, sw.code, time.Since(begin))
+		dur := time.Since(begin)
+		root.SetAttr("status", strconv.Itoa(sw.code))
+		root.End()
+		s.met.observe(endpoint, sw.code, dur)
+		if !quiet {
+			// Per-request access lines are debug-level: at cache-hit
+			// serving rates an always-on line would dominate the request
+			// cost (see BENCH_8). Failures escalate so operators see them
+			// at the production (info/warn) level.
+			level := slog.LevelDebug
+			switch {
+			case sw.code >= 500:
+				level = slog.LevelWarn
+			case sw.code >= 400:
+				level = slog.LevelInfo
+			}
+			if s.log.Enabled(r.Context(), level) {
+				tn, hash := meta.get()
+				attrs := []any{
+					olog.KeyRequest, reqID,
+					"endpoint", endpoint,
+					"method", r.Method,
+					"status", sw.code,
+					"dur_ms", float64(dur.Microseconds()) / 1000,
+				}
+				if tn != "" {
+					attrs = append(attrs, olog.KeyTenant, tn)
+				}
+				if hash != "" {
+					attrs = append(attrs, olog.KeyJobHash, hash)
+				}
+				s.log.Log(r.Context(), level, "request", attrs...)
+			}
+		}
 	}
 }
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. RequestID correlates the
+// rejection with its trace and log lines — clients quote it back, and
+// GET /v1/requests/{id}/trace explains what happened to the request.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -270,8 +416,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// writeError answers an error without request context (used only
+// where no request flows, e.g. tests); handlers use errorCtx so every
+// error body carries the request ID.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// errorCtx answers an error tagged with the request ID carried by ctx.
+func errorCtx(ctx context.Context, w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: reqtrace.RequestID(ctx),
+	})
 }
 
 // requestContext derives the job context: the client's disconnect
@@ -347,14 +504,14 @@ func jobCost(jobs []sweep.Job) int64 {
 
 // rejectBusy answers 429 with a Retry-After hint: the tenant's token
 // refill interval when it has a configured rate, else one second.
-func (s *Server) rejectBusy(w http.ResponseWriter, tn tenant.Tenant, format string, args ...any) {
+func (s *Server) rejectBusy(ctx context.Context, w http.ResponseWriter, tn tenant.Tenant, format string, args ...any) {
 	retry := s.tenants.RefillInterval(tn.ID)
 	if retry <= 0 {
 		retry = time.Second
 	}
 	w.Header().Set("Retry-After", retryAfterHeader(retry))
 	s.tenants.Record(tn.ID, tenant.Usage{Rejected: 1})
-	writeError(w, http.StatusTooManyRequests, format, args...)
+	errorCtx(ctx, w, http.StatusTooManyRequests, format, args...)
 }
 
 // runAdmitted schedules jobs through the tenant's rate limit,
@@ -365,10 +522,21 @@ func (s *Server) rejectBusy(w http.ResponseWriter, tn tenant.Tenant, format stri
 // the cache (work conservation). Accepted work is metered against the
 // tenant whether it succeeds or errors.
 func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, tn tenant.Tenant, jobs []sweep.Job) ([]*sweep.Result, []sweep.Source, bool) {
+	// The admit span covers the whole admission pipeline: rate check,
+	// then DRR queue wait — its duration is the queue-wait time, its
+	// outcome says which gate refused (or that the grant happened).
+	admitSpan := s.rt.StartChild(reqtrace.SpanObj(ctx), "admit")
+	admitSpan.SetAttr("tenant", tn.ID)
+	admitSpan.SetAttr("jobs", strconv.Itoa(len(jobs)))
+	reject := func(outcome string) {
+		admitSpan.SetAttr("outcome", outcome)
+		admitSpan.End()
+	}
 	if ok, retry := s.tenants.Acquire(tn.ID); !ok {
+		reject("rate_limited")
 		w.Header().Set("Retry-After", retryAfterHeader(retry))
 		s.tenants.Record(tn.ID, tenant.Usage{RateLimited: 1})
-		writeError(w, http.StatusTooManyRequests, "tenant %q rate limited; retry in %s", tn.ID, retryAfterHeader(retry)+"s")
+		errorCtx(ctx, w, http.StatusTooManyRequests, "tenant %q rate limited; retry in %s", tn.ID, retryAfterHeader(retry)+"s")
 		return nil, nil, false
 	}
 	begin := time.Now()
@@ -379,25 +547,38 @@ func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, tn tena
 		case errors.Is(err, ErrQueueFull) && errors.As(err, &aerr):
 			// The depth is the one captured at the instant of rejection,
 			// not a later gauge read racing other requests.
-			s.rejectBusy(w, tn, "admission queue full (%d queued)", aerr.Queued)
+			reject("queue_full")
+			s.rejectBusy(ctx, w, tn, "admission queue full (%d queued)", aerr.Queued)
 		case errors.Is(err, ErrTenantQuota) && errors.As(err, &aerr):
-			s.rejectBusy(w, tn, "tenant %q admission quota exhausted (%d queued)", tn.ID, aerr.Queued)
+			reject("tenant_quota")
+			s.rejectBusy(ctx, w, tn, "tenant %q admission quota exhausted (%d queued)", tn.ID, aerr.Queued)
 		case errors.Is(err, ErrDraining):
+			reject("draining")
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "server draining")
+			errorCtx(ctx, w, http.StatusServiceUnavailable, "server draining")
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "deadline expired while queued; job cancelled")
+			reject("deadline")
+			errorCtx(ctx, w, http.StatusGatewayTimeout, "deadline expired while queued; job cancelled")
 		default:
-			writeError(w, http.StatusServiceUnavailable, "admission: %v", err)
+			reject("error")
+			errorCtx(ctx, w, http.StatusServiceUnavailable, "admission: %v", err)
 		}
 		return nil, nil, false
 	}
+	admitSpan.SetAttr("outcome", "granted")
+	admitSpan.End()
 
-	// Tag provenance after admission: the field is hash- and
+	// Tag provenance after admission: both fields are hash- and
 	// serialization-exempt, so identical jobs from different tenants
-	// still collapse to one cache entry.
+	// (or traced vs untraced runs) still collapse to one cache entry.
+	// The run span parents everything the engine does for this request
+	// — including coordinator dispatch and worker execution across the
+	// cluster hop, which pick the context up from Job.TraceParent.
+	runSpan := s.rt.StartChild(reqtrace.SpanObj(ctx), "run")
+	traceParent := runSpan.Context().String()
 	for i := range jobs {
 		jobs[i].Tenant = tn.ID
+		jobs[i].TraceParent = traceParent
 	}
 
 	type outcome struct {
@@ -412,28 +593,36 @@ func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, tn tena
 		ch <- outcome{results, sources, err}
 	}()
 
+	endRun := func(outcome string) {
+		runSpan.SetAttr("outcome", outcome)
+		runSpan.End()
+	}
 	select {
 	case o := <-ch:
 		switch {
 		case errors.Is(o.err, context.DeadlineExceeded):
+			endRun("deadline")
 			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
+			errorCtx(ctx, w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
 			return nil, nil, false
 		case errors.Is(o.err, context.Canceled):
 			// Client went away; nothing useful to write.
+			endRun("canceled")
 			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 			return nil, nil, false
 		case errors.Is(o.err, sweep.ErrUnavailable):
 			// The substrate, not the request, is at fault (e.g. the
 			// cluster has no live workers): retryable, so 503 with a
 			// retry hint.
+			endRun("unavailable")
 			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "%v", o.err)
+			errorCtx(ctx, w, http.StatusServiceUnavailable, "%v", o.err)
 			return nil, nil, false
 		case o.err != nil:
+			endRun("error")
 			s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
-			writeError(w, http.StatusBadRequest, "%v", o.err)
+			errorCtx(ctx, w, http.StatusBadRequest, "%v", o.err)
 			return nil, nil, false
 		}
 		u := tenant.Usage{Jobs: uint64(len(jobs)), WallNS: time.Since(begin).Nanoseconds()}
@@ -449,14 +638,22 @@ func (s *Server) runAdmitted(ctx context.Context, w http.ResponseWriter, tn tena
 				u.SimulatedPS += int64(o.results[i].Summary().ExecTimeUS * 1e6)
 			}
 		}
+		runSpan.SetAttr("computed", strconv.FormatUint(u.Computed, 10))
+		runSpan.SetAttr("cache_hits", strconv.FormatUint(u.CacheHits+u.DiskHits, 10))
+		if len(o.results) == 1 {
+			runSpan.SetAttr("hash", o.results[0].Hash)
+			metaFrom(ctx).set("", o.results[0].Hash)
+		}
+		endRun("ok")
 		s.tenants.Record(tn.ID, u)
 		return o.results, o.sources, true
 	case <-ctx.Done():
 		// The engine keeps draining in the background; its release fires
 		// when the last in-progress job completes.
+		endRun("deadline")
 		s.tenants.Record(tn.ID, tenant.Usage{Errors: 1, WallNS: time.Since(begin).Nanoseconds()})
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			writeError(w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
+			errorCtx(ctx, w, http.StatusGatewayTimeout, "deadline exceeded; undispatched jobs cancelled")
 		}
 		return nil, nil, false
 	}
@@ -468,12 +665,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&job); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job: %v", err)
+		errorCtx(r.Context(), w, http.StatusBadRequest, "bad job: %v", err)
 		return
 	}
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		errorCtx(r.Context(), w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
@@ -495,11 +692,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad sweep: %v", err)
+		errorCtx(r.Context(), w, http.StatusBadRequest, "bad sweep: %v", err)
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeError(w, http.StatusBadRequest, "sweep has no jobs")
+		errorCtx(r.Context(), w, http.StatusBadRequest, "sweep has no jobs")
 		return
 	}
 	s.serveSweep(w, r, "", req.Jobs)
@@ -508,7 +705,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, name string, jobs []sweep.Job) {
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		errorCtx(r.Context(), w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
@@ -570,7 +767,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if raw := q.Get(f.key); raw != "" {
 			v, err := strconv.Atoi(raw)
 			if err != nil || v < 0 {
-				writeError(w, http.StatusBadRequest, "bad %s %q", f.key, raw)
+				errorCtx(r.Context(), w, http.StatusBadRequest, "bad %s %q", f.key, raw)
 				return
 			}
 			*f.dst = v
@@ -579,7 +776,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("seed"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad seed %q", raw)
+			errorCtx(r.Context(), w, http.StatusBadRequest, "bad seed %q", raw)
 			return
 		}
 		p.Seed = v
@@ -587,7 +784,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	jobs, err := ExpandExperiment(name, p)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		errorCtx(r.Context(), w, http.StatusNotFound, "%v", err)
 		return
 	}
 	s.serveSweep(w, r, name, jobs)
@@ -601,19 +798,28 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	// after unescaping; reject anything that is not a well-formed
 	// content hash before it goes near the on-disk cache.
 	if !sweep.ValidHash(hash) {
-		writeError(w, http.StatusBadRequest, "bad hash %q: want 64 lowercase hex characters", hash)
+		errorCtx(r.Context(), w, http.StatusBadRequest, "bad hash %q: want 64 lowercase hex characters", hash)
 		return
 	}
+	metaFrom(r.Context()).set("", hash)
+	sp := s.rt.StartChild(reqtrace.SpanObj(r.Context()), "lookup")
+	sp.SetAttr("hash", hash)
 	res, src, ok := s.eng.Lookup(hash)
 	if !ok && s.fallback != nil {
 		// The local tiers missed; ask the fleet. The fallback verifies
 		// integrity and adopts the result, so the next lookup is local.
-		res, src, ok = s.fallback(r.Context(), hash)
+		// It inherits the lookup span as parent, so a coordinator's
+		// peer-fetch spans attach under it.
+		res, src, ok = s.fallback(reqtrace.WithSpanContext(r.Context(), sp.Context()), hash)
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, "no result for hash %s", hash)
+		sp.SetAttr("outcome", "miss")
+		sp.End()
+		errorCtx(r.Context(), w, http.StatusNotFound, "no result for hash %s", hash)
 		return
 	}
+	sp.SetAttr("source", src.String())
+	sp.End()
 	writeJSON(w, http.StatusOK, jobResult(res, src, r.URL.Query().Get("full") == "1"))
 }
 
@@ -626,17 +832,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	if !sweep.ValidHash(hash) {
-		writeError(w, http.StatusBadRequest, "bad hash %q: want 64 lowercase hex characters", hash)
+		errorCtx(r.Context(), w, http.StatusBadRequest, "bad hash %q: want 64 lowercase hex characters", hash)
 		return
 	}
 	res, _, ok := s.eng.Lookup(hash)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no result for hash %s", hash)
+		errorCtx(r.Context(), w, http.StatusNotFound, "no result for hash %s", hash)
 		return
 	}
 	tr := res.Metrics().Trace
 	if tr == nil {
-		writeError(w, http.StatusNotFound,
+		errorCtx(r.Context(), w, http.StatusNotFound,
 			"no trace for result %s: run was not traced in this process (enable tracing and recompute)", hash)
 		return
 	}
@@ -645,18 +851,20 @@ func (s *Server) handleResultTrace(w http.ResponseWriter, r *http.Request) {
 	tr.WriteTrace(w)
 }
 
-// sseEvent is the JSON payload of one progress event. Tenant is the
-// submitter of the run that triggered the event — provenance for
-// operators watching a shared stream (the Job itself never carries it
-// on the wire).
+// sseEvent is the JSON payload of one progress event. Tenant and
+// RequestID are the submitter provenance of the run that triggered
+// the event — RequestID lets a client correlate the stream with its
+// own submissions and their traces (the Job itself carries neither on
+// the wire).
 type sseEvent struct {
-	Type   string    `json:"type"`
-	Label  string    `json:"label"`
-	Hash   string    `json:"hash"`
-	Tenant string    `json:"tenant,omitempty"`
-	Job    sweep.Job `json:"job"`
-	WallNS int64     `json:"wall_ns,omitempty"`
-	Error  string    `json:"error,omitempty"`
+	Type      string    `json:"type"`
+	Label     string    `json:"label"`
+	Hash      string    `json:"hash"`
+	Tenant    string    `json:"tenant,omitempty"`
+	RequestID string    `json:"request_id,omitempty"`
+	Job       sweep.Job `json:"job"`
+	WallNS    int64     `json:"wall_ns,omitempty"`
+	Error     string    `json:"error,omitempty"`
 }
 
 // handleEvents serves GET /v1/events: the engine's live progress
@@ -664,12 +872,12 @@ type sseEvent struct {
 // disconnects or the server begins draining.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !canFlush(w) {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		errorCtx(r.Context(), w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
 	flusher := http.NewResponseController(w)
 	if s.draining() {
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		errorCtx(r.Context(), w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	events, cancel := s.eng.Subscribe(256)
@@ -693,6 +901,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				Tenant: ev.Job.Tenant,
 				Job:    ev.Job,
 				WallNS: ev.Wall.Nanoseconds(),
+			}
+			if sc, ok := reqtrace.ParseContext(ev.Job.TraceParent); ok {
+				payload.RequestID = sc.TraceID
 			}
 			if ev.Err != nil {
 				payload.Error = ev.Err.Error()
@@ -738,10 +949,63 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 	tn := tenantFrom(r.Context())
 	u, ok := s.tenants.Usage(tn.ID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no usage for tenant %q", tn.ID)
+		errorCtx(r.Context(), w, http.StatusNotFound, "no usage for tenant %q", tn.ID)
 		return
 	}
 	writeJSON(w, http.StatusOK, u)
+}
+
+// handleRequestTrace serves GET /v1/requests/{id}/trace: the
+// request's recorded span tree — admission, engine run, and (through
+// a coordinator) dispatch, worker execution, and adoption — as JSON,
+// or as Chrome-trace-event JSON with ?format=chrome. Traces live in a
+// bounded in-process store, so old requests age out (404).
+func (s *Server) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !reqtrace.ValidID(id) {
+		errorCtx(r.Context(), w, http.StatusBadRequest, "bad request id %q", id)
+		return
+	}
+	if !s.rt.Enabled() {
+		errorCtx(r.Context(), w, http.StatusNotFound, "request tracing is disabled on this server")
+		return
+	}
+	doc, ok := s.rt.Get(id)
+	if !ok {
+		errorCtx(r.Context(), w, http.StatusNotFound, "no trace for request %s (never seen, or evicted)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "request-"+id+".json"))
+		doc.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleClusterStatus serves GET /v1/cluster/status: the
+// coordinator's membership and dispatch view (per-worker liveness,
+// heartbeat age, inflight, steal/forward counters). A node without a
+// coordinator answers 404.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if s.cstatus == nil {
+		errorCtx(r.Context(), w, http.StatusNotFound, "this node is not a cluster coordinator")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cstatus())
+}
+
+// handleClusterMetrics serves GET /v1/cluster/metrics: the
+// coordinator's merged, worker-labeled exposition of the whole
+// fleet's /metrics, so one scrape sees every node.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.federate == nil {
+		errorCtx(r.Context(), w, http.StatusNotFound, "this node is not a cluster coordinator")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.federate(r.Context(), s.renderMetrics, w)
 }
 
 // healthBody is the /healthz response.
@@ -774,6 +1038,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves GET /metrics in the Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.renderMetrics(w)
+}
+
+// renderMetrics writes the full exposition to any writer — the same
+// body /metrics serves, reused by the cluster's metrics federation as
+// the coordinator's own contribution.
+func (s *Server) renderMetrics(w io.Writer) {
+	buildinfo.WriteMetric(w)
 	queued, inflight := s.adm.gauges()
 	st := s.eng.Stats()
 	fmt.Fprintln(w, "# HELP ringsim_serve_queue_depth Requests waiting for admission.")
@@ -861,6 +1133,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "ringsim_obs_span_latency_seconds_sum{class=%q} %g\n", a.Class, a.Latency.Sum()/1e9)
 			fmt.Fprintf(w, "ringsim_obs_span_latency_seconds_count{class=%q} %d\n", a.Class, a.Latency.N())
 		}
+	}
+
+	if s.rt.Enabled() {
+		traces, spans, dropped := s.rt.Stats()
+		fmt.Fprintln(w, "# HELP ringsim_reqtrace_traces Request traces retained in the in-process store.")
+		fmt.Fprintln(w, "# TYPE ringsim_reqtrace_traces gauge")
+		fmt.Fprintf(w, "ringsim_reqtrace_traces %d\n", traces)
+		fmt.Fprintln(w, "# HELP ringsim_reqtrace_spans_total Request spans recorded since start.")
+		fmt.Fprintln(w, "# TYPE ringsim_reqtrace_spans_total counter")
+		fmt.Fprintf(w, "ringsim_reqtrace_spans_total %d\n", spans)
+		fmt.Fprintln(w, "# HELP ringsim_reqtrace_spans_dropped_total Request spans evicted from the bounded store.")
+		fmt.Fprintln(w, "# TYPE ringsim_reqtrace_spans_dropped_total counter")
+		fmt.Fprintf(w, "ringsim_reqtrace_spans_dropped_total %d\n", dropped)
 	}
 
 	s.renderTenantMetrics(w)

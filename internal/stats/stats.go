@@ -228,6 +228,56 @@ func (h *ExpHistogram) Merge(o *ExpHistogram) error {
 	return nil
 }
 
+// HistSnapshot is the lossless serialized form of an ExpHistogram —
+// what the cluster's metrics federation ships over the wire so the
+// coordinator can Merge worker histograms into fleet aggregates.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1; trailing overflow bucket
+	N      uint64    `json:"n"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot returns the histogram's serializable state (copies).
+func (h *ExpHistogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		N:      h.n,
+		Sum:    h.sum,
+	}
+}
+
+// FromSnapshot rebuilds an ExpHistogram from a snapshot, validating
+// the invariants NewExpHistogram+Observe would have maintained —
+// shape, strictly increasing positive bounds, and count consistency —
+// so a malformed or hostile peer payload cannot poison a fleet merge.
+func FromSnapshot(s HistSnapshot) (*ExpHistogram, error) {
+	if len(s.Bounds) == 0 || len(s.Counts) != len(s.Bounds)+1 {
+		return nil, fmt.Errorf("stats: snapshot shape %d bounds / %d counts", len(s.Bounds), len(s.Counts))
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.N {
+		return nil, fmt.Errorf("stats: snapshot count mismatch: buckets sum %d, n %d", total, s.N)
+	}
+	prev := 0.0
+	for i, b := range s.Bounds {
+		if b <= prev || math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("stats: snapshot bounds not increasing/finite at bucket %d", i)
+		}
+		prev = b
+	}
+	return &ExpHistogram{
+		bounds: append([]float64(nil), s.Bounds...),
+		counts: append([]uint64(nil), s.Counts...),
+		n:      s.N,
+		sum:    s.Sum,
+	}, nil
+}
+
 // Quantile returns an approximate q-quantile (0 <= q <= 1), assuming
 // samples are uniform within a bucket; overflow samples report the
 // largest finite bound.

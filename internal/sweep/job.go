@@ -87,6 +87,15 @@ type Job struct {
 	// cache, or the cluster wire body (the cluster carries it in a
 	// header instead).
 	Tenant string `json:"-"`
+
+	// TraceParent is serving-layer provenance like Tenant: the
+	// request-trace span context ("traceID:spanID", reqtrace wire
+	// form) under which this job is being executed. Excluded from
+	// serialization for the same reason — tracing must never change a
+	// job's identity, its cache entry, or its result bytes — so it
+	// never reaches the content hash, the disk cache, or the cluster
+	// wire body (the cluster carries it in the X-Ringsim-Trace header).
+	TraceParent string `json:"-"`
 }
 
 // Normalize fills the identity-defining defaults so that two spellings

@@ -31,3 +31,27 @@ func TestTenantExcludedFromIdentity(t *testing.T) {
 		t.Error("tenant id leaked into the canonical serialization")
 	}
 }
+
+// TestTraceParentExcludedFromIdentity pins the same contract for the
+// request-tracing provenance tag: tracing a request must never change
+// the identity, cache entry, or serialized bytes of the jobs it runs.
+func TestTraceParentExcludedFromIdentity(t *testing.T) {
+	base := Job{Benchmark: "MP3D", CPUs: 8, Seed: 7}
+	traced := base
+	traced.TraceParent = "0123456789abcdef:aabb-1"
+	other := base
+	other.TraceParent = "fedcba9876543210:ccdd-2"
+
+	if !bytes.Equal(base.Canonical(), traced.Canonical()) {
+		t.Errorf("canonical form differs with trace tag:\n  %s\n  %s", base.Canonical(), traced.Canonical())
+	}
+	if base.Hash() != traced.Hash() || traced.Hash() != other.Hash() {
+		t.Error("trace tag changed the content hash")
+	}
+	if base.RNGSeed() != traced.RNGSeed() {
+		t.Error("trace tag changed the derived RNG seed")
+	}
+	if strings.Contains(string(traced.Canonical()), "0123456789abcdef") {
+		t.Error("trace id leaked into the canonical serialization")
+	}
+}

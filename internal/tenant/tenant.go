@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -65,6 +66,18 @@ type Tenant struct {
 	// MaxInFlight caps the tenant's concurrently executing requests;
 	// zero means only the server-global in-flight bound applies.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// LogValue implements log/slog.LogValuer: a Tenant passed to a
+// structured logger renders as its identity and arbitration
+// parameters, never its API keys — secrets cannot leak into log
+// pipelines even when a call site logs the whole record.
+func (t Tenant) LogValue() slog.Value {
+	return slog.GroupValue(
+		slog.String("id", t.ID),
+		slog.Int("weight", t.normalize().Weight),
+		slog.Int("keys", len(t.Keys)),
+	)
 }
 
 // normalize fills the defaulted fields.

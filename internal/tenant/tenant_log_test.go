@@ -1,0 +1,39 @@
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestTenantLogValueNeverLeaksKeys pins the log-safety contract: a
+// Tenant record logged whole renders identity and limits but never an
+// API key, so no call site can leak secrets into a log pipeline.
+func TestTenantLogValueNeverLeaksKeys(t *testing.T) {
+	const secret = "sk-live-very-secret-key-do-not-log"
+	tn := Tenant{ID: "acme", Name: "Acme", Keys: []string{secret, "sk-other"}, Weight: 3}
+
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&buf, nil))
+	lg.Info("tenant event", "tenant", tn)
+
+	out := buf.String()
+	if strings.Contains(out, secret) || strings.Contains(out, "sk-other") {
+		t.Fatalf("API key leaked into log output: %s", out)
+	}
+	var line struct {
+		Tenant struct {
+			ID     string `json:"id"`
+			Weight int    `json:"weight"`
+			Keys   int    `json:"keys"`
+		} `json:"tenant"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v", err)
+	}
+	if line.Tenant.ID != "acme" || line.Tenant.Weight != 3 || line.Tenant.Keys != 2 {
+		t.Errorf("logged tenant = %+v", line.Tenant)
+	}
+}

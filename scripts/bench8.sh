@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# bench8.sh — BENCH_8: request-tracing + structured-logging overhead (DESIGN.md §15).
+#
+# Compares two ringserved configurations:
+#
+#  - untraced: -reqtrace 0 -loglevel error  (request IDs only, logs off)
+#  - traced:   default -reqtrace, -loglevel info — the production
+#              setting: full span recording plus lifecycle/warning
+#              logs (per-request access lines are debug-level; see
+#              internal/serve instrument)
+#
+# Two workloads are measured:
+#
+#  1. Serving mix (GATED, <= 3%): cache-hit-dominated traffic with a
+#     realistic computed fraction — each trial's pool holds JOBS
+#     distinct jobs none of which are cached yet, giving a
+#     JOBS/REQUESTS miss rate (~4%, hit rate ~0.96). This is the
+#     production shape: most requests are cache hits at ~100µs, a few
+#     compute for milliseconds.
+#  2. Pure hot path (INFORMATIONAL): 100% cache hits against a warmed
+#     8-job pool. Every request is just the serving path, so the
+#     span-recording cost has nothing to amortize against; on a
+#     single-core host this worst case sits above 3% by design and is
+#     reported, not gated (see DESIGN.md §15 for the per-request
+#     breakdown).
+#
+# Measurement discipline, learned the hard way on a single-core host:
+# every mix trial boots a FRESH server pair (computing hundreds of
+# jobs grows the live heap, and on one core the GC mark tail of a
+# previous trial contaminates whatever runs next — fresh processes
+# make trials identical and independent), the two modes run
+# back-to-back within each trial so host drift hits both equally, and
+# the best trial per mode wins.
+#
+# The other hard assertion: the result artifact for a fixed job is
+# byte-identical between the two servers — observability must never
+# perturb results.
+#
+# Usage: scripts/bench8.sh [out.json]   (default BENCH_8.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_8.json}"
+REQUESTS="${REQUESTS:-6000}"
+JOBS="${JOBS:-256}"
+TRIALS="${TRIALS:-5}"
+HOT_REQUESTS="${HOT_REQUESTS:-6000}"
+HOT_TRIALS="${HOT_TRIALS:-3}"
+PORT_U="${PORT_U:-18180}"
+PORT_T="${PORT_T:-18181}"
+TMP="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/ringserved" ./cmd/ringserved
+go build -o "$TMP/ringload" ./cmd/ringload
+
+JOB='{"benchmark":"MP3D","cpus":8,"data_refs_per_cpu":300,"seed":1993}'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "bench8: server on :$1 never became healthy" >&2
+  return 1
+}
+
+boot_pair() { # boot_pair -> sets U_PID T_PID
+  "$TMP/ringserved" -addr "127.0.0.1:$PORT_U" -reqtrace 0 -loglevel error \
+    >>"$TMP/untraced.out" 2>>"$TMP/untraced.err" &
+  U_PID=$!
+  "$TMP/ringserved" -addr "127.0.0.1:$PORT_T" -loglevel info \
+    >>"$TMP/traced.out" 2>>"$TMP/traced.err" &
+  T_PID=$!
+  wait_healthy "$PORT_U"
+  wait_healthy "$PORT_T"
+  # Warm connections, allocator, and the 8-job hot pool on both.
+  for port in "$PORT_U" "$PORT_T"; do
+    "$TMP/ringload" -url "http://127.0.0.1:$port" -requests 64 -jobs 8 \
+      -cpus 8 -refs 300 -concurrency 8 >/dev/null 2>&1
+  done
+}
+
+kill_pair() {
+  kill "$U_PID" "$T_PID" 2>/dev/null || true
+  wait "$U_PID" "$T_PID" 2>/dev/null || true
+}
+
+# Phase 1 — pure hot path (informational), on its own fresh pair: the
+# warmed pool only, so the heap stays small and trials are stable.
+boot_pair
+for t in $(seq 1 "$HOT_TRIALS"); do
+  "$TMP/ringload" -url "http://127.0.0.1:$PORT_U" -requests "$HOT_REQUESTS" -jobs 8 \
+    -cpus 8 -refs 300 -concurrency 8 -out "$TMP/hot-untraced-$t.json" >/dev/null 2>&1
+  "$TMP/ringload" -url "http://127.0.0.1:$PORT_T" -requests "$HOT_REQUESTS" -jobs 8 \
+    -cpus 8 -refs 300 -concurrency 8 -out "$TMP/hot-traced-$t.json" >/dev/null 2>&1
+done
+
+# The fixed job's result artifact from each server, for the
+# byte-identity check.
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$JOB" \
+  "http://127.0.0.1:$PORT_U/v1/jobs" >"$TMP/untraced.body"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$JOB" \
+  "http://127.0.0.1:$PORT_T/v1/jobs" >"$TMP/traced.body"
+kill_pair
+
+# Phase 2 — serving mix (gated). Fresh servers per trial; both modes
+# compute the trial's JOBS distinct jobs (-refs varies per trial so a
+# pool is never inherited) and serve the rest from cache.
+for t in $(seq 1 "$TRIALS"); do
+  boot_pair
+  refs=$((400 + t))
+  "$TMP/ringload" -url "http://127.0.0.1:$PORT_U" -requests "$REQUESTS" -jobs "$JOBS" \
+    -cpus 8 -refs "$refs" -concurrency 8 -out "$TMP/mix-untraced-$t.json" >/dev/null 2>&1
+  "$TMP/ringload" -url "http://127.0.0.1:$PORT_T" -requests "$REQUESTS" -jobs "$JOBS" \
+    -cpus 8 -refs "$refs" -concurrency 8 -out "$TMP/mix-traced-$t.json" >/dev/null 2>&1
+  kill_pair
+done
+
+python3 - "$TMP" "$TRIALS" "$HOT_TRIALS" "$OUT" <<'EOF'
+import hashlib, json, sys
+
+tmp, trials, hot_trials, out = sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), sys.argv[4]
+
+def best(prefix, label, n, min_hit):
+    reports = [json.load(open(f"{tmp}/{prefix}-{label}-{t}.json")) for t in range(1, n + 1)]
+    for r in reports:
+        assert r["errors"] == 0, f"{prefix}-{label}: {r['errors']} request errors"
+        assert r["cache_hit_rate"] > min_hit, \
+            f"{prefix}-{label}: cache hit rate {r['cache_hit_rate']:.3f} < {min_hit}"
+    return max(reports, key=lambda r: r["req_per_sec"])
+
+def mode_doc(r):
+    return {"req_per_sec": r["req_per_sec"], "p50_ms": r["p50_ms"],
+            "p99_ms": r["p99_ms"], "cache_hit_rate": r["cache_hit_rate"]}
+
+untraced = best("mix", "untraced", trials, 0.9)
+traced = best("mix", "traced", trials, 0.9)
+overhead = 1.0 - traced["req_per_sec"] / untraced["req_per_sec"]
+
+hot_u = best("hot", "untraced", hot_trials, 0.99)
+hot_t = best("hot", "traced", hot_trials, 0.99)
+hot_overhead = 1.0 - hot_t["req_per_sec"] / hot_u["req_per_sec"]
+
+bodies = [open(f"{tmp}/{m}.body", "rb").read() for m in ("untraced", "traced")]
+identical = bodies[0] == bodies[1]
+hashes = [hashlib.sha256(b).hexdigest() for b in bodies]
+
+doc = {
+    "workload": {"requests_per_trial": untraced["requests"],
+                 "distinct_jobs_per_trial": untraced["distinct_jobs"], "trials": trials},
+    "untraced": mode_doc(untraced),
+    "traced": {**mode_doc(traced),
+               "sample_request_id": traced.get("sample_request_id", "")},
+    "overhead_frac": overhead,
+    "hot_path": {"requests_per_trial": hot_u["requests"], "trials": hot_trials,
+                 "untraced": mode_doc(hot_u), "traced": mode_doc(hot_t),
+                 "overhead_frac_informational": hot_overhead},
+    "artifact_sha256": hashes[0],
+    "artifact_identical": identical,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"bench8: serving mix   untraced {untraced['req_per_sec']:.0f} req/s, "
+      f"traced {traced['req_per_sec']:.0f} req/s, overhead {overhead:+.2%} (gate <= 3%)")
+print(f"bench8: pure hot path untraced {hot_u['req_per_sec']:.0f} req/s, "
+      f"traced {hot_t['req_per_sec']:.0f} req/s, overhead {hot_overhead:+.2%} (informational)")
+assert identical, f"result artifact diverged under tracing: {hashes}"
+assert overhead <= 0.03, f"tracing+logging overhead {overhead:.2%} > 3%"
+print(f"bench8: artifacts byte-identical (sha256 {hashes[0][:16]}…), report in {out}")
+EOF

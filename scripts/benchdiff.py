@@ -24,6 +24,30 @@ import json
 import sys
 
 
+class SchemaError(Exception):
+    """A report is structurally missing a key the comparison needs."""
+
+
+def require(mapping, key, context):
+    """Fetch a required key, raising SchemaError with its path if absent."""
+    if not isinstance(mapping, dict) or key not in mapping:
+        raise SchemaError(f"missing required key {context}.{key}")
+    return mapping[key]
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SchemaError(f"cannot read report: {e}")
+    except json.JSONDecodeError as e:
+        raise SchemaError(f"not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        raise SchemaError("top level is not a JSON object")
+    return doc
+
+
 def metrics(doc, absolute):
     """Yield (name, value, is_ratio) throughput metrics from a report."""
     sweep = doc.get("sweep") or {}
@@ -33,24 +57,30 @@ def metrics(doc, absolute):
                 yield f"sweep.{key}", float(sweep[key]), False
         for p in doc.get("points") or []:
             if p.get("sim_ring_cycles_per_sec"):
-                yield (f"point.{p['name']}.ring_cycles_per_sec",
+                yield (f"point.{require(p, 'name', 'points[]')}.ring_cycles_per_sec",
                        float(p["sim_ring_cycles_per_sec"]), False)
     ps = doc.get("parallel_scale")
     if ps:
         cores = ps.get("num_cpu", 0)
         if absolute and ps.get("seq_wall_ns"):
+            refs = require(ps, "refs_per_cpu", "parallel_scale")
+            cpus = require(ps, "cpus", "parallel_scale")
             yield ("parallel_scale.seq_refs_per_sec",
-                   ps["refs_per_cpu"] * ps["cpus"] / (ps["seq_wall_ns"] / 1e9),
+                   refs * cpus / (ps["seq_wall_ns"] / 1e9),
                    False)
         for p in ps.get("points") or []:
-            if p["partitions"] > 1 and cores >= p["partitions"]:
-                yield (f"parallel_scale.p{p['partitions']}.speedup",
-                       float(p["speedup"]), True)
+            parts = require(p, "partitions", "parallel_scale.points[]")
+            if parts > 1 and cores >= parts:
+                yield (f"parallel_scale.p{parts}.speedup",
+                       float(require(p, "speedup", "parallel_scale.points[]")),
+                       True)
 
 
 def identity_flags(doc):
     ps = doc.get("parallel_scale") or {}
-    return {p["partitions"]: p["identical"] for p in ps.get("points") or []}
+    return {require(p, "partitions", "parallel_scale.points[]"):
+            require(p, "identical", "parallel_scale.points[]")
+            for p in ps.get("points") or []}
 
 
 def main():
@@ -63,20 +93,30 @@ def main():
                     help="also compare host-dependent absolute throughput")
     args = ap.parse_args()
 
-    base = json.load(open(args.baseline))
-    cur = json.load(open(args.current))
+    try:
+        base = load_report(args.baseline)
+        cur = load_report(args.current)
+    except SchemaError as e:
+        print(f"benchdiff: {e}", file=sys.stderr)
+        return 2
 
     failed = False
 
-    base_ident, cur_ident = identity_flags(base), identity_flags(cur)
-    for parts, ok in sorted(base_ident.items()):
-        now = cur_ident.get(parts)
-        if ok and now is False:
-            print(f"FAIL parallel_scale.p{parts}.identical: true -> false")
-            failed = True
+    try:
+        base_ident, cur_ident = identity_flags(base), identity_flags(cur)
+        for parts, ok in sorted(base_ident.items()):
+            now = cur_ident.get(parts)
+            if ok and now is False:
+                print(f"FAIL parallel_scale.p{parts}.identical: true -> false")
+                failed = True
 
-    base_m = {name: (v, ratio) for name, v, ratio in metrics(base, args.absolute)}
-    cur_m = {name: v for name, v, _ in metrics(cur, args.absolute)}
+        base_m = {name: (v, ratio) for name, v, ratio in metrics(base, args.absolute)}
+        cur_m = {name: v for name, v, _ in metrics(cur, args.absolute)}
+    except SchemaError as e:
+        print(f"benchdiff: malformed report: {e} "
+              f"(was the BENCH json produced by an older ringbench?)",
+              file=sys.stderr)
+        return 2
     compared = 0
     for name, (bv, _ratio) in sorted(base_m.items()):
         cv = cur_m.get(name)
