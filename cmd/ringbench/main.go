@@ -58,8 +58,12 @@ type benchReport struct {
 	// parallelscale experiment ran (wall clock, speedup, and result
 	// identity per partition count).
 	ParallelScale *parallelScaleReport `json:"parallel_scale,omitempty"`
-	TotalWallNS   int64                `json:"total_wall_ns"`
-	Sweep         repro.SweepStats     `json:"sweep"`
+	// ShardedScale is the segmented-interconnect scaling record when
+	// the shardedscale experiment ran: same schema as ParallelScale,
+	// with per-point artifact hashes and cross-shard traffic rates.
+	ShardedScale *parallelScaleReport `json:"sharded_scale,omitempty"`
+	TotalWallNS  int64                `json:"total_wall_ns"`
+	Sweep        repro.SweepStats     `json:"sweep"`
 }
 
 func main() {
@@ -78,7 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		refs       = fs.Int("refs", 2000, "data references per CPU in calibration simulations")
 		seed       = fs.Uint64("seed", 1993, "random seed for the whole suite")
-		only       = fs.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations, parallelscale")
+		only       = fs.String("only", "", "run a single experiment: table1..table4, figure3..figure6, validation, hierarchy, ablations, parallelscale, shardedscale")
 		plot       = fs.Bool("plot", false, "render figures as ASCII line charts instead of data tables")
 		workers    = fs.Int("workers", 0, "simulation worker pool size (0 = all CPUs)")
 		cacheDir   = fs.String("cachedir", "", "persist simulation results to this directory")
@@ -133,7 +137,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Parallel:       *parallel,
 	})
 
-	var psReport *parallelScaleReport
+	var psReport, ssReport *parallelScaleReport
 	experiments := []struct {
 		name string
 		run  func() string
@@ -212,6 +216,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			psReport = rep
 			return out
 		}},
+		{"shardedscale", func() string {
+			rep, out, err := runShardedScale(*refs, *seed)
+			if err != nil {
+				return "shardedscale FAILED: " + err.Error() + "\n"
+			}
+			ssReport = rep
+			return out
+		}},
 	}
 
 	var points []benchPoint
@@ -259,6 +271,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Workers:       s.SweepStats().Workers,
 			Points:        points,
 			ParallelScale: psReport,
+			ShardedScale:  ssReport,
 			TotalWallNS:   totalWall.Nanoseconds(),
 			Sweep:         s.SweepStats(),
 		}

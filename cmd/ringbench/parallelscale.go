@@ -25,6 +25,14 @@ type parallelScalePoint struct {
 	Windows        uint64  `json:"windows"`
 	CrossEvents    uint64  `json:"cross_events"`
 	BarrierStallNS []int64 `json:"barrier_stall_ns"`
+	// The remaining fields are recorded by the shardedscale experiment
+	// only: the sha256 of the canonicalized result artifact, the
+	// lookahead-derived window width, and how much cross-shard
+	// coherence traffic each window carried.
+	ArtifactSHA256       string  `json:"artifact_sha256,omitempty"`
+	WindowPS             int64   `json:"window_ps,omitempty"`
+	CrossWindows         uint64  `json:"cross_windows,omitempty"`
+	CrossEventsPerWindow float64 `json:"cross_events_per_window,omitempty"`
 }
 
 // parallelScaleReport is the parallelscale experiment's record in the
@@ -32,13 +40,18 @@ type parallelScalePoint struct {
 // covers the partition count, so the host's core count is part of the
 // record.
 type parallelScaleReport struct {
-	Benchmark  string               `json:"benchmark"`
-	CPUs       int                  `json:"cpus"`
-	RefsPerCPU int                  `json:"refs_per_cpu"`
-	Seed       uint64               `json:"seed"`
-	NumCPU     int                  `json:"num_cpu"`
-	SeqWallNS  int64                `json:"seq_wall_ns"`
-	Points     []parallelScalePoint `json:"points"`
+	Benchmark  string `json:"benchmark"`
+	CPUs       int    `json:"cpus"`
+	RefsPerCPU int    `json:"refs_per_cpu"`
+	Seed       uint64 `json:"seed"`
+	NumCPU     int    `json:"num_cpu"`
+	SeqWallNS  int64  `json:"seq_wall_ns"`
+	// Segments and SeqArtifactSHA256 are set by the shardedscale
+	// experiment only: the ring-segment count every swept partition
+	// count divides, and the artifact hash of the sequential reference.
+	Segments          int                  `json:"segments,omitempty"`
+	SeqArtifactSHA256 string               `json:"seq_artifact_sha256,omitempty"`
+	Points            []parallelScalePoint `json:"points"`
 }
 
 // scaleRefsMultiplier stretches the calibration-length -refs into a
@@ -71,6 +84,8 @@ func canonResult(r repro.Result) repro.Result {
 	r.ParallelFallback = ""
 	r.ParallelWindows = 0
 	r.ParallelCrossEvents = 0
+	r.ParallelWindowPS = 0
+	r.ParallelCrossWindows = 0
 	r.BarrierStallNS = nil
 	return r
 }

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut = fs.String("trace-out", "", "write a Perfetto/Chrome trace of coherence transactions to this file (load at ui.perfetto.dev)")
 		traceSmp = fs.Int("trace-sample", 0, "record every k-th transaction as a full span (0 = 64 when -trace-out is set)")
 		parallel = fs.Int("parallel", 1, "partition the simulation across this many event-kernel shards (1 = sequential; uncovered configs fall back loudly)")
+		segments = fs.Int("segments", 0, "partition the ring interconnect into this many segments (0 = classic global-slot ring; >= 2 selects the segmented model, directory-ring only)")
 		version  = fs.Bool("version", false, "print build version and exit")
 		logLevel = fs.String("loglevel", "info", "structured JSON log level on stderr: debug | info | warn | error")
 	)
@@ -80,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:           *seed,
 		TraceSample:    *traceSmp,
 		Parallel:       *parallel,
+		RingSegments:   *segments,
 	}
 	if *traceOut != "" && cfg.TraceSample == 0 {
 		cfg.TraceSample = 64
@@ -128,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "  parallel execution    : %d partitions, %d windows, barrier stall %.2f ms total\n",
 				res.Partitions, res.ParallelWindows, float64(stall)/1e6)
+			if res.ParallelWindowPS > 0 {
+				fmt.Fprintf(stdout, "  sharded interconnect  : %d ps lookahead window, %d cross-shard events over %d carrying windows\n",
+					res.ParallelWindowPS, res.ParallelCrossEvents, res.ParallelCrossWindows)
+			}
 		}
 	}
 

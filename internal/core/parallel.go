@@ -35,42 +35,79 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
-// domainWindow is the barrier-window width for partitioned runs. The
-// covered class has no cross-domain coupling at all (infinite
-// lookahead), so any width is conservative; 100 µs keeps the window
-// counter meaningful for progress accounting while making barrier
-// overhead negligible against multi-millisecond simulated runs.
+// domainWindow is the barrier-window width for partitioned runs of the
+// unsegmented covered class. That class has no cross-domain coupling at
+// all (infinite lookahead), so any width is conservative; 100 µs keeps
+// the window counter meaningful for progress accounting while making
+// barrier overhead negligible against multi-millisecond simulated runs.
+//
+// Segmented-interconnect runs instead derive their window from the
+// model: the minimum boundary-link hop latency (Geometry.MinSegmentHop)
+// is exactly how far one segment can affect the next, so it is the
+// widest window that can never miss a cross-shard message.
 const domainWindow = 100 * sim.Microsecond
 
-// planPartitions decides how many partitions cfg/src actually get and,
-// when the answer is 1 despite a larger request, why.
-func planPartitions(cfg Config, src workload.Source) (p int, fallback string) {
+// planPartitions decides how many partitions cfg/src actually get, the
+// barrier-window width to run them under and, when the answer is 1
+// despite a larger request, why.
+func planPartitions(cfg Config, src workload.Source) (p int, window sim.Time, fallback string) {
 	req := cfg.Parallel
 	if req <= 1 {
-		return 1, ""
+		return 1, 0, ""
 	}
 	if cfg.Protocol != DirectoryRing {
-		return 1, fmt.Sprintf("protocol %v is centrally arbitrated (zero lookahead)", cfg.Protocol)
+		return 1, 0, fmt.Sprintf("protocol %v is centrally arbitrated (zero lookahead)", cfg.Protocol)
 	}
 	if cfg.Trace.Enabled() {
-		return 1, "tracing samples on a global span counter"
+		return 1, 0, "tracing samples on a global span counter"
 	}
 	if cfg.NonBlockingStores {
-		return 1, "non-blocking stores are outside the covered class"
-	}
-	po, ok := src.(interface{ PrivateOnly() bool })
-	if !ok || !po.PrivateOnly() {
-		return 1, "workload shares data across partitions"
+		return 1, 0, "non-blocking stores are outside the covered class"
 	}
 	n := src.NumCPUs()
 	if req > n {
 		req = n
 	}
-	return req, ""
+	if S := cfg.Ring.Segments; S >= 2 {
+		// Segmented interconnect: boundary-crossing traffic is carried as
+		// cross-shard events, so any workload is covered — but domains
+		// must own whole segments (a segment's injection and link state
+		// is single-shard), so the partition count is the largest divisor
+		// of S within the request.
+		p = req
+		if p > S {
+			p = S
+		}
+		for ; p >= 2; p-- {
+			if S%p == 0 {
+				break
+			}
+		}
+		if p < 2 {
+			return 1, 0, fmt.Sprintf("no divisor of %d ring segments within requested parallelism %d", S, req)
+		}
+		rc := cfg.Ring
+		rc.Nodes = n
+		g := ring.NewGeometry(rc)
+		w := g.MinSegmentHop()
+		if w <= 0 {
+			// The covered class is defined by positive boundary-link
+			// lookahead; a geometry without it is a model bug, not a
+			// fallback case.
+			panic(fmt.Sprintf("core: segmented ring (%d nodes, %d segments) has zero boundary-link lookahead", n, S))
+		}
+		return p, w, ""
+	}
+	po, ok := src.(interface{ PrivateOnly() bool })
+	if !ok || !po.PrivateOnly() {
+		return 1, 0, "workload shares data across partitions"
+	}
+	return req, domainWindow, ""
 }
 
 // Run executes src under cfg, honoring cfg.Parallel for covered
@@ -79,7 +116,7 @@ func planPartitions(cfg Config, src workload.Source) (p int, fallback string) {
 // is byte-identical to NewSystem(cfg, src).Run() in either case, plus
 // the ParallelStats record of how the run executed.
 func Run(cfg Config, src workload.Source) *Metrics {
-	p, fallback := planPartitions(cfg, src)
+	p, window, fallback := planPartitions(cfg, src)
 	if p <= 1 {
 		s := NewSystem(cfg, src)
 		m := s.Run()
@@ -88,11 +125,49 @@ func Run(cfg Config, src workload.Source) *Metrics {
 	}
 
 	n := src.NumCPUs()
-	pk := sim.NewParKernel(p, domainWindow)
+	pk := sim.NewParKernel(p, window)
+
+	// Segmented interconnect: build every ring segment on its owning
+	// shard, then close the chain — same-shard boundaries hand off
+	// through the shard's own banded calendar, cross-shard ones through
+	// the parallel kernel's lookahead-checked post. The sequential
+	// segmented run makes the identical AtBoundary calls on one kernel,
+	// which is what the byte-identity cross-checks lean on.
+	var domSegs [][]*ring.SegRing
+	if S := cfg.Ring.Segments; S >= 2 {
+		rc := cfg.Ring
+		rc.Nodes = n
+		segs := make([]*ring.SegRing, S)
+		shardOf := func(seg int) int { return seg * p / S }
+		for si := 0; si < S; si++ {
+			segs[si] = ring.NewSegment(pk.Shard(shardOf(si)), rc, si)
+		}
+		for si := 0; si < S; si++ {
+			from, to := shardOf(si), shardOf((si+1)%S)
+			next := segs[(si+1)%S]
+			if from == to {
+				segs[si].Link(next, pk.Shard(from).AtBoundary)
+			} else {
+				from, to := from, to
+				segs[si].Link(next, func(at sim.Time, seq uint64, h sim.EventHandler) {
+					pk.PostAt(from, to, at, seq, h)
+				})
+			}
+		}
+		domSegs = make([][]*ring.SegRing, p)
+		for i := 0; i < p; i++ {
+			domSegs[i] = segs[i*S/p : (i+1)*S/p]
+		}
+	}
+
 	doms := make([]*System, p)
 	for i := 0; i < p; i++ {
 		lo, hi := i*n/p, (i+1)*n/p
-		doms[i] = newSystemOn(pk.Shard(i), cfg, src, lo, hi)
+		var sg []*ring.SegRing
+		if domSegs != nil {
+			sg = domSegs[i]
+		}
+		doms[i] = newSystemOn(pk.Shard(i), cfg, src, lo, hi, sg)
 	}
 	for _, d := range doms {
 		d.start()
@@ -115,8 +190,10 @@ func Run(cfg Config, src workload.Source) *Metrics {
 	root.m.Parallel = ParallelStats{
 		Requested:      cfg.Parallel,
 		Partitions:     p,
+		WindowPS:       int64(window),
 		Windows:        st.Windows,
 		CrossEvents:    st.CrossEvents,
+		CrossWindows:   st.CrossWindows,
 		BarrierStallNS: st.BarrierStallNS,
 	}
 	return &root.m
@@ -160,6 +237,11 @@ func (s *System) mergeDomain(d *System) {
 	s.missAcc.merge(&d.missAcc)
 	s.invAcc.merge(&d.invAcc)
 	s.bufAcc.merge(&d.bufAcc)
+
+	// Segmented-interconnect occupancy integrals: plain integer sums;
+	// finalize turns the whole-machine totals into NetworkUtil.
+	s.segTransitPS += d.segTransitPS
+	s.segWarmPS += d.segWarmPS
 
 	// Domains report their own (idle, for the covered class) rings; the
 	// sequential run's figure for a traffic-free ring is exactly 0, so

@@ -42,6 +42,7 @@ type Engine interface {
 var (
 	_ Engine = (*snoop.Engine)(nil)
 	_ Engine = (*directory.Engine)(nil)
+	_ Engine = (*directory.SegEngine)(nil)
 	_ Engine = (*scilist.Engine)(nil)
 	_ Engine = (*bussnoop.Engine)(nil)
 	_ Engine = (*hier.Engine)(nil)
@@ -228,10 +229,16 @@ type ParallelStats struct {
 	// partitioner cannot prove independent are never run in parallel
 	// silently.
 	Fallback string `json:"fallback,omitempty"`
+	// WindowPS is the barrier-window width actually used, in simulated
+	// picoseconds: the minimum boundary-link hop for segmented-
+	// interconnect runs, the fixed domain window otherwise.
+	WindowPS int64 `json:"window_ps,omitempty"`
 	// Windows and CrossEvents are the parallel kernel's barrier-window
-	// and cross-partition-event counts.
-	Windows     uint64 `json:"windows"`
-	CrossEvents uint64 `json:"cross_events"`
+	// and cross-partition-event counts; CrossWindows is how many windows
+	// delivered at least one cross-partition event.
+	Windows      uint64 `json:"windows"`
+	CrossEvents  uint64 `json:"cross_events"`
+	CrossWindows uint64 `json:"cross_windows,omitempty"`
 	// BarrierStallNS is wall-clock nanoseconds each partition spent
 	// waiting at window barriers (imbalance signal).
 	BarrierStallNS []int64 `json:"barrier_stall_ns,omitempty"`
@@ -275,10 +282,25 @@ type System struct {
 	engine Engine
 	ring   *ring.Ring
 	bus    *bus.Bus
-	tracer *obs.Tracer
-	procs  []*proc
-	lo, hi int
-	m      Metrics
+	// segs is the segmented-ring variant's segment set (Ring.Segments
+	// >= 2 with the directory protocol): the whole chain for sequential
+	// runs, this domain's contiguous slice for partitioned ones.
+	segs []*ring.SegRing
+	// segWarm counts warmed processors per owned segment; a segment's
+	// statistics restart when its own last processor warms, which (unlike
+	// a global reset) is partition-invariant because domains own whole
+	// segments.
+	segWarm []int
+	// segTransitPS / segWarmPS are the owned segments' summed occupancy
+	// integral and stats-start times in integer picoseconds; finalize
+	// renders NetworkUtil from the merged sums so the figure is identical
+	// however the segments were partitioned.
+	segTransitPS int64
+	segWarmPS    int64
+	tracer       *obs.Tracer
+	procs        []*proc
+	lo, hi       int
+	m            Metrics
 
 	// Latency aggregates accumulate in integer picoseconds and become
 	// the public stats.Mean fields in one finalize step. Integer sums
@@ -387,7 +409,7 @@ type proc struct {
 // NewSystem builds a system running src under cfg. The node count comes
 // from the workload.
 func NewSystem(cfg Config, src workload.Source) *System {
-	return newSystemOn(sim.NewKernel(), cfg, src, 0, src.NumCPUs())
+	return newSystemOn(sim.NewKernel(), cfg, src, 0, src.NumCPUs(), nil)
 }
 
 // newSystemOn builds a system on an existing kernel, owning only the
@@ -397,7 +419,12 @@ func NewSystem(cfg Config, src workload.Source) *System {
 // home placement) so node ids and addresses mean the same thing
 // everywhere, but it drives — and for the directory engine, allocates —
 // only its own nodes.
-func newSystemOn(k *sim.Kernel, cfg Config, src workload.Source, lo, hi int) *System {
+//
+// segs, non-nil only for segmented-interconnect partitioned runs, is
+// this domain's pre-built (and pre-linked across shard boundaries)
+// slice of ring segments; sequential segmented runs build their own
+// full chain here.
+func newSystemOn(k *sim.Kernel, cfg Config, src workload.Source, lo, hi int, segs []*ring.SegRing) *System {
 	if cfg.ProcCycle == 0 {
 		cfg.ProcCycle = DefaultProcCycle
 	}
@@ -417,6 +444,14 @@ func newSystemOn(k *sim.Kernel, cfg Config, src workload.Source, lo, hi int) *Sy
 		pageBytes = 4096
 	}
 	home := memory.NewHomeMap(n, pageBytes, sim.NewRand(cfg.Seed))
+	if cfg.Protocol == DirectoryRing && cfg.Ring.Segments != 0 {
+		// The segmented interconnect's partitioned runs build one home
+		// map per domain; stateless hashed placement makes them agree on
+		// every shared page without coordination (the rng stream is
+		// consumed in first-touch order, a whole-run interleaving no
+		// partition can reproduce alone).
+		home = memory.NewHashedHomeMap(n, pageBytes, cfg.Seed)
+	}
 	home.SetHint(workload.HomeHint)
 
 	s.tracer = obs.New(cfg.Trace, n)
@@ -425,6 +460,26 @@ func newSystemOn(k *sim.Kernel, cfg Config, src workload.Source, lo, hi int) *Sy
 	case SnoopRing, DirectoryRing, SCIRing:
 		rc := cfg.Ring
 		rc.Nodes = n
+		if rc.Segments != 0 && cfg.Protocol != DirectoryRing {
+			panic(fmt.Sprintf("core: ring segments require the directory protocol, not %v", cfg.Protocol))
+		}
+		if rc.Segments != 0 {
+			// The segmented interconnect: per-segment injection and
+			// boundary-link serialization, the model whose boundary hop
+			// is the parallel kernel's lookahead. The packet engine owns
+			// exactly the nodes its segments cover, so a partial [lo, hi)
+			// range needs no extra plumbing — segs defines it.
+			if cfg.Trace.Enabled() {
+				panic("core: tracing is unsupported with the segmented ring (Ring.Segments >= 2)")
+			}
+			if segs == nil {
+				segs = ring.NewSegmentedChain(k, rc)
+			}
+			s.segs = segs
+			s.segWarm = make([]int, len(segs))
+			s.engine = directory.NewSegmented(segs, directory.Options{Cache: cfg.Cache, Home: home})
+			break
+		}
 		r := ring.New(k, rc)
 		s.ring = r
 		switch cfg.Protocol {
@@ -525,6 +580,19 @@ func (s *System) crossWarmup(p *proc) {
 	p.wbBase = s.writeBacksOf(p.id)
 	s.warmed++
 	s.tracer.SetWarm(p.id)
+	if s.segs != nil {
+		// Segmented interconnect: each segment's statistics restart when
+		// its own last processor warms. Gating per segment (not on the
+		// global last processor) keeps the restart instant a function of
+		// that segment's nodes alone, so it lands at the same simulated
+		// time however the segments are partitioned across domains.
+		si := s.segs[0].Geo.SegOf(p.id) - s.segs[0].Segment()
+		s.segWarm[si]++
+		if lo, hi := s.segs[si].NodeRange(); s.segWarm[si] == hi-lo {
+			s.segs[si].ResetStats()
+		}
+		return
+	}
 	if s.warmed == len(s.procs) {
 		if s.ring != nil {
 			s.ring.ResetStats()
@@ -586,6 +654,15 @@ func (s *System) collect() {
 			len(s.procs)-s.finished, len(s.procs)))
 	}
 	switch {
+	case s.segs != nil:
+		// Collect the owned segments' raw occupancy integrals; finalize
+		// renders NetworkUtil from the merged sums (a partitioned run
+		// must merge all domains' integrals first).
+		for _, sr := range s.segs {
+			transit, start := sr.Totals()
+			s.segTransitPS += int64(transit)
+			s.segWarmPS += int64(start)
+		}
 	case s.ring != nil:
 		s.m.NetworkUtil = s.ring.OverallUtilization()
 	case s.bus != nil:
@@ -610,6 +687,19 @@ func (s *System) collect() {
 // Mean fields — the single division per moment that keeps the result
 // independent of observation order and domain partitioning.
 func (s *System) finalize() {
+	if s.segs != nil {
+		// Ring-wide utilization from the merged per-segment occupancy
+		// integrals (see SegRing.Totals): one float expression over
+		// integer sums, so sequential and partitioned runs agree to the
+		// last bit. S and NumSlots are whole-machine figures regardless
+		// of how many segments this (root) domain owned itself.
+		g := &s.segs[0].Geo
+		S := int64(g.Segments)
+		denom := (S*int64(s.m.ExecTime) - s.segWarmPS) * int64(g.NumSlots())
+		if denom > 0 {
+			s.m.NetworkUtil = float64(s.segTransitPS*S) / float64(denom)
+		}
+	}
 	s.m.MissLatency = s.missAcc.mean()
 	s.m.InvLatency = s.invAcc.mean()
 	s.m.BufferedLatency = s.bufAcc.mean()

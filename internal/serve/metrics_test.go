@@ -94,6 +94,8 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"ringsim_engine_events_fired_total",
 		"ringsim_engine_event_slab_max",
 		"ringsim_sim_parallel_runs_total",
+		"ringsim_sim_parallel_cross_windows_total",
+		"ringsim_sim_parallel_window_width_ps",
 		"ringsim_sim_parallel_barrier_stall_ns_total",
 		"ringsim_obs_spans_total",
 	} {

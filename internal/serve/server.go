@@ -1103,6 +1103,12 @@ func (s *Server) renderMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP ringsim_sim_parallel_cross_events_total Cross-partition events exchanged across parallel runs.")
 	fmt.Fprintln(w, "# TYPE ringsim_sim_parallel_cross_events_total counter")
 	fmt.Fprintf(w, "ringsim_sim_parallel_cross_events_total %d\n", st.ParallelCrossEvents)
+	fmt.Fprintln(w, "# HELP ringsim_sim_parallel_cross_windows_total Barrier windows that delivered at least one cross-partition event, summed across parallel runs.")
+	fmt.Fprintln(w, "# TYPE ringsim_sim_parallel_cross_windows_total counter")
+	fmt.Fprintf(w, "ringsim_sim_parallel_cross_windows_total %d\n", st.ParallelCrossWindows)
+	fmt.Fprintln(w, "# HELP ringsim_sim_parallel_window_width_ps Narrowest barrier-window width any parallel run used, in simulated picoseconds (the boundary-link lookahead for segmented-interconnect runs).")
+	fmt.Fprintln(w, "# TYPE ringsim_sim_parallel_window_width_ps gauge")
+	fmt.Fprintf(w, "ringsim_sim_parallel_window_width_ps %d\n", st.ParallelWindowPS)
 	fmt.Fprintln(w, "# HELP ringsim_sim_parallel_barrier_stall_ns_total Wall clock partitions spent waiting at window barriers, summed across partitions and runs.")
 	fmt.Fprintln(w, "# TYPE ringsim_sim_parallel_barrier_stall_ns_total counter")
 	fmt.Fprintf(w, "ringsim_sim_parallel_barrier_stall_ns_total %d\n", st.ParallelBarrierStallNS)

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// bandSeq builds a boundary-band calendar seq the way the segmented
+// ring does: link id in the high bits under the band, FIFO index low.
+func bandSeq(link, fifo uint64) uint64 {
+	return BoundarySeqBand | link<<40 | fifo
+}
+
+// recorder logs its id at dispatch time.
+type recorder struct {
+	log *[]uint64
+	id  uint64
+}
+
+func (r *recorder) OnEvent(Time) { *r.log = append(*r.log, r.id) }
+
+// TestAtBoundaryOrdersAfterNormalEvents: at a shared timestamp, banded
+// events dispatch after every ordinarily scheduled event, and among
+// themselves in band-seq order regardless of insertion order.
+func TestAtBoundaryOrdersAfterNormalEvents(t *testing.T) {
+	k := NewKernel()
+	var log []uint64
+	// Insert banded events first and out of band-seq order; normal
+	// events after. Dispatch must still be normal-first, band-ascending.
+	k.AtBoundary(5*Nanosecond, bandSeq(2, 0), &recorder{&log, 102})
+	k.AtBoundary(5*Nanosecond, bandSeq(0, 1), &recorder{&log, 101})
+	k.AtBoundary(5*Nanosecond, bandSeq(0, 0), &recorder{&log, 100})
+	k.AtEvent(5*Nanosecond, &recorder{&log, 1})
+	k.AtEvent(5*Nanosecond, &recorder{&log, 2})
+	k.Run()
+	want := []uint64{1, 2, 100, 101, 102}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("dispatch order = %v, want %v", log, want)
+	}
+}
+
+// TestAtBoundaryValidation: the band bit is mandatory, the past is
+// rejected, nil handlers are rejected.
+func TestAtBoundaryValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	var log []uint64
+	mustPanic("unbanded seq", func() {
+		NewKernel().AtBoundary(0, 7, &recorder{&log, 0})
+	})
+	mustPanic("nil handler", func() {
+		NewKernel().AtBoundary(0, bandSeq(0, 0), nil)
+	})
+	mustPanic("past time", func() {
+		k := NewKernel()
+		k.AtEvent(10*Nanosecond, &recorder{&log, 0})
+		k.Run()
+		k.AtBoundary(5*Nanosecond, bandSeq(0, 0), &recorder{&log, 0})
+	})
+}
+
+// postAtActor relays a token to the next shard via PostAt with a
+// model-derived band seq, logging each hop.
+type postAtActor struct {
+	pk    *ParKernel
+	shard int
+	hop   Duration
+	left  *int32
+	log   *[][]uint64
+	next  *postAtActor
+	fifo  uint64
+}
+
+func (a *postAtActor) OnEvent(at Time) {
+	(*a.log)[a.shard] = append((*a.log)[a.shard], uint64(at))
+	if atomic.AddInt32(a.left, -1) <= 0 {
+		return
+	}
+	a.pk.PostAt(a.shard, a.next.shard, at+a.hop, bandSeq(uint64(a.shard), a.fifo), a.next)
+	a.fifo++
+}
+
+// TestPostAtExactWindowEdge: PostAt with at exactly equal to the
+// current window end is legal (hop == lookahead, the adversarial
+// off-by-one boundary), while one tick earlier panics.
+func TestPostAtExactWindowEdge(t *testing.T) {
+	const p = 2
+	hop := 10 * Nanosecond
+	pk := NewParKernel(p, hop)
+	logs := make([][]uint64, p)
+	left := int32(9)
+	actors := make([]*postAtActor, p)
+	for i := range actors {
+		actors[i] = &postAtActor{pk: pk, shard: i, hop: hop, left: &left, log: &logs}
+	}
+	for i := range actors {
+		actors[i].next = actors[(i+1)%p]
+	}
+	pk.Shard(0).AtEvent(0, actors[0])
+	pk.Run()
+	var got []uint64
+	for _, l := range logs {
+		got = append(got, l...)
+	}
+	if len(got) != 9 {
+		t.Fatalf("fired %d hops, want 9", len(got))
+	}
+	st := pk.Stats()
+	if st.CrossEvents == 0 || st.CrossWindows == 0 {
+		t.Fatalf("expected cross traffic, got %+v", st)
+	}
+	if st.CrossWindows > st.Windows {
+		t.Fatalf("CrossWindows %d > Windows %d", st.CrossWindows, st.Windows)
+	}
+
+	// One tick inside the window violates the lookahead contract.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected lookahead-violation panic")
+			}
+		}()
+		pk2 := NewParKernel(p, hop)
+		v := &violatingPoster{pk: pk2, hop: hop}
+		pk2.Shard(0).AtEvent(0, v)
+		pk2.Run()
+	}()
+}
+
+type violatingPoster struct {
+	pk  *ParKernel
+	hop Duration
+}
+
+func (v *violatingPoster) OnEvent(at Time) {
+	var log []uint64
+	v.pk.PostAt(0, 1, at+v.hop-1, bandSeq(0, 0), &recorder{&log, 0})
+}
+
+// TestPostAtMatchesSequentialAtBoundary: delivering banded posts
+// through the ParKernel yields the same dispatch schedule (times and
+// fired count) as scheduling the identical banded events on one
+// sequential kernel — projection equivalence at the sim layer.
+func TestPostAtMatchesSequentialAtBoundary(t *testing.T) {
+	const p = 2
+	hop := 7 * Nanosecond
+	run := func(parallel bool) ([]uint64, uint64) {
+		logs := make([][]uint64, p)
+		if parallel {
+			pk := NewParKernel(p, hop)
+			left := int32(12)
+			actors := make([]*postAtActor, p)
+			for i := range actors {
+				actors[i] = &postAtActor{pk: pk, shard: i, hop: hop, left: &left, log: &logs}
+			}
+			for i := range actors {
+				actors[i].next = actors[(i+1)%p]
+			}
+			pk.Shard(0).AtEvent(0, actors[0])
+			pk.Run()
+			var fired uint64
+			for i := 0; i < p; i++ {
+				fired += pk.Shard(i).Fired()
+			}
+			return append(logs[0], logs[1]...), fired
+		}
+		// Sequential projection: one kernel plays both shards; boundary
+		// crossings are scheduled with AtBoundary at the same banded
+		// positions PostAt would deliver them at.
+		k := NewKernel()
+		left := 12
+		var seq *seqActor
+		seq = &seqActor{k: k, hop: hop, left: &left, log: &logs}
+		k.AtEvent(0, seq)
+		k.Run()
+		return append(logs[0], logs[1]...), k.Fired()
+	}
+	pLog, pFired := run(true)
+	sLog, sFired := run(false)
+	if !reflect.DeepEqual(pLog, sLog) {
+		t.Fatalf("parallel log %v != sequential log %v", pLog, sLog)
+	}
+	if pFired != sFired {
+		t.Fatalf("parallel fired %d != sequential fired %d", pFired, sFired)
+	}
+}
+
+// seqActor is the sequential projection of postAtActor: same token
+// relay on one kernel, boundary hops scheduled with AtBoundary at the
+// identical banded positions.
+type seqActor struct {
+	k     *Kernel
+	hop   Duration
+	left  *int
+	log   *[][]uint64
+	shard int
+	fifo  [2]uint64
+}
+
+func (a *seqActor) OnEvent(at Time) {
+	(*a.log)[a.shard] = append((*a.log)[a.shard], uint64(at))
+	*a.left--
+	if *a.left <= 0 {
+		return
+	}
+	src := a.shard
+	a.shard = (a.shard + 1) % 2
+	a.k.AtBoundary(at+a.hop, bandSeq(uint64(src), a.fifo[src]), a)
+	a.fifo[src]++
+}

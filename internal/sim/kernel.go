@@ -445,6 +445,41 @@ func (k *Kernel) ReserveSeq(n int) uint64 {
 	return s
 }
 
+// BoundarySeqBand is the high bit that marks boundary sequence
+// numbers: tie-break positions assigned by the model itself rather
+// than by this kernel's scheduling counter. Events scheduled with
+// AtBoundary sort after every ordinarily scheduled event at the same
+// timestamp (the counter never reaches the band), and among
+// themselves in band-sequence order. The segmented ring derives the
+// band sequence from (boundary link, per-link FIFO index), which is a
+// pure function of the model — so a boundary arrival lands at the
+// same (time, seq) calendar position whether it was scheduled by the
+// same kernel (sequential run) or delivered across a ParKernel
+// barrier (parallel run). That equivalence is what makes the
+// parallel segmented-ring runs byte-identical to sequential ones.
+const BoundarySeqBand uint64 = 1 << 63
+
+// AtBoundary schedules h at time t occupying the explicit boundary
+// sequence position seq, which must carry BoundarySeqBand. Unlike
+// AtReserved, the position is not drawn from this kernel's counter:
+// callers own the band's collision discipline (the segmented ring
+// keys it by boundary link and per-link FIFO index, which never
+// repeats within a run).
+func (k *Kernel) AtBoundary(t Time, seq uint64, h EventHandler) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if h == nil {
+		panic("sim: scheduling nil event handler")
+	}
+	if seq&BoundarySeqBand == 0 {
+		panic("sim: AtBoundary requires a banded sequence number")
+	}
+	idx := k.alloc(t, seq, nil, h)
+	k.insert(idx)
+	k.live++
+}
+
 // AtReserved schedules h at time t occupying a FIFO position
 // previously obtained from ReserveSeq. t must not be in the past and
 // seq must come from an earlier reservation.

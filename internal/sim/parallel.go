@@ -39,6 +39,10 @@ type ParStats struct {
 	Windows uint64
 	// CrossEvents is how many events crossed a partition boundary.
 	CrossEvents uint64
+	// CrossWindows is how many windows delivered at least one
+	// cross-partition event — the honesty measure distinguishing real
+	// coupled traffic from a run that never exercised the boundary.
+	CrossWindows uint64
 	// BarrierStallNS is wall-clock nanoseconds each shard spent waiting
 	// at window barriers — the imbalance signal: a shard with far more
 	// stall than its peers had too little work.
@@ -63,9 +67,11 @@ type ParKernel struct {
 	done      bool
 	panicked  any
 
-	windows     uint64
-	crossEvents []uint64 // per destination shard
-	stallNS     []int64
+	windows      uint64
+	crossEvents  []uint64 // per destination shard
+	winCross     []uint64 // cross events delivered per shard this window
+	crossWindows uint64   // windows that delivered >=1 cross event
+	stallNS      []int64
 }
 
 // crossQueueCap bounds the lock-free tier of each pair queue; windows
@@ -91,6 +97,7 @@ func NewParKernel(p int, window Duration) *ParKernel {
 		scratch:     make([][]crossEvent, p),
 		sorters:     make([]crossSorter, p),
 		crossEvents: make([]uint64, p),
+		winCross:    make([]uint64, p),
 		stallNS:     make([]int64, p),
 	}
 	for i := range pk.shards {
@@ -130,6 +137,29 @@ func (pk *ParKernel) Post(src, dst int, at Time, h EventHandler) {
 	pk.queues[src*len(pk.shards)+dst].push(at, h)
 }
 
+// PostAt is Post with an explicit boundary-band calendar position (see
+// Kernel.AtBoundary): the event is delivered at exactly (at, seq) on
+// the destination shard instead of taking a fresh tie-break seq. A
+// sequential execution of the same model that schedules its boundary
+// crossings at the same banded positions therefore builds an identical
+// calendar — the mechanism behind byte-identical parallel runs that
+// carry real cross-shard traffic. seq must have BoundarySeqBand set
+// and must be unique per (at, seq) pair; the model owns that
+// discipline (the segmented ring derives it from the boundary link id
+// and a per-link FIFO counter).
+func (pk *ParKernel) PostAt(src, dst int, at Time, seq uint64, h EventHandler) {
+	if h == nil {
+		panic("sim: posting nil event handler")
+	}
+	if seq&BoundarySeqBand == 0 {
+		panic("sim: PostAt requires a banded sequence number")
+	}
+	if end := pk.windowEnd; at < end {
+		panic(fmt.Sprintf("sim: cross-partition event at %v violates lookahead (window ends %v)", at, end))
+	}
+	pk.queues[src*len(pk.shards)+dst].pushSeq(at, seq, h)
+}
+
 // Stats returns the run's synchronization counters. Call after Run.
 func (pk *ParKernel) Stats() ParStats {
 	var cross uint64
@@ -139,6 +169,7 @@ func (pk *ParKernel) Stats() ParStats {
 	return ParStats{
 		Windows:        pk.windows,
 		CrossEvents:    cross,
+		CrossWindows:   pk.crossWindows,
 		BarrierStallNS: append([]int64(nil), pk.stallNS...),
 	}
 }
@@ -249,15 +280,21 @@ func (pk *ParKernel) deliver(i int) {
 	}
 	pk.scratch[i] = evs // keep grown capacity
 	if len(evs) == 0 {
+		pk.winCross[i] = 0
 		return
 	}
 	srt.evs = evs
 	sort.Sort(srt)
 	k := pk.shards[i]
 	for _, ev := range evs {
-		k.AtEvent(ev.at, ev.h)
+		if ev.seq != 0 {
+			k.AtBoundary(ev.at, ev.seq, ev.h)
+		} else {
+			k.AtEvent(ev.at, ev.h)
+		}
 	}
 	pk.crossEvents[i] += uint64(len(evs))
+	pk.winCross[i] = uint64(len(evs))
 }
 
 // crossSorter orders a delivery batch by (time, source shard, posting
@@ -289,6 +326,14 @@ func (s *crossSorter) Swap(a, b int) {
 // window over it, or declares the run complete. Delivery has already
 // happened, so every queued cross event is on some shard's calendar.
 func (pk *ParKernel) advanceWindow() {
+	var winCross uint64
+	for i, c := range pk.winCross {
+		winCross += c
+		pk.winCross[i] = 0
+	}
+	if winCross > 0 {
+		pk.crossWindows++
+	}
 	next := Time(-1)
 	for _, k := range pk.shards {
 		if t, ok := k.PeekTime(); ok && (next < 0 || t < next) {

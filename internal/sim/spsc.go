@@ -10,6 +10,12 @@ import "sync/atomic"
 type crossEvent struct {
 	at  Time
 	idx uint64
+	// seq, when nonzero, is an explicit boundary-band calendar position
+	// (see BoundarySeqBand): the destination schedules the event with
+	// AtBoundary instead of taking a fresh tie-break seq, so the event
+	// lands at the same (time, seq) position a sequential run of the
+	// same model gives it.
+	seq uint64
 	h   EventHandler
 }
 
@@ -55,7 +61,13 @@ func newSPSCRing(capacity int) *spscRing {
 // push enqueues one event, tagging it with the pair's next posting
 // sequence number. Producer side only (run phase).
 func (q *spscRing) push(at Time, h EventHandler) {
-	ev := crossEvent{at: at, idx: q.nextIdx, h: h}
+	q.pushSeq(at, 0, h)
+}
+
+// pushSeq enqueues one event carrying an explicit boundary-band
+// calendar seq (0 for none). Producer side only (run phase).
+func (q *spscRing) pushSeq(at Time, seq uint64, h EventHandler) {
+	ev := crossEvent{at: at, idx: q.nextIdx, seq: seq, h: h}
 	q.nextIdx++
 	tail := q.tail.Load()
 	if tail-q.head.Load() < uint64(len(q.buf)) {

@@ -168,6 +168,13 @@ type Stats struct {
 	ParallelWindows        uint64 `json:"parallel_windows,omitempty"`
 	ParallelCrossEvents    uint64 `json:"parallel_cross_events,omitempty"`
 	ParallelBarrierStallNS int64  `json:"parallel_barrier_stall_ns,omitempty"`
+	// ParallelCrossWindows sums windows that delivered cross-partition
+	// events; ParallelWindowPS is the narrowest (most conservative)
+	// barrier-window width any parallel run used, in simulated
+	// picoseconds — segmented-interconnect runs derive it from the
+	// boundary-link hop latency.
+	ParallelCrossWindows uint64 `json:"parallel_cross_windows,omitempty"`
+	ParallelWindowPS     int64  `json:"parallel_window_ps,omitempty"`
 	// LastBatch summarizes the most recent Run call; a repeated sweep
 	// shows its cache hit rate here.
 	LastBatch BatchStats `json:"last_batch"`
@@ -565,6 +572,10 @@ func (e *Engine) compute(job Job, hash string) (*Result, error) {
 		e.stats.ParallelRuns++
 		e.stats.ParallelWindows += pp.Windows
 		e.stats.ParallelCrossEvents += pp.CrossEvents
+		e.stats.ParallelCrossWindows += pp.CrossWindows
+		if pp.WindowPS > 0 && (e.stats.ParallelWindowPS == 0 || pp.WindowPS < e.stats.ParallelWindowPS) {
+			e.stats.ParallelWindowPS = pp.WindowPS
+		}
 		for _, ns := range pp.BarrierStallNS {
 			e.stats.ParallelBarrierStallNS += ns
 		}

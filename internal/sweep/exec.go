@@ -39,6 +39,20 @@ func (j Job) SystemConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	// Reject invalid segmented-ring shapes here, politely: core treats
+	// them as programmer error and panics, but a Job arrives over the
+	// wire and must come back as a job error instead.
+	if j.RingSegments != 0 {
+		if j.RingSegments < 2 {
+			return core.Config{}, fmt.Errorf("ring_segments must be 0 (classic ring) or >= 2, not %d", j.RingSegments)
+		}
+		if proto != core.DirectoryRing {
+			return core.Config{}, fmt.Errorf("ring_segments requires the directory-ring protocol, not %s", j.Protocol)
+		}
+		if j.CPUs%j.RingSegments != 0 {
+			return core.Config{}, fmt.Errorf("%d cpus not divisible into %d ring segments", j.CPUs, j.RingSegments)
+		}
+	}
 	return core.Config{
 		Protocol:  proto,
 		ProcCycle: sim.Time(j.ProcCyclePS),
@@ -48,6 +62,7 @@ func (j Job) SystemConfig() (core.Config, error) {
 			BlockBytes:             j.RingBlockBytes,
 			ProbePairsPerBlockSlot: j.RingProbePairs,
 			DisableStarvationRule:  j.RingNoStarvationRule,
+			Segments:               j.RingSegments,
 		},
 		Bus:               bus.Config{ClockPS: sim.Time(j.BusClockPS)},
 		Cache:             cache.Config{SizeBytes: j.CacheBytes, BlockBytes: j.CacheBlockBytes},
@@ -92,6 +107,13 @@ func runStandalone(j Job, trace obs.Config, parallel int) (*core.Metrics, error)
 	cfg.Seed = seed
 	cfg.Trace = trace
 	cfg.Parallel = parallel
+	if j.RingSegments != 0 {
+		// Tracing samples on a global span counter and is unsupported
+		// over the segmented ring. It is an execution detail, never part
+		// of job identity, so segmented jobs simply run untraced rather
+		// than failing on an engine-wide tracing default.
+		cfg.Trace = obs.Config{}
+	}
 	if cfg.WarmupDataRefs == 0 {
 		cfg.WarmupDataRefs = standaloneWarmup
 	}

@@ -51,6 +51,7 @@ func TestJobHashCanonical(t *testing.T) {
 		{RingWidthBits: 64},
 		{NonBlockingStores: true},
 		{Kind: "calibrated"},
+		{Protocol: "directory-ring", RingSegments: 4},
 	}
 	seen := map[string]bool{b.Hash(): true}
 	for _, m := range mutants {
@@ -59,6 +60,37 @@ func TestJobHashCanonical(t *testing.T) {
 			t.Errorf("job %+v collides with a previous hash", m)
 		}
 		seen[h] = true
+	}
+}
+
+// TestJobRejectsBadSegmentShapes: an invalid segmented-ring job
+// arrives over the wire, so it must come back as a job error — core
+// treats the same shapes as programmer error and panics, which would
+// take the whole serving process down.
+func TestJobRejectsBadSegmentShapes(t *testing.T) {
+	for name, j := range map[string]Job{
+		"one segment":    {Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring", RingSegments: 1},
+		"wrong protocol": {Benchmark: "MP3D", CPUs: 16, Protocol: "snoop-ring", RingSegments: 4},
+		"indivisible":    {Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring", RingSegments: 5},
+	} {
+		if _, err := j.SystemConfig(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A valid segmented job executes — even on a traced engine, which
+	// must drop tracing for it rather than fail.
+	j := Job{Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring",
+		RingSegments: 4, DataRefsPerCPU: 200, Seed: 3}
+	if _, err := j.SystemConfig(); err != nil {
+		t.Fatalf("valid segmented job rejected: %v", err)
+	}
+	eng := New(Options{Workers: 1, Trace: obs.Config{SampleEvery: 8}})
+	res, err := eng.Run(context.Background(), []Job{j})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("segmented job on traced engine: %v", err)
+	}
+	if res[0].Snapshot.ExecTimePS == 0 {
+		t.Fatalf("degenerate segmented result: %+v", res[0].Snapshot)
 	}
 }
 

@@ -113,13 +113,31 @@ type Config struct {
 	// entirely; the simulated results are identical either way.
 	TraceSample int
 	// Parallel, when > 1, requests a partitioned parallel simulation
-	// with that many domains. Covered configurations (directory-ring
-	// protocol over a private-only workload such as the PRIVATE
-	// benchmarks, untraced, blocking stores) produce results
+	// with that many domains. Covered configurations produce results
 	// byte-identical to the sequential kernel; everything else falls
 	// back to sequential execution with Result.ParallelFallback naming
 	// why. 0 or 1 (the default) is today's sequential kernel, untouched.
+	//
+	// The covered class is directory-ring, untraced, blocking stores,
+	// and either (a) a private-only workload such as the PRIVATE
+	// benchmarks (independent domains, any partition count up to the
+	// CPU count), or (b) RingSegments >= 2 (the segmented interconnect,
+	// any workload: boundary-crossing coherence traffic is carried as
+	// cross-partition events under the boundary links' hop-latency
+	// lookahead; the partition count is clamped to the largest divisor
+	// of the segment count within the request).
 	Parallel int
+	// RingSegments, when >= 2, selects the segmented ring interconnect:
+	// the ring is split into that many contiguous node segments with
+	// per-segment injection points and serialized boundary links. It is
+	// a distinct interconnect model (arbitration differs from the
+	// classic global-slot ring), so results differ from RingSegments ==
+	// 0 and the value participates in result hashing; its purpose is to
+	// give parallel simulation real lookahead, letting SHARED workloads
+	// run partitioned with byte-identical results. Requires the
+	// directory-ring protocol, CPUs divisible by the segment count, and
+	// no tracing.
+	RingSegments int
 }
 
 func (c *Config) fill() error {
@@ -155,6 +173,20 @@ func (c *Config) fill() error {
 	}
 	if _, ok := workload.ProfileFor(c.Benchmark, c.CPUs); !ok {
 		return fmt.Errorf("repro: no workload profile %s/%d (see repro.Benchmarks)", c.Benchmark, c.CPUs)
+	}
+	if c.RingSegments != 0 {
+		if c.RingSegments < 2 {
+			return fmt.Errorf("repro: RingSegments must be 0 (classic ring) or >= 2, not %d", c.RingSegments)
+		}
+		if c.Protocol != DirectoryRing {
+			return fmt.Errorf("repro: RingSegments requires the directory-ring protocol, not %s", c.Protocol)
+		}
+		if c.CPUs%c.RingSegments != 0 {
+			return fmt.Errorf("repro: %d CPUs not divisible into %d ring segments", c.CPUs, c.RingSegments)
+		}
+		if c.TraceSample > 0 {
+			return fmt.Errorf("repro: tracing is unsupported with the segmented ring (RingSegments >= 2)")
+		}
 	}
 	return nil
 }
@@ -203,10 +235,15 @@ type Result struct {
 	// ParallelCrossEvents the events exchanged between partitions, and
 	// BarrierStallNS the wall-clock nanoseconds each partition spent
 	// waiting at window barriers (per-partition imbalance signal); all
-	// zero for sequential runs.
-	ParallelWindows     uint64
-	ParallelCrossEvents uint64
-	BarrierStallNS      []int64
+	// zero for sequential runs. ParallelWindowPS is the barrier-window
+	// width in simulated picoseconds (the minimum boundary-link hop for
+	// segmented-interconnect runs) and ParallelCrossWindows how many
+	// windows carried at least one cross-partition event.
+	ParallelWindows      uint64
+	ParallelCrossEvents  uint64
+	ParallelWindowPS     int64
+	ParallelCrossWindows uint64
+	BarrierStallNS       []int64
 
 	// tr is the run's transaction tracer when Config.TraceSample
 	// enabled it (see HasTrace / WriteTrace / SpanClasses).
@@ -292,7 +329,7 @@ func Run(cfg Config) (*Result, error) {
 	m := core.Run(core.Config{
 		Protocol:       proto,
 		ProcCycle:      sim.Time(cfg.ProcCycleNS * float64(sim.Nanosecond)),
-		Ring:           ring.Config{ClockPS: sim.Time(1e6 / float64(cfg.RingMHz)), WidthBits: cfg.RingWidthBits},
+		Ring:           ring.Config{ClockPS: sim.Time(1e6 / float64(cfg.RingMHz)), WidthBits: cfg.RingWidthBits, Segments: cfg.RingSegments},
 		Bus:            bus.Config{ClockPS: sim.Time(1e6 / float64(cfg.BusMHz))},
 		Clusters:       cfg.Clusters,
 		Seed:           cfg.Seed,
@@ -301,21 +338,23 @@ func Run(cfg Config) (*Result, error) {
 		Parallel:       cfg.Parallel,
 	}, gen)
 	return &Result{
-		tr:                  m.Trace,
-		ProcUtil:            m.ProcUtil(),
-		NetworkUtil:         m.NetworkUtil,
-		MissLatencyNS:       m.MissLatency.Value(),
-		InvLatencyNS:        m.InvLatency.Value(),
-		ExecTimeUS:          m.ExecTime.Nanoseconds() / 1000,
-		SharedMissRate:      m.SharedMissRate(),
-		TotalMissRate:       m.TotalMissRate(),
-		Misses:              m.SharedMisses + m.PrivateMisses,
-		Upgrades:            m.Upgrades,
-		Partitions:          m.Parallel.Partitions,
-		ParallelFallback:    m.Parallel.Fallback,
-		ParallelWindows:     m.Parallel.Windows,
-		ParallelCrossEvents: m.Parallel.CrossEvents,
-		BarrierStallNS:      m.Parallel.BarrierStallNS,
+		tr:                   m.Trace,
+		ProcUtil:             m.ProcUtil(),
+		NetworkUtil:          m.NetworkUtil,
+		MissLatencyNS:        m.MissLatency.Value(),
+		InvLatencyNS:         m.InvLatency.Value(),
+		ExecTimeUS:           m.ExecTime.Nanoseconds() / 1000,
+		SharedMissRate:       m.SharedMissRate(),
+		TotalMissRate:        m.TotalMissRate(),
+		Misses:               m.SharedMisses + m.PrivateMisses,
+		Upgrades:             m.Upgrades,
+		Partitions:           m.Parallel.Partitions,
+		ParallelFallback:     m.Parallel.Fallback,
+		ParallelWindows:      m.Parallel.Windows,
+		ParallelCrossEvents:  m.Parallel.CrossEvents,
+		ParallelWindowPS:     m.Parallel.WindowPS,
+		ParallelCrossWindows: m.Parallel.CrossWindows,
+		BarrierStallNS:       m.Parallel.BarrierStallNS,
 	}, nil
 }
 

@@ -49,6 +49,35 @@ func TestRunRejectsUnknownBenchmark(t *testing.T) {
 	}
 }
 
+func TestRunRingSegments(t *testing.T) {
+	// Invalid shapes are rejected with a reason, not a panic.
+	for name, cfg := range map[string]Config{
+		"one segment":    {Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring", RingSegments: 1},
+		"wrong protocol": {Benchmark: "MP3D", CPUs: 16, Protocol: "snoop-ring", RingSegments: 4},
+		"indivisible":    {Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring", RingSegments: 5},
+		"traced":         {Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring", RingSegments: 4, TraceSample: 8},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// A valid segmented run carries the window and cross-shard stats
+	// through the facade.
+	cfg := Config{Benchmark: "MP3D", CPUs: 16, Protocol: "directory-ring",
+		RingSegments: 4, DataRefsPerCPU: 600, Seed: 11, Parallel: 4}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 4 || res.ParallelFallback != "" {
+		t.Fatalf("partitions=%d fallback=%q", res.Partitions, res.ParallelFallback)
+	}
+	if res.ParallelWindowPS <= 0 || res.ParallelCrossEvents == 0 || res.ParallelCrossWindows == 0 {
+		t.Fatalf("segmented run carried no cross-shard traffic: %+v", res)
+	}
+}
+
 func TestRunDeterministic(t *testing.T) {
 	cfg := Config{Benchmark: "CHOLESKY", CPUs: 8, DataRefsPerCPU: 500, Seed: 7}
 	a, err := Run(cfg)

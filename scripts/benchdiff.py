@@ -15,8 +15,9 @@ current report. Two classes of metric:
    cycles/s): only meaningful between runs on comparable hosts, so they
    are compared only under --absolute.
 
-Boolean result-identity flags in parallel_scale are always enforced:
-a point that was byte-identical in the baseline must stay identical.
+Boolean result-identity flags in parallel_scale and sharded_scale are
+always enforced: a point that was byte-identical in the baseline must
+stay identical.
 """
 
 import argparse
@@ -59,27 +60,37 @@ def metrics(doc, absolute):
             if p.get("sim_ring_cycles_per_sec"):
                 yield (f"point.{require(p, 'name', 'points[]')}.ring_cycles_per_sec",
                        float(p["sim_ring_cycles_per_sec"]), False)
-    ps = doc.get("parallel_scale")
-    if ps:
+    for key, ps in scale_records(doc):
         cores = ps.get("num_cpu", 0)
         if absolute and ps.get("seq_wall_ns"):
-            refs = require(ps, "refs_per_cpu", "parallel_scale")
-            cpus = require(ps, "cpus", "parallel_scale")
-            yield ("parallel_scale.seq_refs_per_sec",
+            refs = require(ps, "refs_per_cpu", key)
+            cpus = require(ps, "cpus", key)
+            yield (f"{key}.seq_refs_per_sec",
                    refs * cpus / (ps["seq_wall_ns"] / 1e9),
                    False)
         for p in ps.get("points") or []:
-            parts = require(p, "partitions", "parallel_scale.points[]")
+            parts = require(p, "partitions", f"{key}.points[]")
             if parts > 1 and cores >= parts:
-                yield (f"parallel_scale.p{parts}.speedup",
-                       float(require(p, "speedup", "parallel_scale.points[]")),
+                yield (f"{key}.p{parts}.speedup",
+                       float(require(p, "speedup", f"{key}.points[]")),
                        True)
 
 
+def scale_records(doc):
+    """Yield the partition-scaling records a report carries, keyed by
+    which experiment produced them (the private-class parallel_scale
+    sweep and the segmented-interconnect sharded_scale sweep share a
+    schema)."""
+    for key in ("parallel_scale", "sharded_scale"):
+        ps = doc.get(key)
+        if ps:
+            yield key, ps
+
+
 def identity_flags(doc):
-    ps = doc.get("parallel_scale") or {}
-    return {require(p, "partitions", "parallel_scale.points[]"):
-            require(p, "identical", "parallel_scale.points[]")
+    return {(key, require(p, "partitions", f"{key}.points[]")):
+            require(p, "identical", f"{key}.points[]")
+            for key, ps in scale_records(doc)
             for p in ps.get("points") or []}
 
 
@@ -104,10 +115,10 @@ def main():
 
     try:
         base_ident, cur_ident = identity_flags(base), identity_flags(cur)
-        for parts, ok in sorted(base_ident.items()):
-            now = cur_ident.get(parts)
+        for (key, parts), ok in sorted(base_ident.items()):
+            now = cur_ident.get((key, parts))
             if ok and now is False:
-                print(f"FAIL parallel_scale.p{parts}.identical: true -> false")
+                print(f"FAIL {key}.p{parts}.identical: true -> false")
                 failed = True
 
         base_m = {name: (v, ratio) for name, v, ratio in metrics(base, args.absolute)}
